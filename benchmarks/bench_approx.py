@@ -1,0 +1,111 @@
+"""E4 — Theorem 3.1: the (1 +- eps)-approximation's quality and work.
+
+Paper artifact: Theorem 3.1 claims a (1 +- eps)-approximation at
+O(m log n + n log^5 n) work and O(log^3 n) depth.
+
+What we measure: on heavy-weight workloads (where the sampled hierarchy
+actually has many layers), the approximation estimate vs the exact
+Stoer–Wagner value, plus the hierarchy work/depth counters over an m
+sweep.
+
+Shape claims asserted: every estimate within a constant factor (<= 4x)
+of the truth and most within 2x; work grows ~linearly in total weight
+handled; depth stays polylog.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.approx import approximate_minimum_cut
+from repro.baselines import stoer_wagner
+from repro.graphs import random_connected_graph
+from repro.metrics import MeasuredPoint, fit_power_law, format_table
+from repro.pram import Ledger
+from repro.sparsify import HierarchyParams
+
+CASES = [(48, 3), (96, 4), (192, 4), (384, 5)]
+_points: list[MeasuredPoint] = []
+
+
+def _workload(n: int, deg: int):
+    rng = np.random.default_rng(n * deg)
+    g = random_connected_graph(n, deg * n, rng=rng, max_weight=1)
+    scale = float(rng.integers(150, 900))
+    return g.with_weights(g.w * scale)
+
+
+@pytest.mark.parametrize("n,deg", CASES)
+def test_approx_quality_and_work(once, n, deg):
+    g = _workload(n, deg)
+    lam = stoer_wagner(g).value
+    ledger = Ledger()
+
+    def run():
+        return approximate_minimum_cut(
+            g,
+            params=HierarchyParams(scale=0.02),
+            rng=np.random.default_rng(n),
+            solver=lambda h: stoer_wagner(h).value,
+            ledger=ledger,
+        )
+
+    res = once(run)
+    _points.append(
+        MeasuredPoint(
+            n=n,
+            m=g.m,
+            work=ledger.work,
+            depth=ledger.depth,
+            extra={
+                "lambda": lam,
+                "estimate": res.estimate,
+                "layer": float(res.skeleton_layer),
+                "weight": g.total_weight,
+            },
+        )
+    )
+
+
+def test_approx_report(once):
+    once(_report)
+
+
+def _report():
+    pts = sorted(_points, key=lambda p: p.n)
+    assert len(pts) == len(CASES)
+    rows = []
+    ratios = []
+    for p in pts:
+        ratio = p.extra["estimate"] / p.extra["lambda"]
+        ratios.append(ratio)
+        rows.append(
+            [
+                p.n,
+                p.m,
+                p.extra["lambda"],
+                p.extra["estimate"],
+                f"{ratio:.2f}",
+                int(p.extra["layer"]),
+                p.work,
+                int(p.depth),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["n", "m", "lambda", "estimate", "ratio", "layer s", "work", "depth"],
+            rows,
+            title="Theorem 3.1 approximation on heavy-weight workloads",
+        )
+    )
+    assert all(1 / 4 <= r <= 4 for r in ratios), ratios
+    assert sum(1 / 2 <= r <= 2 for r in ratios) >= len(ratios) - 1
+    # work scales near-linearly with the processed weight volume
+    alpha, _ = fit_power_law([p.extra["weight"] for p in pts], [p.work for p in pts])
+    print(f"approx work ~ weight^{alpha:.2f} (expected ~1 with polylog drift)")
+    assert 0.5 <= alpha <= 1.6
+    # depth stays polylog
+    lg3 = np.log2(pts[-1].n) ** 3
+    assert pts[-1].depth <= 60 * lg3

@@ -1,0 +1,100 @@
+"""E7 — Brent speedups: what work-optimality buys on p processors.
+
+Paper artifact: the motivation behind Table 1 — a work-optimal algorithm
+at O(log^3 n) depth delivers speedup ~p against the best sequential
+algorithm, while a work-suboptimal one (GG18's extra log^3 n factor)
+wastes a constant fraction of every processor.
+
+What we measure: Brent projections T_p = W/p + D from the measured
+ledgers of (a) our 2-respecting search and (b) the GG18-style stand-in,
+both normalised against *our* work as the sequential reference (it
+matches the best sequential bound).
+
+Shape claims asserted: our self-speedup at p=1024 exceeds 100x; the
+baseline's absolute speedup stays below ours at every p; our efficiency
+at small p stays near 1.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import gg18_two_respecting
+from repro.graphs import random_connected_graph
+from repro.metrics import format_table
+from repro.pram import Ledger, TraceLedger, parallelism, speedup_curve
+from repro.primitives import root_tree, spanning_forest_graph
+from repro.tworespect import two_respecting_min_cut
+
+PROCESSORS = [1, 4, 16, 64, 256, 1024, 4096]
+_ledgers: dict[str, Ledger] = {}
+
+
+def _workload():
+    g = random_connected_graph(600, 6000, rng=21, max_weight=8)
+    ids, _ = spanning_forest_graph(g)
+    return g, root_tree(g.n, g.u[ids], g.v[ids], 0)
+
+
+def test_measure_ours(once):
+    g, parent = _workload()
+    ledger = TraceLedger()  # records the SP shape for schedule bounds
+    once(two_respecting_min_cut, g, parent, ledger=ledger)
+    _ledgers["ours"] = ledger
+
+
+def test_measure_gg18(once):
+    g, parent = _workload()
+    ledger = Ledger()
+    once(gg18_two_respecting, g, parent, ledger=ledger)
+    _ledgers["gg18"] = ledger
+
+
+def test_brent_report(once):
+    once(_report)
+
+
+def _report():
+    ours = _ledgers["ours"]
+    gg = _ledgers["gg18"]
+    seq_work = ours.work  # our work matches the best sequential bound
+    ours_curve = speedup_curve(ours.work, ours.depth, PROCESSORS, seq_work)
+    gg_curve = speedup_curve(gg.work, gg.depth, PROCESSORS, seq_work)
+    rows = [
+        [p, f"{a.speedup:.1f}x", f"{a.efficiency:.2f}", f"{b.speedup:.1f}x"]
+        for p, a, b in zip(PROCESSORS, ours_curve, gg_curve)
+    ]
+    print()
+    print(
+        format_table(
+            ["p", "here speedup", "here efficiency", "GG18-style speedup"],
+            rows,
+            title=(
+                "Brent projection T_p = W/p + D vs sequential work "
+                f"(W_here={ours.work:.3g}, D_here={ours.depth:.0f}, "
+                f"W_gg={gg.work:.3g}, D_gg={gg.depth:.0f})"
+            ),
+        )
+    )
+    print(f"parallelism here: {parallelism(ours.work, ours.depth):,.0f}; "
+          f"GG18-style: {parallelism(gg.work, gg.depth):,.0f}")
+    # trace-based sandwich: the true makespan lies between the bounds,
+    # and the upper bound never exceeds Brent
+    rows = []
+    for p in PROCESSORS:
+        lo, hi = ours.bounds(p)
+        bt = ours.work / p + ours.depth
+        assert lo <= hi <= bt + 1e-6
+        rows.append([p, f"{lo:,.0f}", f"{hi:,.0f}", f"{bt:,.0f}"])
+    print()
+    print(
+        format_table(
+            ["p", "schedule lower", "schedule upper", "Brent W/p + D"],
+            rows,
+            title="SP-trace schedule bounds (here, 2-respecting stage)",
+        )
+    )
+    # work-optimality payoff
+    assert ours_curve[0].efficiency > 0.95
+    idx1024 = PROCESSORS.index(1024)
+    assert ours_curve[idx1024].speedup > 100
+    for a, b in zip(ours_curve, gg_curve):
+        assert a.speedup > b.speedup

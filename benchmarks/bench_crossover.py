@@ -1,0 +1,85 @@
+"""E8 — Table 1's regime claim: who wins at which density.
+
+Paper artifact: Table 1's "work-optimal on non-sparse graphs" (here) vs
+"work-optimal on sparse graphs" ([AB21]), with footnote 4 locating the
+handover around m ~ n log^2 n (against AB21) and the non-sparse
+condition m >= c n log^3 n loglog n (against the sequential bound).
+
+What we measure: our measured 2-respecting work over a density sweep at
+fixed n, against the GG18/AB21 model curves normalised at the densest
+point (constants are incomparable; the *shape* — whose curve flattens
+per edge as density grows — is the claim).
+
+Shape claims asserted: our measured work-per-edge *falls* as density
+grows (the m log n term amortises the n polylog n terms) while the
+AB21/GG18 models stay flat per edge; the model crossover density for a
+large n sits in the polylog band the footnote predicts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import crossover_density, work_ab21, work_gg18
+from repro.graphs import random_connected_graph
+from repro.metrics import MeasuredPoint, format_table
+from repro.pram import Ledger
+from repro.primitives import root_tree, spanning_forest_graph
+from repro.tworespect import two_respecting_min_cut
+
+N = 512
+DENSITIES = [2, 4, 8, 16, 32, 64]
+_points: list[MeasuredPoint] = []
+
+
+@pytest.mark.parametrize("density", DENSITIES)
+def test_density_sweep(once, density):
+    g = random_connected_graph(N, density * N, rng=density, max_weight=6)
+    ids, _ = spanning_forest_graph(g)
+    parent = root_tree(g.n, g.u[ids], g.v[ids], 0)
+    ledger = Ledger()
+    once(two_respecting_min_cut, g, parent, ledger=ledger)
+    _points.append(MeasuredPoint(n=N, m=g.m, work=ledger.work, depth=ledger.depth))
+
+
+def test_crossover_report(once):
+    once(_report)
+
+
+def _report():
+    pts = sorted(_points, key=lambda p: p.m)
+    assert len(pts) == len(DENSITIES)
+    rows = []
+    per_edge = []
+    for p in pts:
+        per_edge.append(p.work / p.m)
+        rows.append(
+            [
+                f"{p.m / p.n:.1f}",
+                p.m,
+                p.work,
+                f"{per_edge[-1]:.0f}",
+                f"{work_ab21(p.m, p.n) / p.m:.0f}",
+                f"{work_gg18(p.m, p.n) / p.m:.0f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["m/n", "m", "work (measured)", "work/m", "AB21 model/m", "GG18 model/m"],
+            rows,
+            title=f"Density sweep at n = {N}: per-edge work",
+        )
+    )
+    # our per-edge work falls with density (the n polylog n terms
+    # amortise), which is exactly why the algorithm wins on non-sparse
+    # inputs; the AB21/GG18 models are flat per edge by construction.
+    assert per_edge[-1] < 0.55 * per_edge[0]
+    # the model crossover for a big n lands in the polylog band
+    n_big = 1 << 16
+    c = crossover_density(n_big)
+    lg = np.log2(n_big)
+    print(f"model crossover vs AB21 at n=2^16: m/n ~ {c:.0f} "
+          f"(log^2 n = {lg**2:.0f}, log^3 n = {lg**3:.0f})")
+    assert lg**2 <= c <= lg**3.5

@@ -1,0 +1,90 @@
+"""E2 — Figure 1: the interest relation, and the Section 4.1.3 claim
+that the interest machinery stays near-linear.
+
+Paper artifact: Figure 1 illustrates cross- and down-interest on a small
+example; the surrounding text proves (via Property 4.3 + Claim 4.8) that
+every edge is interested in O(log n) paths, so there are O(n log n)
+interest tuples and interested path pairs in total.
+
+What we measure: (a) the Figure 1 relations verified on the bundled
+reconstruction, (b) the number of interest tuples / mutual pairs on
+random graphs of growing size.
+
+Shape claims asserted: tuples / (n log n) stays bounded as n grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import figure1_graph, random_connected_graph
+from repro.metrics import MeasuredPoint, format_table
+from repro.primitives import postorder, root_tree, spanning_forest_graph
+from repro.rangesearch import CutOracle
+from repro.trees import binarize_parent
+from repro.tworespect import two_respecting_min_cut
+
+SIZES = [128, 256, 512, 1024]
+_points: list[MeasuredPoint] = []
+
+
+def test_fig1_relations(once):
+    def check():
+        g, parent, lab = figure1_graph()
+        rt = postorder(binarize_parent(parent).parent)
+        oracle = CutOracle(g, rt)
+        e, f, ep = lab["e"], lab["f"], lab["e_prime"]
+        assert oracle.cross_interested(e, f)
+        assert oracle.cross_interested(f, e)
+        assert oracle.down_interested(ep, f)
+        return oracle
+
+    oracle = once(check)
+    print("\nFigure 1 relations hold on the bundled reconstruction:")
+    print("  e cross-interested in f, f cross-interested in e,")
+    print("  e' down-interested in f  ✓")
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_interest_tuple_counts(once, n):
+    g = random_connected_graph(n, 4 * n, rng=n + 1, max_weight=6)
+    ids, _ = spanning_forest_graph(g)
+    parent = root_tree(g.n, g.u[ids], g.v[ids], 0)
+    res = once(two_respecting_min_cut, g, parent)
+    _points.append(
+        MeasuredPoint(
+            n=n,
+            m=g.m,
+            work=res.stats["num_interest_tuples"],
+            depth=res.stats["num_interested_pairs"],
+            extra={"n_bin": res.stats["tree_size_binarized"]},
+        )
+    )
+
+
+def test_fig1_report(once):
+    once(_report)
+
+
+def _report():
+    pts = sorted(_points, key=lambda p: p.n)
+    assert len(pts) == len(SIZES)
+    rows = []
+    ratios = []
+    for p in pts:
+        nb = p.extra["n_bin"]
+        ratio = p.work / (nb * np.log2(nb))
+        ratios.append(ratio)
+        rows.append([p.n, p.m, int(p.work), int(p.depth), f"{ratio:.3f}"])
+    print()
+    print(
+        format_table(
+            ["n", "m", "interest tuples", "mutual pairs", "tuples/(n log n)"],
+            rows,
+            title="Section 4.1.3: interest machinery stays near-linear",
+        )
+    )
+    # the O(n log n) claim: the normalised ratio must not grow
+    assert max(ratios) <= 2.5 * min(ratios)
+    assert ratios[-1] < 4.0

@@ -1,0 +1,29 @@
+"""Benchmark-suite configuration.
+
+Every bench measures *one* run (``pedantic`` with a single round): the
+quantities of interest are the deterministic ledger counters (work,
+depth, structural visits), not wall-clock statistics — see DESIGN.md's
+substitution table.  Tables are printed to stdout; run with ``-s`` (or
+rely on pytest's captured-output-on-demand) to see them, e.g.::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Run the full experiment suite and collect the printed tables.
+
+Usage:  python scripts/run_experiments.py [output.txt]
+
+Thin wrapper over ``pytest benchmarks/ --benchmark-only -s`` that strips
+the pytest chrome and keeps the experiment tables — the raw material of
+EXPERIMENTS.md.  Exit code mirrors pytest's.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+NOISE = re.compile(
+    r"^(\.|F|s|=|-| *\d+ (passed|failed)|platform |rootdir|plugins|collecting"
+    r"|Legend:|  Outliers|  OPS|Name \(time|test_)"
+)
+
+
+def main() -> int:
+    out_path = Path(sys.argv[1]) if len(sys.argv) > 1 else None
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(ROOT / "benchmarks"),
+            "--benchmark-only",
+            "-s",
+            "-q",
+        ],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+    )
+    lines = [
+        line
+        for line in proc.stdout.splitlines()
+        if line.strip() and not NOISE.match(line)
+    ]
+    body = "\n".join(lines) + "\n"
+    if out_path:
+        out_path.write_text(body)
+        print(f"wrote {out_path} ({len(lines)} lines)")
+    else:
+        print(body)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout[-4000:])
+        sys.stderr.write(proc.stderr[-2000:])
+    return proc.returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""Setuptools shim: lets ``python setup.py develop`` work on minimal
+environments without the ``wheel`` package (all metadata lives in
+pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""repro — Work-Optimal Parallel Minimum Cuts for Non-Sparse Graphs.
+
+Reproduction of López-Martínez, Mukhopadhyay & Nanongkai (SPAA 2021).
+See README.md for the tour and DESIGN.md for the system inventory.
+
+Public API highlights
+---------------------
+- :func:`repro.minimum_cut` — the paper's exact parallel algorithm.
+- :func:`repro.approximate_minimum_cut` — the Section 3 approximation.
+- :class:`repro.Graph` and the generators in :mod:`repro.graphs`.
+- :class:`repro.Ledger` — PRAM work/depth accounting.
+"""
+
+from repro._version import __version__
+from repro.graphs.graph import Graph
+from repro.pram.ledger import Ledger
+
+__all__ = [
+    "__version__",
+    "Graph",
+    "Ledger",
+    "minimum_cut",
+    "approximate_minimum_cut",
+    "two_respecting_min_cut",
+]
+
+
+def __getattr__(name: str):
+    # Lazy re-exports keep `import repro` light and avoid import cycles
+    # between the substrate and algorithm layers.
+    if name == "minimum_cut":
+        from repro.core.mincut import minimum_cut
+
+        return minimum_cut
+    if name == "approximate_minimum_cut":
+        from repro.approx.approximate import approximate_minimum_cut
+
+        return approximate_minimum_cut
+    if name == "two_respecting_min_cut":
+        from repro.tworespect.algorithm import two_respecting_min_cut
+
+        return two_respecting_min_cut
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,6 @@
+"""Section 3: parallel (1 +- eps)-approximate minimum cut."""
+
+from repro.approx.approximate import approximate_minimum_cut
+from repro.approx.layers import layer_min_cuts, locate_skeleton_layer
+
+__all__ = ["approximate_minimum_cut", "layer_min_cuts", "locate_skeleton_layer"]

@@ -1,0 +1,13 @@
+"""Application-level workflows built on the min-cut stack."""
+
+from repro.apps.clustering import ClusteringParams, induced_subgraph, min_cut_clusters
+from repro.apps.reliability import ReliabilityReport, reinforce, weakest_partition
+
+__all__ = [
+    "ClusteringParams",
+    "min_cut_clusters",
+    "induced_subgraph",
+    "ReliabilityReport",
+    "weakest_partition",
+    "reinforce",
+]

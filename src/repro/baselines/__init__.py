@@ -1,0 +1,32 @@
+"""Baselines: sequential exact (Stoer–Wagner), randomized (Karger–Stein),
+the GG18-style parallel stand-in, and Table 1 cost models."""
+
+from repro.baselines.gg18 import gg18_depth_model, gg18_two_respecting, gg18_work_model
+from repro.baselines.karger_stein import karger_stein
+from repro.baselines.matula import matula_approx
+from repro.baselines.models import (
+    crossover_density,
+    depth_all,
+    work_ab21,
+    work_gg18,
+    work_here,
+    work_sequential_gmw,
+)
+from repro.baselines.stoer_wagner import stoer_wagner
+from repro.baselines.two_out import two_out_contraction_min_cut
+
+__all__ = [
+    "stoer_wagner",
+    "karger_stein",
+    "matula_approx",
+    "two_out_contraction_min_cut",
+    "gg18_two_respecting",
+    "gg18_work_model",
+    "gg18_depth_model",
+    "work_here",
+    "work_gg18",
+    "work_ab21",
+    "work_sequential_gmw",
+    "depth_all",
+    "crossover_density",
+]

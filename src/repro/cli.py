@@ -1,0 +1,145 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``cut FILE``
+    Exact minimum cut of a graph file (edgelist or DIMACS via --format).
+``approx FILE``
+    The Section 3 (1 +- eps) approximation.
+``bench N M``
+    One instrumented run on a random graph: value + work/depth profile.
+
+All commands accept ``--seed`` and print machine-greppable ``key value``
+lines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators import random_connected_graph
+from repro.graphs.io import read_dimacs, read_edgelist
+from repro.pram.ledger import Ledger
+
+__all__ = ["main"]
+
+
+def _load(path: str, fmt: str) -> Graph:
+    if fmt == "auto":
+        fmt = "dimacs" if Path(path).suffix in (".dimacs", ".max", ".col") else "edgelist"
+    if fmt == "dimacs":
+        return read_dimacs(path)
+    return read_edgelist(path)
+
+
+def _cmd_cut(args: argparse.Namespace) -> int:
+    from repro.core.mincut import minimum_cut
+
+    graph = _load(args.file, args.format)
+    ledger = Ledger()
+    res = minimum_cut(
+        graph,
+        epsilon=args.epsilon,
+        rng=np.random.default_rng(args.seed),
+        ledger=ledger,
+    )
+    print(f"value {res.value}")
+    small = res.side if res.side.sum() * 2 <= graph.n else ~res.side
+    print(f"side {' '.join(str(int(v)) for v in np.flatnonzero(small))}")
+    print(f"work {ledger.work}")
+    print(f"depth {ledger.depth}")
+    return 0
+
+
+def _cmd_approx(args: argparse.Namespace) -> int:
+    from repro.approx.approximate import approximate_minimum_cut
+    from repro.sparsify.hierarchy import HierarchyParams
+
+    graph = _load(args.file, args.format)
+    ledger = Ledger()
+    res = approximate_minimum_cut(
+        graph,
+        params=HierarchyParams(scale=args.scale),
+        rng=np.random.default_rng(args.seed),
+        ledger=ledger,
+    )
+    print(f"estimate {res.estimate}")
+    print(f"low {res.low}")
+    print(f"high {res.high}")
+    print(f"layer {res.skeleton_layer}")
+    print(f"work {ledger.work}")
+    print(f"depth {ledger.depth}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.core.mincut import minimum_cut
+
+    graph = random_connected_graph(
+        args.n, args.m, rng=args.seed, max_weight=args.max_weight
+    )
+    ledger = Ledger()
+    res = minimum_cut(graph, rng=np.random.default_rng(args.seed), ledger=ledger)
+    print(f"n {graph.n}")
+    print(f"m {graph.m}")
+    print(f"value {res.value}")
+    print(f"work {ledger.work}")
+    print(f"depth {ledger.depth}")
+    for name, rec in sorted(ledger.phases.items()):
+        print(f"phase.{name}.work {rec.work}")
+        print(f"phase.{name}.depth {rec.depth}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Work-optimal parallel minimum cuts (SPAA 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_cut = sub.add_parser("cut", help="exact minimum cut of a graph file")
+    p_cut.add_argument("file")
+    p_cut.add_argument("--format", choices=("auto", "edgelist", "dimacs"), default="auto")
+    p_cut.add_argument("--epsilon", type=float, default=None,
+                       help="Section 4.3 range-tree degree exponent")
+    p_cut.add_argument("--seed", type=int, default=0)
+    p_cut.set_defaults(func=_cmd_cut)
+
+    p_apx = sub.add_parser("approx", help="(1 +- eps) approximation")
+    p_apx.add_argument("file")
+    p_apx.add_argument("--format", choices=("auto", "edgelist", "dimacs"), default="auto")
+    p_apx.add_argument("--scale", type=float, default=0.02,
+                       help="hierarchy constant scale (1.0 = paper constants)")
+    p_apx.add_argument("--seed", type=int, default=0)
+    p_apx.set_defaults(func=_cmd_approx)
+
+    p_bench = sub.add_parser("bench", help="instrumented run on a random graph")
+    p_bench.add_argument("n", type=int)
+    p_bench.add_argument("m", type=int)
+    p_bench.add_argument("--max-weight", type=int, default=8)
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # downstream consumer (e.g. `| head`) closed the pipe: exit quietly
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""The paper's headline algorithm: exact parallel minimum cut."""
+
+from repro.core.allcuts import all_minimum_cuts
+from repro.core.mincut import branching_for_epsilon, minimum_cut
+from repro.results import ApproxResult, CutResult
+
+__all__ = [
+    "minimum_cut",
+    "all_minimum_cuts",
+    "branching_for_epsilon",
+    "CutResult",
+    "ApproxResult",
+]

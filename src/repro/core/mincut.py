@@ -1,0 +1,164 @@
+"""The exact parallel minimum cut (Theorems 4.1 and 4.26) — the paper's
+headline algorithm and this library's main entry point.
+
+    approximate (Section 3)  ->  skeleton + tree packing (Section 4.2)
+        ->  per-tree minimum 2-respecting cut (Section 4.1)  ->  min.
+
+Every candidate tree's 2-respecting search runs in a logically-parallel
+ledger branch (the searches are independent — Section 4's equations (1)
+and (2)); each inspected value is a genuine cut of G, so the result is
+always an upper bound on the minimum cut and equals it w.h.p. (and in
+``thorough`` mode — testing *every* distinct packed tree — the failure
+probability at benchmark scale is unobservably small; see DESIGN.md
+section 5).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Literal, Optional
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graphs.graph import Graph
+from repro.packing.karger import pack_trees
+from repro.pram.ledger import Ledger, NULL_LEDGER
+from repro.results import CutResult
+from repro.sparsify.hierarchy import HierarchyParams
+from repro.sparsify.skeleton import SkeletonParams
+from repro.tworespect.algorithm import two_respecting_min_cut
+
+__all__ = ["minimum_cut", "branching_for_epsilon"]
+
+
+def branching_for_epsilon(n: int, epsilon: Optional[float]) -> int:
+    """Range-tree degree ``max(2, round(n^epsilon))`` (Section 4.3).
+
+    ``epsilon=None`` (or any value driving the degree to 2) selects the
+    general-graph structure of Lemma 4.9.
+    """
+    if epsilon is None or n < 2:
+        return 2
+    if epsilon <= 0:
+        raise GraphFormatError("epsilon must be positive")
+    return max(2, int(round(n**epsilon)))
+
+
+def minimum_cut(
+    graph: Graph,
+    *,
+    epsilon: Optional[float] = None,
+    approx_value: Optional[float] = None,
+    max_trees: int | None | Literal["auto"] = "auto",
+    decomposition: Literal["heavy", "bough"] = "heavy",
+    skeleton_params: SkeletonParams = SkeletonParams(),
+    hierarchy_params: Optional[HierarchyParams] = None,
+    packing_iterations: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    ledger: Ledger = NULL_LEDGER,
+) -> CutResult:
+    """Minimum cut of a weighted undirected graph, w.h.p. exact.
+
+    Parameters
+    ----------
+    graph:
+        The input.  Disconnected inputs return value 0 with a component
+        as the side mask.
+    epsilon:
+        The Section 4.3 work/query tradeoff knob: range trees of degree
+        ``~n^epsilon`` give O(m/eps + n^{1+2eps} log n / eps^2 + n log n)
+        work for the cut-finding step.  ``None`` = degree-2 trees
+        (the general Theorem 4.1 configuration).
+    approx_value:
+        A known O(1)-approximation of the min cut; skips the Section 3
+        stage (used, e.g., when called *from* that stage on certificate
+        layers whose expected cut is known — Claim 3.20).
+    max_trees:
+        How many candidate trees the cut-finding step tests.  ``"auto"``
+        (default) samples ``ceil(3 log2 n)`` distinct trees proportional
+        to packing multiplicity — the paper's O(log n) schedule.  An int
+        samples that many; ``None`` = thorough mode, every distinct
+        packed tree (O(log^2 n) worst case).
+    decomposition:
+        Path decomposition flavour for the 2-respecting search.
+    rng:
+        Seeded generator; the algorithm is deterministic given it.
+
+    Returns
+    -------
+    CutResult — value, side mask, witness tree edges, stage statistics.
+    """
+    if graph.n < 2:
+        raise GraphFormatError("min cut needs at least 2 vertices")
+    k, labels = graph.connected_components()
+    if k > 1:
+        return CutResult(value=0.0, side=labels == labels[0], stats={"num_trees": 0.0})
+    if graph.n == 2:
+        return CutResult(
+            value=graph.total_weight,
+            side=np.array([True, False]),
+            stats={"num_trees": 0.0},
+        )
+    rng = rng if rng is not None else np.random.default_rng()
+
+    # --- stage 1: O(1)-approximation (Theorem 3.1) -------------------------
+    if approx_value is None:
+        from repro.approx.approximate import approximate_minimum_cut
+
+        params = hierarchy_params if hierarchy_params is not None else HierarchyParams()
+        with ledger.phase("approximate"):
+            approx = approximate_minimum_cut(
+                graph, params=params, rng=rng, ledger=ledger
+            )
+        approx_value = max(approx.estimate, 1e-12)
+    lambda_under = float(approx_value) / 2.0  # Section 4.2's underestimate
+
+    # --- stage 2: skeleton + tree packing (Theorem 4.18) -------------------
+    if max_trees == "auto":
+        max_trees = int(math.ceil(3 * math.log2(max(graph.n, 2))))
+    with ledger.phase("packing"):
+        packing = pack_trees(
+            graph,
+            lambda_under,
+            skeleton_params=skeleton_params,
+            packing_iterations=packing_iterations,
+            max_trees=max_trees,
+            rng=rng,
+            ledger=ledger,
+        )
+
+    # --- stage 3: per-tree 2-respecting min-cut (Theorem 4.2) --------------
+    branching = branching_for_epsilon(graph.n, epsilon)
+    best: Optional[CutResult] = None
+    with ledger.phase("two-respecting"):
+        with ledger.parallel() as par:
+            for parent in packing.tree_parents:
+                with par.branch():
+                    res = two_respecting_min_cut(
+                        graph,
+                        parent,
+                        branching=branching,
+                        decomposition=decomposition,
+                        ledger=ledger,
+                    )
+                    if best is None or res.value < best.value:
+                        best = res
+    assert best is not None  # packing always yields >= 1 tree
+    stats = dict(best.stats)
+    stats.update(
+        {
+            "num_trees": float(packing.num_trees),
+            "skeleton_edges": float(packing.skeleton.skeleton.m),
+            "skeleton_p": float(packing.skeleton.p),
+            "lambda_underestimate": float(lambda_under),
+            "packing_iterations": float(packing.packing.iterations),
+            "branching": float(branching),
+        }
+    )
+    return CutResult(
+        value=best.value,
+        side=best.side,
+        witness_edges=best.witness_edges,
+        stats=stats,
+    )

@@ -1,0 +1,33 @@
+"""Exception types shared across the :mod:`repro` package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphFormatError(ReproError):
+    """Raised when a graph input is malformed (bad shapes, negative weights,
+    self loops where disallowed, …)."""
+
+
+class NotConnectedError(ReproError):
+    """Raised by routines that require a connected input graph."""
+
+
+class IntegerWeightsRequired(ReproError):
+    """Raised by the multigraph / sampled-hierarchy machinery (Section 3 of
+    the paper), which interprets a weight-w edge as w unweighted parallel
+    copies and therefore needs integral weights."""
+
+
+class LedgerError(ReproError):
+    """Raised on misuse of the work-depth ledger (e.g. closing a parallel
+    frame that still has an open branch)."""
+
+
+class MongeViolation(ReproError):
+    """Raised by the Monge-property verifiers when a matrix that is supposed
+    to satisfy the (inverse-)Monge condition does not.  Primarily used in
+    tests; the production search routines never raise this."""

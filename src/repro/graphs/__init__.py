@@ -1,0 +1,56 @@
+"""Graph substrate: containers, generators, I/O, validation."""
+
+from repro.graphs.generators import (
+    as_rng,
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    figure1_graph,
+    gnp_graph,
+    grid_graph,
+    planted_cut_graph,
+    random_connected_graph,
+    random_graph_density,
+    random_spanning_tree_edges,
+)
+from repro.graphs.generators_extra import (
+    community_graph,
+    power_law_graph,
+    reliability_network,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.io import read_dimacs, read_edgelist, write_dimacs, write_edgelist
+from repro.graphs.multigraph import MultiGraph
+from repro.graphs.validate import (
+    brute_force_min_cut,
+    check_side_mask,
+    side_from_vertices,
+    validate_cut,
+)
+
+__all__ = [
+    "Graph",
+    "MultiGraph",
+    "as_rng",
+    "random_connected_graph",
+    "random_graph_density",
+    "gnp_graph",
+    "planted_cut_graph",
+    "cycle_graph",
+    "grid_graph",
+    "barbell_graph",
+    "complete_graph",
+    "random_spanning_tree_edges",
+    "figure1_graph",
+    "community_graph",
+    "power_law_graph",
+    "reliability_network",
+    "read_edgelist",
+    "write_edgelist",
+    "read_dimacs",
+    "write_dimacs",
+    "check_side_mask",
+    "validate_cut",
+    "side_from_vertices",
+    "brute_force_min_cut",
+]

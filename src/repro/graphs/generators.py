@@ -1,0 +1,245 @@
+"""Graph generators for tests, examples, and the benchmark workloads.
+
+Every generator takes an explicit ``numpy.random.Generator`` (or an int
+seed) so that all experiments are reproducible.  Connected generators
+plant a random spanning tree first, then add extra edges — the standard
+recipe for connected G(n, m) workloads in min-cut benchmarking.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "as_rng",
+    "random_connected_graph",
+    "random_graph_density",
+    "gnp_graph",
+    "planted_cut_graph",
+    "cycle_graph",
+    "grid_graph",
+    "barbell_graph",
+    "complete_graph",
+    "random_spanning_tree_edges",
+    "figure1_graph",
+]
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def as_rng(seed: RngLike) -> np.random.Generator:
+    """Coerce an int / None / Generator into a Generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_spanning_tree_edges(n: int, rng: RngLike = None) -> Tuple[np.ndarray, np.ndarray]:
+    """Endpoints of a uniform-ish random spanning tree on n vertices.
+
+    Uses the random-permutation attachment scheme: vertex ``pi[i]``
+    (i >= 1) attaches to a uniformly random earlier vertex in the
+    permutation.  Not exactly uniform over spanning trees, but diverse
+    enough for workload generation.
+    """
+    rng = as_rng(rng)
+    if n < 2:
+        return np.empty(0, np.int64), np.empty(0, np.int64)
+    pi = rng.permutation(n)
+    attach = (rng.random(n - 1) * np.arange(1, n)).astype(np.int64)
+    u = pi[attach]
+    v = pi[1:]
+    return u.astype(np.int64), v.astype(np.int64)
+
+
+def _random_extra_edges(
+    n: int, count: int, rng: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``count`` random non-self-loop vertex pairs (parallel edges allowed)."""
+    if count <= 0:
+        return np.empty(0, np.int64), np.empty(0, np.int64)
+    u = rng.integers(0, n, size=count)
+    v = rng.integers(0, n - 1, size=count)
+    v = np.where(v >= u, v + 1, v)  # avoid self loops uniformly
+    return u.astype(np.int64), v.astype(np.int64)
+
+
+def random_connected_graph(
+    n: int,
+    m: int,
+    *,
+    rng: RngLike = None,
+    max_weight: int = 1,
+    coalesce: bool = True,
+) -> Graph:
+    """Connected graph with ~m edges and integer weights in [1, max_weight].
+
+    A random spanning tree guarantees connectivity; the remaining
+    ``m - (n-1)`` edges are uniform random pairs.  With ``coalesce`` the
+    parallel duplicates are merged (so the edge count can be slightly
+    below m).
+    """
+    rng = as_rng(rng)
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    tu, tv = random_spanning_tree_edges(n, rng)
+    eu, ev = _random_extra_edges(n, m - (n - 1), rng)
+    u = np.concatenate([tu, eu])
+    v = np.concatenate([tv, ev])
+    if max_weight <= 1:
+        w = np.ones(u.shape[0], dtype=np.float64)
+    else:
+        w = rng.integers(1, max_weight + 1, size=u.shape[0]).astype(np.float64)
+    g = Graph(n, u, v, w, validate=False)
+    return g.coalesced() if coalesce else g
+
+
+def random_graph_density(
+    n: int,
+    density_exponent: float,
+    *,
+    rng: RngLike = None,
+    max_weight: int = 1,
+) -> Graph:
+    """Connected graph with ``m ~ n**density_exponent`` edges — the
+    paper's "non-sparse" workloads use exponents > 1 (m = n^(1+eps))."""
+    m = int(round(n**density_exponent))
+    m = min(max(m, n - 1), n * (n - 1) // 2 * 4)
+    return random_connected_graph(n, m, rng=rng, max_weight=max_weight)
+
+
+def gnp_graph(n: int, p: float, *, rng: RngLike = None, max_weight: int = 1) -> Graph:
+    """Erdős–Rényi G(n, p) (possibly disconnected)."""
+    rng = as_rng(rng)
+    iu, iv = np.triu_indices(n, k=1)
+    keep = rng.random(iu.shape[0]) < p
+    u, v = iu[keep].astype(np.int64), iv[keep].astype(np.int64)
+    if max_weight <= 1:
+        w = np.ones(u.shape[0], dtype=np.float64)
+    else:
+        w = rng.integers(1, max_weight + 1, size=u.shape[0]).astype(np.float64)
+    return Graph(n, u, v, w, validate=False)
+
+
+def planted_cut_graph(
+    n_left: int,
+    n_right: int,
+    cut_weight: float,
+    *,
+    inside_degree: int = 8,
+    rng: RngLike = None,
+    max_weight: int = 4,
+    cut_edges: Optional[int] = None,
+) -> Graph:
+    """Two dense random clusters joined by a deliberately light cut.
+
+    The planted bipartition ``[0, n_left) | [n_left, n)`` has total
+    crossing weight exactly ``cut_weight`` spread over ``cut_edges``
+    edges (default: as many unit-ish edges as needed).  With
+    ``inside_degree`` large enough the planted cut is the unique minimum
+    cut, which the tests assert via Stoer–Wagner.
+
+    Returns the graph; the planted side mask is
+    ``numpy.arange(n) < n_left``.
+    """
+    rng = as_rng(rng)
+    n = n_left + n_right
+    parts = []
+    for lo, size in ((0, n_left), (n_left, n_right)):
+        sub = random_connected_graph(
+            size, size * inside_degree // 2, rng=rng, max_weight=max_weight
+        )
+        parts.append((sub.u + lo, sub.v + lo, sub.w))
+    k = cut_edges if cut_edges is not None else max(1, int(math.ceil(cut_weight)))
+    cu = rng.integers(0, n_left, size=k).astype(np.int64)
+    cv = (n_left + rng.integers(0, n_right, size=k)).astype(np.int64)
+    cw = np.full(k, cut_weight / k, dtype=np.float64)
+    u = np.concatenate([parts[0][0], parts[1][0], cu])
+    v = np.concatenate([parts[0][1], parts[1][1], cv])
+    w = np.concatenate([parts[0][2], parts[1][2], cw])
+    return Graph(n, u, v, w, validate=False).coalesced()
+
+
+def cycle_graph(n: int, weight: float = 1.0) -> Graph:
+    """Cycle on n vertices; its min cut is ``2 * weight``."""
+    u = np.arange(n, dtype=np.int64)
+    v = np.roll(u, -1)
+    return Graph(n, u[: n if n > 2 else n - 1], v[: n if n > 2 else n - 1],
+                 np.full(n if n > 2 else n - 1, weight))
+
+
+def grid_graph(rows: int, cols: int, *, rng: RngLike = None, max_weight: int = 1) -> Graph:
+    """rows x cols grid; useful as a sparse structured workload."""
+    rng = as_rng(rng)
+    idx = np.arange(rows * cols).reshape(rows, cols)
+    hu, hv = idx[:, :-1].ravel(), idx[:, 1:].ravel()
+    vu, vv = idx[:-1, :].ravel(), idx[1:, :].ravel()
+    u = np.concatenate([hu, vu]).astype(np.int64)
+    v = np.concatenate([hv, vv]).astype(np.int64)
+    if max_weight <= 1:
+        w = np.ones(u.shape[0], dtype=np.float64)
+    else:
+        w = rng.integers(1, max_weight + 1, size=u.shape[0]).astype(np.float64)
+    return Graph(rows * cols, u, v, w, validate=False)
+
+
+def barbell_graph(clique: int, bridge_weight: float = 1.0) -> Graph:
+    """Two cliques joined by one bridge edge — min cut = bridge_weight."""
+    iu, iv = np.triu_indices(clique, k=1)
+    u = np.concatenate([iu, iu + clique, [0]]).astype(np.int64)
+    v = np.concatenate([iv, iv + clique, [clique]]).astype(np.int64)
+    w = np.concatenate([np.ones(2 * iu.shape[0]), [bridge_weight]])
+    return Graph(2 * clique, u, v, w, validate=False)
+
+
+def complete_graph(n: int, *, rng: RngLike = None, max_weight: int = 1) -> Graph:
+    """K_n, optionally with random integer weights."""
+    rng = as_rng(rng)
+    iu, iv = np.triu_indices(n, k=1)
+    if max_weight <= 1:
+        w = np.ones(iu.shape[0], dtype=np.float64)
+    else:
+        w = rng.integers(1, max_weight + 1, size=iu.shape[0]).astype(np.float64)
+    return Graph(n, iu.astype(np.int64), iv.astype(np.int64), w, validate=False)
+
+
+def figure1_graph() -> Tuple[Graph, np.ndarray, dict]:
+    """The Figure 1 setting of the paper: a small graph with a rooted
+    spanning tree illustrating the *interest* relation.
+
+    The published figure's exact topology is not machine-readable from
+    the text, so this is a reconstruction engineered to satisfy exactly
+    the caption's three relations (asserted in
+    ``tests/test_generators.py``): tree edges ``e`` and ``f`` hang in
+    disjoint subtrees and are mutually *cross-interested*, while the
+    edge ``e'`` above both is *down-interested* in ``f``.
+
+    Layout (edges named by child endpoint): root 0; e' = (1, 0);
+    e = (2, 1) and f = (3, 1) side by side under vertex 1; a heavy
+    non-tree edge (2, 3) of weight 4 makes e and f want each other, and
+    a non-tree edge (3, 0) of weight 2 concentrates T_f's outside
+    weight, making e' down-interested in f:
+
+    * w(T_e) = 5 < 2 w(T_e, T_f) = 8 and w(T_f) = 7 < 8 (mutual cross),
+    * w(T_e') = 3 < 2 w(T_f, V \\ T_e') = 4 (down).
+
+    Returns ``(graph, tree_parent, labels)`` where ``labels`` maps the
+    caption names {"r", "e", "f", "e_prime"} to the child endpoints.
+    """
+    n = 4
+    parent = np.array([-1, 0, 1, 1], dtype=np.int64)
+    edges = [
+        (1, 0, 1.0),  # e'
+        (2, 1, 1.0),  # e
+        (3, 1, 1.0),  # f
+        (2, 3, 4.0),  # heavy cross edge between T_e and T_f
+        (3, 0, 2.0),  # T_f's escape past e'
+    ]
+    g = Graph.from_edges(n, edges)
+    labels = {"r": 0, "e": 2, "f": 3, "e_prime": 1}
+    return g, parent, labels

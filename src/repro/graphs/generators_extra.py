@@ -1,0 +1,108 @@
+"""Additional structured workload generators used by examples/benches."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.graphs.generators import RngLike, as_rng, random_connected_graph
+from repro.graphs.graph import Graph
+
+__all__ = ["community_graph", "power_law_graph", "reliability_network"]
+
+
+def community_graph(
+    sizes: Tuple[int, ...],
+    intra_degree: int = 6,
+    inter_edges: int = 3,
+    *,
+    rng: RngLike = None,
+    max_weight: int = 5,
+) -> Graph:
+    """Several dense communities chained by sparse inter-community links.
+
+    The minimum cut typically isolates the community pair joined by the
+    lightest link bundle — the motivating shape for community-boundary
+    detection via min-cut (example application).
+    """
+    rng = as_rng(rng)
+    n = sum(sizes)
+    parts = []
+    offset = 0
+    offsets = []
+    for size in sizes:
+        sub = random_connected_graph(
+            size, size * intra_degree // 2, rng=rng, max_weight=max_weight
+        )
+        parts.append((sub.u + offset, sub.v + offset, sub.w))
+        offsets.append(offset)
+        offset += size
+    # chain communities i -> i+1 with `inter_edges` unit edges
+    cu, cv = [], []
+    for i in range(len(sizes) - 1):
+        a0, b0 = offsets[i], offsets[i + 1]
+        cu.append(a0 + rng.integers(0, sizes[i], size=inter_edges))
+        cv.append(b0 + rng.integers(0, sizes[i + 1], size=inter_edges))
+    u = np.concatenate([p[0] for p in parts] + cu)
+    v = np.concatenate([p[1] for p in parts] + cv)
+    w = np.concatenate([p[2] for p in parts] + [np.ones(inter_edges)] * (len(sizes) - 1))
+    return Graph(n, u.astype(np.int64), v.astype(np.int64), w, validate=False).coalesced()
+
+
+def power_law_graph(n: int, m: int, *, rng: RngLike = None, gamma: float = 2.5) -> Graph:
+    """Connected graph with power-law-ish degree skew (hub-heavy).
+
+    Endpoints are drawn proportional to ``rank^{-1/(gamma-1)}`` — a
+    Zipf-flavoured attachment that yields hub vertices, the hard case
+    for naive per-vertex parallelisation.
+    """
+    rng = as_rng(rng)
+    from repro.graphs.generators import random_spanning_tree_edges
+
+    tu, tv = random_spanning_tree_edges(n, rng)
+    weights = (np.arange(1, n + 1, dtype=np.float64)) ** (-1.0 / (gamma - 1.0))
+    probs = weights / weights.sum()
+    extra = max(m - (n - 1), 0)
+    eu = rng.choice(n, size=extra, p=probs)
+    ev = rng.choice(n, size=extra, p=probs)
+    keep = eu != ev
+    u = np.concatenate([tu, eu[keep]])
+    v = np.concatenate([tv, ev[keep]])
+    return Graph(n, u.astype(np.int64), v.astype(np.int64), None, validate=False).coalesced()
+
+
+def reliability_network(
+    n_core: int,
+    n_edge_sites: int,
+    *,
+    rng: RngLike = None,
+    core_capacity: int = 40,
+    uplink_capacity: int = 3,
+) -> Graph:
+    """A backbone/edge network whose min cut is a site's uplink bundle.
+
+    Models the "where does the network partition first" reliability
+    question: a dense high-capacity core plus many lightly-uplinked edge
+    sites; the minimum cut isolates the most weakly attached site.
+    """
+    rng = as_rng(rng)
+    core = random_connected_graph(
+        n_core, n_core * 4, rng=rng, max_weight=core_capacity
+    )
+    n = n_core + n_edge_sites
+    su = []
+    sv = []
+    sw = []
+    for site in range(n_edge_sites):
+        sid = n_core + site
+        uplinks = int(rng.integers(2, 4))
+        targets = rng.choice(n_core, size=uplinks, replace=False)
+        for t in targets:
+            su.append(sid)
+            sv.append(int(t))
+            sw.append(float(rng.integers(1, uplink_capacity + 1)))
+    u = np.concatenate([core.u, np.asarray(su, dtype=np.int64)])
+    v = np.concatenate([core.v, np.asarray(sv, dtype=np.int64)])
+    w = np.concatenate([core.w, np.asarray(sw, dtype=np.float64)])
+    return Graph(n, u, v, w, validate=False).coalesced()

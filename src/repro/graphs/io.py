@@ -1,0 +1,108 @@
+"""Plain-text graph I/O.
+
+Two formats:
+
+* *edgelist* — ``n m`` header line then ``u v w`` per edge; round-trips
+  :class:`repro.graphs.Graph` exactly.
+* *DIMACS* — the classic ``p`` / ``e`` line format used by max-flow /
+  min-cut benchmark suites (1-based vertices on disk, 0-based in memory).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TextIO, Union
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graphs.graph import Graph
+
+__all__ = ["write_edgelist", "read_edgelist", "write_dimacs", "read_dimacs"]
+
+PathOrIO = Union[str, Path, TextIO]
+
+
+def _open(target: PathOrIO, mode: str):
+    if isinstance(target, (str, Path)):
+        return open(target, mode), True
+    return target, False
+
+
+def write_edgelist(graph: Graph, target: PathOrIO) -> None:
+    """Write ``n m`` header then one ``u v w`` line per edge."""
+    fh, owned = _open(target, "w")
+    try:
+        fh.write(f"{graph.n} {graph.m}\n")
+        for u, v, w in graph.edges():
+            fh.write(f"{u} {v} {w!r}\n")
+    finally:
+        if owned:
+            fh.close()
+
+
+def read_edgelist(source: PathOrIO) -> Graph:
+    """Inverse of :func:`write_edgelist`."""
+    fh, owned = _open(source, "r")
+    try:
+        header = fh.readline().split()
+        if len(header) != 2:
+            raise GraphFormatError("edgelist header must be 'n m'")
+        n, m = int(header[0]), int(header[1])
+        u = np.empty(m, np.int64)
+        v = np.empty(m, np.int64)
+        w = np.empty(m, np.float64)
+        for i in range(m):
+            parts = fh.readline().split()
+            if len(parts) != 3:
+                raise GraphFormatError(f"bad edge line {i}")
+            u[i], v[i], w[i] = int(parts[0]), int(parts[1]), float(parts[2])
+        return Graph(n, u, v, w)
+    finally:
+        if owned:
+            fh.close()
+
+
+def write_dimacs(graph: Graph, target: PathOrIO, problem: str = "cut") -> None:
+    """Write DIMACS: ``p <problem> n m`` then ``e u v w`` (1-based)."""
+    fh, owned = _open(target, "w")
+    try:
+        fh.write(f"p {problem} {graph.n} {graph.m}\n")
+        for u, v, w in graph.edges():
+            if w == int(w):
+                fh.write(f"e {u + 1} {v + 1} {int(w)}\n")
+            else:
+                fh.write(f"e {u + 1} {v + 1} {w!r}\n")
+    finally:
+        if owned:
+            fh.close()
+
+
+def read_dimacs(source: PathOrIO) -> Graph:
+    """Read DIMACS ``p``/``e`` lines; comments (``c``) are skipped and a
+    missing weight column defaults to 1."""
+    fh, owned = _open(source, "r")
+    try:
+        n = None
+        edges = []
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("c"):
+                continue
+            parts = line.split()
+            if parts[0] == "p":
+                if len(parts) < 4:
+                    raise GraphFormatError("bad DIMACS problem line")
+                n = int(parts[2])
+            elif parts[0] in ("e", "a"):
+                if n is None:
+                    raise GraphFormatError("edge before problem line")
+                u, v = int(parts[1]) - 1, int(parts[2]) - 1
+                w = float(parts[3]) if len(parts) > 3 else 1.0
+                edges.append((u, v, w))
+        if n is None:
+            raise GraphFormatError("missing DIMACS problem line")
+        return Graph.from_edges(n, edges)
+    finally:
+        if owned:
+            fh.close()

@@ -1,0 +1,24 @@
+"""Experiment harness utilities: tables, workloads, scaling fits."""
+
+from repro.metrics.experiments import (
+    MeasuredPoint,
+    dense_workload,
+    density_sweep_workloads,
+    fit_power_law,
+    normalised_curve,
+)
+from repro.metrics.records import dump_records, load_records, points_to_records
+from repro.metrics.tables import format_ratio, format_table
+
+__all__ = [
+    "MeasuredPoint",
+    "dense_workload",
+    "density_sweep_workloads",
+    "fit_power_law",
+    "normalised_curve",
+    "format_table",
+    "format_ratio",
+    "dump_records",
+    "load_records",
+    "points_to_records",
+]

@@ -1,0 +1,77 @@
+"""Shared experiment harness: workload builders and measured records.
+
+Each bench in ``benchmarks/`` runs a sweep, collects
+:class:`MeasuredPoint` records, prints a table via
+:mod:`repro.metrics.tables`, and asserts the *shape* claims from the
+paper (who wins, scaling exponents) — see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.graphs.generators import random_connected_graph
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "MeasuredPoint",
+    "dense_workload",
+    "density_sweep_workloads",
+    "fit_power_law",
+    "normalised_curve",
+]
+
+
+@dataclass
+class MeasuredPoint:
+    """One sweep point: problem size + measured counters."""
+
+    n: int
+    m: int
+    work: float
+    depth: float
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+def dense_workload(n: int, exponent: float, seed: int, max_weight: int = 8) -> Graph:
+    """The paper's non-sparse workload: m ~ n^exponent, exponent > 1."""
+    m = int(round(n**exponent))
+    m = max(m, n - 1)
+    m = min(m, n * (n - 1) // 2)
+    return random_connected_graph(n, m, rng=seed, max_weight=max_weight)
+
+
+def density_sweep_workloads(
+    n: int, densities: Sequence[float], seed: int = 0, max_weight: int = 8
+) -> List[Graph]:
+    """Fixed n, m = density * n for each density."""
+    out = []
+    for k, d in enumerate(densities):
+        m = min(int(d * n), n * (n - 1) // 2)
+        out.append(random_connected_graph(n, max(m, n - 1), rng=seed + k, max_weight=max_weight))
+    return out
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares fit ``y ~ c * x^alpha``; returns (alpha, c).
+
+    Used to check scaling claims: e.g. measured 2-respecting work vs m
+    should fit alpha ~ 1 (up to log factors).
+    """
+    lx = np.log(np.asarray(xs, dtype=np.float64))
+    ly = np.log(np.asarray(ys, dtype=np.float64))
+    alpha, logc = np.polyfit(lx, ly, 1)
+    return float(alpha), float(math.exp(logc))
+
+
+def normalised_curve(values: Sequence[float], anchor_index: int = 0) -> List[float]:
+    """Scale a series so the anchor point equals 1 — how the benches
+    compare measured work against model curves (shape, not constants)."""
+    anchor = float(values[anchor_index])
+    if anchor == 0:
+        return [0.0 for _ in values]
+    return [float(v) / anchor for v in values]

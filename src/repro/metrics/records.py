@@ -1,0 +1,51 @@
+"""Persisting experiment records as JSON.
+
+The benches dump their measured points to ``benchmarks/results/*.json``
+so runs can be diffed across machines/versions without re-parsing
+stdout.  Records are plain dicts — no pickle, stable field order.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Mapping, Sequence
+
+from repro.metrics.experiments import MeasuredPoint
+
+__all__ = ["dump_records", "load_records", "points_to_records"]
+
+
+def points_to_records(points: Sequence[MeasuredPoint]) -> List[dict]:
+    """MeasuredPoints -> JSON-ready dicts (extras flattened)."""
+    out = []
+    for p in points:
+        rec = {"n": p.n, "m": p.m, "work": float(p.work), "depth": float(p.depth)}
+        for k, v in sorted(p.extra.items()):
+            rec[k] = float(v)
+        out.append(rec)
+    return out
+
+
+def dump_records(
+    path: str | Path,
+    experiment: str,
+    records: Iterable[Mapping],
+    *,
+    meta: Mapping | None = None,
+) -> Path:
+    """Write ``{experiment, meta, records}`` to ``path`` (dirs created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "experiment": experiment,
+        "meta": dict(meta or {}),
+        "records": [dict(r) for r in records],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def load_records(path: str | Path) -> dict:
+    """Inverse of :func:`dump_records`."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,62 @@
+"""ASCII table / series rendering for the benchmark harness.
+
+The benches print tables shaped like the paper's (Table 1) plus scaling
+series for the theorem-bound experiments; this module keeps that
+formatting in one place so every bench output looks alike.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_ratio"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    str_rows: List[List[str]] = []
+    for row in rows:
+        str_rows.append([_fmt(cell) for cell in row])
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            "  ".join(
+                cell.rjust(widths[i]) if _numericish(cell) else cell.ljust(widths[i])
+                for i, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_ratio(a: float, b: float) -> str:
+    """Human ratio 'a/b' with sane handling of zeros."""
+    if b == 0:
+        return "inf" if a > 0 else "1.0"
+    return f"{a / b:.2f}"
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1e5 or abs(cell) < 1e-3:
+            return f"{cell:.3g}"
+        return f"{cell:,.2f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def _numericish(cell: str) -> bool:
+    return bool(cell) and (cell[0].isdigit() or cell[0] in "+-." or cell == "inf")

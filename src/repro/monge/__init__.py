@@ -1,0 +1,14 @@
+"""Monge-matrix searching (Sections 4.1.2-4.1.3 substrates)."""
+
+from repro.monge.partial import triangle_minimum
+from repro.monge.smawk import matrix_minimum, smawk_row_minima
+from repro.monge.verify import check_inverse_monge, check_monge, materialize
+
+__all__ = [
+    "smawk_row_minima",
+    "matrix_minimum",
+    "triangle_minimum",
+    "check_monge",
+    "check_inverse_monge",
+    "materialize",
+]

@@ -1,0 +1,79 @@
+"""Minimum over the strict upper triangle of a partial (inverse-)Monge
+matrix — the single-path case of Section 4.1.2.
+
+For a descending tree path with edges e_1 (shallowest) .. e_ell
+(deepest), the matrix ``M[i][j] = cut(e_i, e_j)`` restricted to i < j is
+*inverse*-Monge (supermodular; the annulus decomposition in
+``tests/test_monge_properties.py`` verifies this empirically), because
+e_j's subtree is nested inside e_i's.  Reversing the column order makes
+every fully-defined rectangular block Monge, so:
+
+    triangle_min(edges) =
+        min( SMAWK-min of the block  [first half] x [second half],
+             triangle_min(first half),
+             triangle_min(second half) )
+
+which inspects O(ell log ell) entries — within the budget the paper
+allots to this step via [AKPS90] (O(ell log ell) inspected entries;
+see the DESIGN.md substitution note).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+from repro.monge.smawk import matrix_minimum
+from repro.pram.combinators import log2ceil
+from repro.pram.ledger import Ledger, NULL_LEDGER
+
+__all__ = ["triangle_minimum"]
+
+Lookup = Callable[[int, int], float]
+
+
+def triangle_minimum(
+    labels: Sequence[int],
+    lookup: Lookup,
+    ledger: Ledger = NULL_LEDGER,
+    *,
+    inverse: bool = True,
+) -> Tuple[float, int, int]:
+    """Minimum of ``lookup(a, b)`` over ordered pairs a = labels[i],
+    b = labels[j] with i < j.
+
+    ``inverse=True`` treats fully-defined blocks as inverse-Monge (the
+    nested single-path case) and reverses columns before SMAWK;
+    ``inverse=False`` treats them as Monge directly.
+
+    Returns ``(value, label_i, label_j)`` (labels, not positions), or
+    ``(inf, -1, -1)`` when fewer than two labels are given.
+    """
+    labels = list(labels)
+    best: Tuple[float, int, int] = (float("inf"), -1, -1)
+    if len(labels) < 2:
+        return best
+    stack = [labels]
+    while stack:
+        seg = stack.pop()
+        ell = len(seg)
+        if ell < 2:
+            continue
+        if ell == 2:
+            val = lookup(seg[0], seg[1])
+            if val < best[0]:
+                best = (val, seg[0], seg[1])
+            continue
+        mid = ell // 2
+        rows = seg[:mid]
+        cols = seg[mid:]
+        if inverse:
+            cols = cols[::-1]
+        val, r, c = matrix_minimum(rows, cols, lookup, ledger=ledger)
+        if val < best[0]:
+            best = (val, r, c)
+        stack.append(seg[:mid])
+        stack.append(seg[mid:])
+    # divide-and-conquer control charge: the recursion tree has depth
+    # O(log ell); each level's SMAWK calls run in parallel.
+    ledger.charge(work=0.0, depth=float(log2ceil(max(len(labels), 2))))
+    return best

@@ -1,0 +1,136 @@
+"""SMAWK row-minima for totally monotone matrices.
+
+The path-pair step of the 2-respecting algorithm needs the minimum entry
+of Monge matrices whose entries are cut-oracle queries; the paper uses
+the randomized O(ell)-query algorithm of Raman–Vishkin [RV94].  We
+substitute the deterministic SMAWK algorithm, which also inspects only
+O(rows + cols) entries (see DESIGN.md's substitution table), and count
+every entry evaluation.
+
+A matrix is *totally monotone* (for minima) when, for rows i < i' and
+columns j < j': ``M[i][j] >= M[i][j']  =>  M[i'][j] >= M[i'][j']``.
+Monge matrices (``M[i][j] + M[i'][j'] <= M[i][j'] + M[i'][j]``) satisfy
+this including ties, which is what the weak comparisons below rely on.
+Inverse-Monge matrices become Monge by reversing the column order —
+callers do so via an index mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.pram.combinators import log2ceil
+from repro.pram.ledger import Ledger, NULL_LEDGER
+
+__all__ = ["smawk_row_minima", "matrix_minimum"]
+
+Lookup = Callable[[int, int], float]
+
+
+class _CountingLookup:
+    __slots__ = ("fn", "count", "cache")
+
+    def __init__(self, fn: Lookup) -> None:
+        self.fn = fn
+        self.count = 0
+        self.cache: Dict[Tuple[int, int], float] = {}
+
+    def __call__(self, i: int, j: int) -> float:
+        key = (i, j)
+        hit = self.cache.get(key)
+        if hit is not None:
+            return hit
+        self.count += 1
+        val = self.fn(i, j)
+        self.cache[key] = val
+        return val
+
+
+def smawk_row_minima(
+    rows: Sequence[int],
+    cols: Sequence[int],
+    lookup: Lookup,
+    ledger: Ledger = NULL_LEDGER,
+) -> Dict[int, Tuple[float, int]]:
+    """Row minima of a totally monotone matrix.
+
+    Parameters
+    ----------
+    rows, cols:
+        Row/column *labels* in matrix order (the lookup receives labels,
+        so callers can present reversed or re-indexed views).
+    lookup:
+        ``lookup(row_label, col_label) -> value``.  Every evaluation is
+        charged to the ledger (work 0 here — the lookup is expected to
+        charge its own oracle cost; SMAWK's bookkeeping charges
+        O(rows + cols) work and O(log) depth).
+
+    Returns
+    -------
+    ``{row_label: (min_value, argmin_col_label)}``.
+    """
+    counting = _CountingLookup(lookup)
+    result: Dict[int, Tuple[float, int]] = {}
+    _smawk(list(rows), list(cols), counting, result)
+    n = len(rows) + len(cols)
+    ledger.charge(work=float(max(n, 1)), depth=float(log2ceil(max(n, 2)) + 1))
+    return result
+
+
+def _smawk(
+    rows: List[int],
+    cols: List[int],
+    lookup: _CountingLookup,
+    result: Dict[int, Tuple[float, int]],
+) -> None:
+    if not rows:
+        return
+    # REDUCE: prune columns that cannot host any row minimum, keeping at
+    # most len(rows) columns.  Invariant: survivor k (0-based stack
+    # position) can only host minima of rows[k:].
+    stack: List[int] = []
+    for c in cols:
+        while stack:
+            r = rows[len(stack) - 1]
+            if lookup(r, stack[-1]) <= lookup(r, c):
+                break
+            stack.pop()
+        if len(stack) < len(rows):
+            stack.append(c)
+    cols2 = stack
+    _smawk(rows[1::2], cols2, lookup, result)
+    # INTERPOLATE: fill even-index rows; by total monotonicity each row's
+    # argmin lies between its neighbors' argmins in cols2 order.
+    col_pos = {c: k for k, c in enumerate(cols2)}
+    start = 0
+    for i in range(0, len(rows), 2):
+        r = rows[i]
+        stop = col_pos[result[rows[i + 1]][1]] if i + 1 < len(rows) else len(cols2) - 1
+        best_val = None
+        best_col = None
+        for c in cols2[start : stop + 1]:
+            val = lookup(r, c)
+            if best_val is None or val < best_val:
+                best_val, best_col = val, c
+        assert best_col is not None
+        result[r] = (best_val, best_col)
+        start = stop
+
+
+def matrix_minimum(
+    rows: Sequence[int],
+    cols: Sequence[int],
+    lookup: Lookup,
+    ledger: Ledger = NULL_LEDGER,
+) -> Tuple[float, int, int]:
+    """Global minimum ``(value, row_label, col_label)`` of a totally
+    monotone matrix via SMAWK row minima + a tree reduce."""
+    if not rows or not cols:
+        return float("inf"), -1, -1
+    minima = smawk_row_minima(rows, cols, lookup, ledger=ledger)
+    best_val, best_r, best_c = float("inf"), -1, -1
+    for r, (val, c) in minima.items():
+        if val < best_val:
+            best_val, best_r, best_c = val, r, c
+    ledger.charge(work=float(len(rows)), depth=float(log2ceil(max(len(rows), 2))))
+    return best_val, best_r, best_c

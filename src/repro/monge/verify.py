@@ -1,0 +1,59 @@
+"""Empirical (inverse-)Monge property checkers.
+
+The SMAWK orientation used by the 2-respecting search rests on two
+structural facts (derived in the module docs of
+:mod:`repro.monge.partial` and :mod:`repro.tworespect.path_pairs`):
+
+* *cross* blocks (disjoint subtrees, both paths ordered shallow->deep)
+  are Monge (submodular), and
+* *nested* blocks (one path inside the other's subtrees) are
+  inverse-Monge (supermodular).
+
+These checkers verify the inequalities exhaustively on explicit
+matrices; the property-based tests run them over random graphs/trees to
+pin the orientation.  :class:`repro.errors.MongeViolation` is raised on
+failure with the offending quadruple.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import MongeViolation
+
+__all__ = ["check_monge", "check_inverse_monge", "materialize"]
+
+
+def materialize(
+    rows: Sequence[int], cols: Sequence[int], lookup: Callable[[int, int], float]
+) -> np.ndarray:
+    """Evaluate the full matrix (tests only — O(rows x cols) lookups)."""
+    out = np.empty((len(rows), len(cols)))
+    for i, r in enumerate(rows):
+        for j, c in enumerate(cols):
+            out[i, j] = lookup(r, c)
+    return out
+
+
+def check_monge(matrix: np.ndarray, *, atol: float = 1e-9) -> None:
+    """Raise unless M[i][j] + M[i+1][j+1] <= M[i][j+1] + M[i+1][j] for all
+    adjacent quadruples (adjacent quadruples imply the general case)."""
+    m = np.asarray(matrix, dtype=np.float64)
+    if m.shape[0] < 2 or m.shape[1] < 2:
+        return
+    lhs = m[:-1, :-1] + m[1:, 1:]
+    rhs = m[:-1, 1:] + m[1:, :-1]
+    bad = lhs > rhs + atol
+    if bad.any():
+        i, j = map(int, np.argwhere(bad)[0])
+        raise MongeViolation(
+            f"Monge violated at ({i},{j}): {lhs[i, j]} > {rhs[i, j]}"
+        )
+
+
+def check_inverse_monge(matrix: np.ndarray, *, atol: float = 1e-9) -> None:
+    """Raise unless the matrix is supermodular (Monge after reversing the
+    column order)."""
+    check_monge(np.asarray(matrix)[:, ::-1], atol=atol)

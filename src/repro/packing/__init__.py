@@ -1,0 +1,6 @@
+"""Tree packing (Section 4.2, Theorem 4.18)."""
+
+from repro.packing.greedy import GreedyPacking, greedy_tree_packing
+from repro.packing.karger import PackingResult, pack_trees
+
+__all__ = ["GreedyPacking", "greedy_tree_packing", "PackingResult", "pack_trees"]

@@ -1,0 +1,103 @@
+"""Theorem 4.18: the full tree-packing step — skeleton, then greedy
+packing — producing O(log n) candidate trees of which w.h.p. at least
+one 2-constrains the minimum cut.
+
+The skeleton phase (Lemma 4.23) needs a constant-factor *underestimate*
+of the min cut, supplied by the Section 3 approximation; the packing
+phase is :func:`repro.packing.greedy.greedy_tree_packing` on the
+skeleton.  Candidate trees are translated back to the original graph as
+parent arrays (topology-only objects — the 2-respecting search weighs
+cuts against the original graph, not the skeleton).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import NotConnectedError
+from repro.graphs.graph import Graph
+from repro.packing.greedy import GreedyPacking, greedy_tree_packing
+from repro.pram.ledger import Ledger, NULL_LEDGER
+from repro.sparsify.skeleton import SkeletonParams, SkeletonResult, build_skeleton
+
+__all__ = ["PackingResult", "pack_trees"]
+
+
+@dataclass(frozen=True)
+class PackingResult:
+    """Candidate spanning trees for the cut-finding step.
+
+    ``tree_parents`` are parent arrays over the *original* graph's
+    vertices, most-packed first.
+    """
+
+    skeleton: SkeletonResult
+    packing: GreedyPacking
+    tree_parents: List[np.ndarray]
+
+    @property
+    def num_trees(self) -> int:
+        return len(self.tree_parents)
+
+
+def pack_trees(
+    graph: Graph,
+    lambda_underestimate: float,
+    *,
+    skeleton_params: SkeletonParams = SkeletonParams(),
+    packing_iterations: Optional[int] = None,
+    max_trees: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    ledger: Ledger = NULL_LEDGER,
+) -> PackingResult:
+    """Theorem 4.18's packing of O(log n) candidate trees.
+
+    Parameters
+    ----------
+    lambda_underestimate:
+        Constant-factor underestimate of the min cut (Section 4.2 sets
+        this to half the Theorem 3.1 approximation).
+    max_trees:
+        Cap on returned candidates, highest packing multiplicity first;
+        None returns every distinct packed tree (the ``thorough`` mode of
+        the driver — see DESIGN.md section 5).
+    rng:
+        Randomness for skeleton sampling (packing is deterministic).
+
+    Notes
+    -----
+    If the sampled skeleton comes out disconnected (possible when the
+    underestimate is too aggressive for the w.h.p. regime), the sampling
+    probability is doubled and the skeleton rebuilt; at p = 1 the
+    skeleton equals the weight-capped input, which is connected whenever
+    the input is.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    if graph.n < 2 or not graph.is_connected():
+        raise NotConnectedError("packing requires a connected graph on >= 2 vertices")
+
+    lam = max(float(lambda_underestimate), 1e-12)
+    with ledger.phase("skeleton"):
+        while True:
+            skel = build_skeleton(graph, lam, params=skeleton_params, rng=rng, ledger=ledger)
+            if skel.skeleton.n == graph.n and skel.skeleton.is_connected():
+                break
+            if skel.p >= 1.0:  # pragma: no cover - input itself disconnected
+                raise NotConnectedError("skeleton disconnected at p = 1")
+            lam /= 2.0  # double the sampling probability and retry
+
+    with ledger.phase("greedy-packing"):
+        packing = greedy_tree_packing(
+            skel.skeleton, iterations=packing_iterations, ledger=ledger
+        )
+
+    if max_trees is None:
+        chosen = list(range(packing.num_distinct))
+        chosen.sort(key=lambda i: -packing.multiplicity[i])
+    else:
+        chosen = packing.sample_trees(max_trees, rng)
+    parents = [packing.tree_parent(i) for i in chosen]
+    return PackingResult(skeleton=skel, packing=packing, tree_parents=parents)

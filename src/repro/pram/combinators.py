@@ -1,0 +1,144 @@
+"""Parallel combinators over the work-depth ledger.
+
+These are the verbs the algorithm layers speak: ``pmap`` (parallel for),
+``preduce`` (balanced tree reduction), ``pscan`` (Blelloch prefix sums),
+``pfilter`` (scan + compress).  Each combinator both *computes* its result
+(sequentially, on this machine) and *charges* the work/depth a CRCW PRAM
+would spend on it.
+
+Coarse-grained collections (trees in a packing, paths in a decomposition,
+layers of a hierarchy) use :func:`pmap`, which forks a real ledger branch
+per item so that heterogeneous branch costs are maxed correctly.  Fine
+grained bulk operations over numpy arrays use the ``*_charge`` helpers
+with their textbook PRAM cost (documented per call site).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+from repro.pram.ledger import Ledger, NULL_LEDGER
+
+__all__ = [
+    "pmap",
+    "preduce",
+    "pscan_exclusive",
+    "pfilter",
+    "bulk_charge",
+    "log2ceil",
+]
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+
+def log2ceil(n: float) -> int:
+    """``ceil(log2(n))`` with the conventions ``log2ceil(x<=1) == 0``
+    used throughout the cost charges."""
+    if n <= 1:
+        return 0
+    return int(math.ceil(math.log2(n)))
+
+
+def pmap(
+    fn: Callable[[T], U],
+    items: Sequence[T],
+    ledger: Ledger = NULL_LEDGER,
+    spawn_depth: float = 0.0,
+) -> List[U]:
+    """Apply ``fn`` to every item in a logically-parallel loop.
+
+    Each item runs in its own ledger branch: work sums over items, depth
+    is the max over items, plus ``spawn_depth`` for the fork/join overhead
+    (O(1) in a work-depth analysis; callers that model spawn trees pass
+    ``log2ceil(len(items))``).
+    """
+    out: List[U] = []
+    if not items:
+        return out
+    with ledger.parallel() as par:
+        for item in items:
+            with par.branch():
+                out.append(fn(item))
+    if spawn_depth:
+        ledger.charge(work=0.0, depth=spawn_depth)
+    return out
+
+
+def preduce(
+    op: Callable[[U, U], U],
+    values: Sequence[U],
+    unit: U,
+    ledger: Ledger = NULL_LEDGER,
+) -> U:
+    """Balanced-tree reduction.
+
+    Charges the PRAM cost of a tree reduce: work ``n - 1`` combine
+    operations, depth ``ceil(log2 n)``.  The combines are *actually*
+    performed in tree order, so non-associative floating point effects
+    match what a parallel machine would produce.
+    """
+    vals = list(values)
+    n = len(vals)
+    if n == 0:
+        return unit
+    rounds = 0
+    while len(vals) > 1:
+        nxt: List[U] = []
+        for i in range(0, len(vals) - 1, 2):
+            nxt.append(op(vals[i], vals[i + 1]))
+        if len(vals) % 2:
+            nxt.append(vals[-1])
+        vals = nxt
+        rounds += 1
+    ledger.charge(work=max(n - 1, 0), depth=rounds)
+    return vals[0]
+
+
+def pscan_exclusive(
+    values: np.ndarray,
+    ledger: Ledger = NULL_LEDGER,
+) -> np.ndarray:
+    """Exclusive prefix sum (Blelloch up-sweep/down-sweep).
+
+    Computed with numpy for speed; charged at the PRAM cost of the
+    two-sweep algorithm: work ``2n``, depth ``2 ceil(log2 n)``.
+    """
+    values = np.asarray(values)
+    n = int(values.shape[0])
+    out = np.zeros_like(values)
+    if n:
+        np.cumsum(values[:-1], out=out[1:])
+    ledger.charge(work=2 * n, depth=2 * log2ceil(n))
+    return out
+
+
+def pfilter(
+    mask: np.ndarray,
+    ledger: Ledger = NULL_LEDGER,
+) -> np.ndarray:
+    """Return the indices where ``mask`` is true (parallel compaction).
+
+    PRAM cost: one scan over ``n`` flags plus a scatter — work ``O(n)``
+    (charged ``3n``), depth ``O(log n)``.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    n = int(mask.shape[0])
+    idx = np.flatnonzero(mask)
+    ledger.charge(work=3 * n, depth=2 * log2ceil(n) + 1)
+    return idx
+
+
+def bulk_charge(
+    ledger: Ledger,
+    n: int,
+    per_item_work: float = 1.0,
+    depth: Optional[float] = None,
+) -> None:
+    """Charge an n-wide data-parallel step: work ``n * per_item_work``,
+    depth ``depth`` (default: the per-item work, i.e. every lane runs the
+    same straight-line code)."""
+    ledger.charge(work=n * per_item_work, depth=per_item_work if depth is None else depth)

@@ -1,0 +1,42 @@
+"""Optional *real* thread-pool execution of coarse-grained parallel loops.
+
+The accounting in :mod:`repro.pram.ledger` is the primary experimental
+instrument (see DESIGN.md); this module exists so examples can also run
+independent coarse-grained units (trees in a packing, layers of a
+hierarchy) on a real thread pool.  Because CPython holds the GIL during
+pure-Python execution, wall-clock speedup from this executor is limited
+to whatever time the branches spend in numpy kernels that release the
+GIL — which is precisely why the repro's measured quantities are work
+and depth rather than wall-clock (repro band 2/5).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+__all__ = ["parallel_map"]
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+
+def parallel_map(
+    fn: Callable[[T], U],
+    items: Sequence[T],
+    max_workers: Optional[int] = None,
+) -> List[U]:
+    """Map ``fn`` over ``items`` on a thread pool, preserving order.
+
+    ``max_workers`` defaults to ``os.cpu_count()``.  Falls back to a
+    sequential loop for empty or single-item inputs.
+    """
+    items = list(items)
+    if len(items) <= 1:
+        return [fn(x) for x in items]
+    workers = max_workers or os.cpu_count() or 1
+    if workers <= 1:
+        return [fn(x) for x in items]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))

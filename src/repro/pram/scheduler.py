@@ -1,0 +1,75 @@
+"""Brent's theorem: turning (work, depth) counters into p-processor time.
+
+An algorithm with work ``W`` and depth ``D`` runs in time ``O(W/p + D)``
+on ``p`` processors [Bre74].  This module evaluates that bound, derives
+speedup/efficiency curves, and computes the *parallelism* ``W/D`` — the
+processor count beyond which adding hardware stops helping.
+
+These projections are what the benchmark harness reports in place of
+wall-clock measurements (see DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.pram.ledger import Ledger
+
+__all__ = ["BrentProjection", "brent_time", "parallelism", "speedup_curve"]
+
+
+def brent_time(work: float, depth: float, processors: int) -> float:
+    """Predicted running time ``W/p + D`` on ``processors`` processors."""
+    if processors < 1:
+        raise ValueError("processors must be >= 1")
+    return work / processors + depth
+
+
+def parallelism(work: float, depth: float) -> float:
+    """``W / D`` — the asymptotic limit on useful processors."""
+    if depth <= 0:
+        return float("inf")
+    return work / depth
+
+
+@dataclass(frozen=True)
+class BrentProjection:
+    """Speedup/efficiency of one algorithm at one processor count."""
+
+    processors: int
+    time: float
+    speedup: float
+    efficiency: float
+
+
+def speedup_curve(
+    work: float,
+    depth: float,
+    processor_counts: Sequence[int],
+    baseline_sequential: float | None = None,
+) -> List[BrentProjection]:
+    """Project speedups over a sweep of processor counts.
+
+    ``baseline_sequential`` is the time a *sequential* algorithm takes
+    (defaults to ``work``, i.e. self-relative speedup).  Passing the best
+    sequential algorithm's work yields absolute speedup, which is what
+    work-optimality is about: a work-optimal parallel algorithm has
+    speedup ``~p`` against the best sequential one until ``p ~ W/D``.
+    """
+    t1 = float(work) if baseline_sequential is None else float(baseline_sequential)
+    out: List[BrentProjection] = []
+    for p in processor_counts:
+        t = brent_time(work, depth, p)
+        s = t1 / t if t > 0 else float("inf")
+        out.append(BrentProjection(processors=p, time=t, speedup=s, efficiency=s / p))
+    return out
+
+
+def ledger_curve(
+    ledger: Ledger,
+    processor_counts: Sequence[int],
+    baseline_sequential: float | None = None,
+) -> List[BrentProjection]:
+    """:func:`speedup_curve` directly from a ledger's counters."""
+    return speedup_curve(ledger.work, ledger.depth, processor_counts, baseline_sequential)

@@ -1,0 +1,194 @@
+"""Series-parallel cost traces: tighter-than-Brent schedule analysis.
+
+The plain :class:`~repro.pram.ledger.Ledger` reduces a run to two
+numbers (W, D), for which Brent gives ``T_p <= W/p + D``.  A
+:class:`TraceLedger` additionally records the *series-parallel shape* of
+the computation — which work happened inside which parallel region —
+enabling per-p makespan **bounds** computed recursively over the shape:
+
+* a sequential composition sums its children's bounds;
+* a parallel composition of children with profiles ``(W_i, D_i)``
+  satisfies  ``max(sum W_i / p, max_i lower_i(p))  <=  T_p  <=
+  sum W_i / p + max_i (upper_i(p) - W_i/p)`` — the classical malleable-
+  task sandwich, applied recursively.
+
+The gap between the recursive upper bound and the recursive lower bound
+is usually far smaller than Brent's global slack, because depth that
+lives *inside* a wide parallel region no longer pays the additive D at
+the top level.  Experiment E7 uses these bounds to sandwich the
+projected speedups.
+
+Traces aggregate aggressively (consecutive sequential charges merge into
+one segment), so memory stays proportional to the number of *parallel
+regions*, not the number of charges.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.pram.ledger import Ledger
+
+__all__ = ["TraceLedger", "SPNode", "schedule_bounds"]
+
+
+@dataclass
+class SPNode:
+    """One node of the series-parallel cost tree.
+
+    ``kind`` is "seq" (children run one after another; a bare work
+    segment is a seq with no children and nonzero ``work``/``depth``)
+    or "par" (children run concurrently).  ``work``/``depth`` on a seq
+    node hold the merged sequential charges recorded directly at that
+    level (between / around child regions).
+    """
+
+    kind: str  # "seq" | "par"
+    work: float = 0.0
+    depth: float = 0.0
+    children: List["SPNode"] = field(default_factory=list)
+    #: when set, the node's depth was pinned by Ledger.batch(depth)
+    forced_depth: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def total_work(self) -> float:
+        return self.work + sum(c.total_work() for c in self.children)
+
+    def total_depth(self) -> float:
+        if self.forced_depth is not None:
+            return self.forced_depth
+        if self.kind == "par":
+            kids = max((c.total_depth() for c in self.children), default=0.0)
+            return self.depth + kids
+        return self.depth + sum(c.total_depth() for c in self.children)
+
+    def count_nodes(self) -> int:
+        return 1 + sum(c.count_nodes() for c in self.children)
+
+
+def schedule_bounds(node: SPNode, processors: int) -> Tuple[float, float]:
+    """(lower, upper) bounds on the p-processor makespan of the trace.
+
+    Both bounds are recursive:
+
+    * seq: bounds add over children plus the node's own (sequential)
+      ``depth`` -- its own work runs on one processor by definition of a
+      sequential segment, so it contributes ``depth`` exactly (the
+      convention is that a segment's surplus work/depth was charged as
+      ``charge(w, d)`` meaning w ops across d dependent steps, i.e. the
+      segment itself is internally parallel: it contributes
+      ``max(w/p, d)`` lower and ``w/p + d`` upper);
+    * par: the malleable-task sandwich over the children.
+    """
+    if processors < 1:
+        raise ValueError("processors must be >= 1")
+    p = float(processors)
+
+    def go(n: SPNode) -> Tuple[float, float]:
+        own_lo = max(n.work / p, n.depth)
+        own_hi = n.work / p + n.depth
+        if not n.children:
+            lo, hi = own_lo, own_hi
+        elif n.kind == "seq":
+            lo, hi = own_lo, own_hi
+            for c in n.children:
+                clo, chi = go(c)
+                lo += clo
+                hi += chi
+        else:  # par
+            child_bounds = [go(c) for c in n.children]
+            child_work = [c.total_work() for c in n.children]
+            area = sum(child_work) / p
+            lo = own_lo + max(area, max((b[0] for b in child_bounds), default=0.0))
+            hi = own_hi + area + max(
+                (b[1] - w / p for (b, w) in zip(child_bounds, child_work)),
+                default=0.0,
+            )
+        if n.forced_depth is not None:
+            # a batch region: depth pinned, work unchanged
+            w = n.total_work()
+            lo = max(w / p, n.forced_depth)
+            hi = w / p + n.forced_depth
+        return lo, hi
+
+    return go(node)
+
+
+class TraceLedger(Ledger):
+    """A Ledger that additionally records the series-parallel shape.
+
+    Drop-in replacement: every algorithm accepting ``ledger=`` works
+    unchanged; afterwards ``trace`` holds the SP tree and
+    :func:`schedule_bounds` evaluates it.
+    """
+
+    __slots__ = ("trace", "_node_stack")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.trace = SPNode(kind="seq")
+        self._node_stack: List[SPNode] = [self.trace]
+
+    # ------------------------------------------------------------------
+    def charge(self, work: float, depth: float = 1.0) -> None:
+        super().charge(work, depth)
+        top = self._node_stack[-1]
+        # merge into the current node's own segment
+        top.work += work
+        top.depth += depth
+
+    @contextmanager
+    def parallel(self):  # type: ignore[override]
+        par_node = SPNode(kind="par")
+        self._node_stack[-1].children.append(par_node)
+        self._node_stack.append(par_node)
+        try:
+            with super().parallel() as frame:
+                yield _TracingFrame(frame, self, par_node)
+        finally:
+            self._node_stack.pop()
+
+    @contextmanager
+    def batch(self, depth: float):  # type: ignore[override]
+        node = SPNode(kind="seq", forced_depth=depth)
+        self._node_stack[-1].children.append(node)
+        self._node_stack.append(node)
+        try:
+            with super().batch(depth):
+                yield
+        finally:
+            self._node_stack.pop()
+
+    def reset(self) -> None:
+        super().reset()
+        self.trace = SPNode(kind="seq")
+        self._node_stack = [self.trace]
+
+    # ------------------------------------------------------------------
+    def bounds(self, processors: int) -> Tuple[float, float]:
+        """Schedule bounds of the recorded trace on p processors."""
+        return schedule_bounds(self.trace, processors)
+
+
+class _TracingFrame:
+    """Wraps a ParallelFrame so branches open child seq nodes."""
+
+    __slots__ = ("_frame", "_ledger", "_par_node")
+
+    def __init__(self, frame, ledger: TraceLedger, par_node: SPNode) -> None:
+        self._frame = frame
+        self._ledger = ledger
+        self._par_node = par_node
+
+    @contextmanager
+    def branch(self) -> Iterator[None]:
+        child = SPNode(kind="seq")
+        self._par_node.children.append(child)
+        self._ledger._node_stack.append(child)
+        try:
+            with self._frame.branch():
+                yield
+        finally:
+            self._ledger._node_stack.pop()

@@ -1,0 +1,29 @@
+"""Parallel algorithm primitives (charged against the work-depth ledger)."""
+
+from repro.primitives.connectivity import components, spanning_forest, spanning_forest_graph
+from repro.primitives.dsu import DisjointSets
+from repro.primitives.euler import RootedTree, postorder, root_tree, tree_depths
+from repro.primitives.lca import LCA
+from repro.primitives.treesums import all_subtree_costs
+from repro.primitives.mst import boruvka_forest_from_ranks, minimum_spanning_forest
+from repro.primitives.random_bits import binomial_layer_counts, capped_binomial
+from repro.primitives.sort import parallel_argsort, parallel_sort_ranks
+
+__all__ = [
+    "DisjointSets",
+    "spanning_forest",
+    "spanning_forest_graph",
+    "components",
+    "minimum_spanning_forest",
+    "boruvka_forest_from_ranks",
+    "RootedTree",
+    "root_tree",
+    "postorder",
+    "tree_depths",
+    "LCA",
+    "all_subtree_costs",
+    "capped_binomial",
+    "binomial_layer_counts",
+    "parallel_argsort",
+    "parallel_sort_ranks",
+]

@@ -1,0 +1,53 @@
+"""Array-based disjoint-set union.
+
+Used *inside* one round of the Borůvka-style hooking loops to merge the
+per-component winners; the per-round merge work is charged analytically
+by the caller (the PRAM algorithm would use pointer jumping here, with
+the same O(#roots) work per round and O(log n) depth — see
+:mod:`repro.primitives.connectivity`)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DisjointSets"]
+
+
+class DisjointSets:
+    """Union-find with path halving and union by size."""
+
+    __slots__ = ("parent", "size")
+
+    def __init__(self, n: int) -> None:
+        self.parent = np.arange(n, dtype=np.int64)
+        self.size = np.ones(n, dtype=np.int64)
+
+    def find(self, x: int) -> int:
+        p = self.parent
+        while p[x] != x:
+            p[x] = p[p[x]]
+            x = p[x]
+        return int(x)
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of a and b; True if they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        return True
+
+    def labels(self) -> np.ndarray:
+        """Root label of every element (fully compressed)."""
+        p = self.parent
+        # pointer-jump until stable: O(log n) vectorised rounds
+        while True:
+            pp = p[p]
+            if np.array_equal(pp, p):
+                break
+            p = pp
+        self.parent = p
+        return p.copy()

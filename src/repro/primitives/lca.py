@@ -1,0 +1,66 @@
+"""Batched lowest common ancestors via binary lifting.
+
+Substrate for :mod:`repro.primitives.treesums` (Karger-style subtree
+aggregation: w(T_e) for *every* tree edge in one pass).  Preprocessing
+is O(n log n) work / O(log n) depth (each lifting level is one
+vectorised gather); a batch of q queries costs O(q log n) work and
+O(log n) depth (all queries proceed level-synchronously in parallel).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.pram.combinators import log2ceil
+from repro.pram.ledger import Ledger, NULL_LEDGER
+from repro.primitives.euler import RootedTree
+
+__all__ = ["LCA"]
+
+
+class LCA:
+    """Binary-lifting LCA over a rooted tree."""
+
+    __slots__ = ("tree", "up", "levels")
+
+    def __init__(self, tree: RootedTree, ledger: Ledger = NULL_LEDGER) -> None:
+        self.tree = tree
+        n = tree.n
+        self.levels = max(log2ceil(max(n, 2)) + 1, 1)
+        up = np.empty((self.levels, n), dtype=np.int64)
+        parent = tree.parent.copy()
+        parent_safe = np.where(parent < 0, np.arange(n), parent)
+        up[0] = parent_safe
+        for k in range(1, self.levels):
+            up[k] = up[k - 1][up[k - 1]]
+        self.up = up
+        ledger.charge(work=float(n * self.levels), depth=float(self.levels))
+
+    def query(self, a: np.ndarray, b: np.ndarray, ledger: Ledger = NULL_LEDGER) -> np.ndarray:
+        """LCAs of the vertex pairs ``(a[i], b[i])`` (vectorised)."""
+        tree = self.tree
+        a = np.asarray(a, dtype=np.int64).copy()
+        b = np.asarray(b, dtype=np.int64).copy()
+        if a.shape != b.shape:
+            raise GraphFormatError("LCA batch shapes differ")
+        depth = tree.depth
+        # lift the deeper endpoint up to the same depth
+        for k in range(self.levels - 1, -1, -1):
+            step = 1 << k
+            lift_a = (depth[a] - depth[b]) >= step
+            a[lift_a] = self.up[k][a[lift_a]]
+            lift_b = (depth[b] - depth[a]) >= step
+            b[lift_b] = self.up[k][b[lift_b]]
+        # binary-lift both while they differ
+        for k in range(self.levels - 1, -1, -1):
+            differ = self.up[k][a] != self.up[k][b]
+            move = differ & (a != b)
+            a[move] = self.up[k][a[move]]
+            b[move] = self.up[k][b[move]]
+        out = np.where(a == b, a, self.up[0][a])
+        ledger.charge(
+            work=float(max(a.shape[0], 1) * self.levels),
+            depth=float(self.levels),
+        )
+        return out

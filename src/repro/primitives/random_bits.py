@@ -1,0 +1,59 @@
+"""Randomness primitives: capped binomial sampling (KS88 substitute).
+
+Skeleton construction (Section 4.2.1) draws, for every weighted edge, a
+binomial ``B(w(e), p)`` — but by Observation 4.22 the drawn value never
+needs to exceed the skeleton's max possible min-cut ``cap = O(log n)``,
+so inverse-transform sampling can stop after ``cap`` steps, making the
+per-edge work O(log n) instead of O(w(e)).
+
+``min(B(N, p), cap)`` is exactly the distribution the truncated
+inverse-transform sampler produces, so we compute it that way
+(vectorised) and charge O(cap) work per edge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pram.ledger import Ledger, NULL_LEDGER
+
+__all__ = ["capped_binomial", "binomial_layer_counts"]
+
+
+def capped_binomial(
+    trials: np.ndarray,
+    p: float,
+    cap: int,
+    rng: np.random.Generator,
+    ledger: Ledger = NULL_LEDGER,
+) -> np.ndarray:
+    """Sample ``min(Binomial(trials_i, p), cap)`` for every i.
+
+    Work charge: O(cap) per edge, O(log cap) depth overall (every edge
+    samples independently in parallel; the inverse transform walks at
+    most ``cap`` CDF steps but these are charged as sequential work of a
+    single processor lane, which Brent amortises).
+    """
+    trials = np.asarray(trials, dtype=np.int64)
+    if cap < 0:
+        raise ValueError("cap must be non-negative")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("probability out of range")
+    x = rng.binomial(trials, p)
+    out = np.minimum(x, cap).astype(np.int64)
+    ledger.charge(work=float(trials.shape[0] * max(cap, 1)), depth=float(max(cap, 1)))
+    return out
+
+
+def binomial_layer_counts(
+    counts: np.ndarray,
+    rng: np.random.Generator,
+    ledger: Ledger = NULL_LEDGER,
+) -> np.ndarray:
+    """One hierarchy halving step: ``Binomial(counts_i, 1/2)`` per edge —
+    the per-copy coin flips of Definition 3.3 in aggregate.  Charged O(1)
+    per live copy in expectation (each copy flips one coin)."""
+    counts = np.asarray(counts, dtype=np.int64)
+    out = rng.binomial(counts, 0.5).astype(np.int64)
+    ledger.charge(work=float(counts.sum()), depth=1.0)
+    return out

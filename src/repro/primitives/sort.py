@@ -1,0 +1,37 @@
+"""Sorting primitives with PRAM radix-sort charging.
+
+The paper repeatedly invokes "parallel radix sort [Ble96]: O(m) work,
+O(log n) depth" (Lemmas 4.24/4.25 preprocessing, Lemma A.1 point
+mapping).  We sort with numpy (stable mergesort) and charge that model
+cost — a *model* charge per DESIGN.md's charging disciplines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pram.combinators import log2ceil
+from repro.pram.ledger import Ledger, NULL_LEDGER
+
+__all__ = ["parallel_argsort", "parallel_sort_ranks"]
+
+
+def parallel_argsort(keys: np.ndarray, ledger: Ledger = NULL_LEDGER) -> np.ndarray:
+    """Stable argsort of ``keys``; charged O(n) work, O(log n) depth."""
+    keys = np.asarray(keys)
+    n = int(keys.shape[0])
+    order = np.argsort(keys, kind="stable")
+    ledger.charge(work=float(max(n, 1)), depth=float(log2ceil(max(n, 2))))
+    return order
+
+
+def parallel_sort_ranks(keys: np.ndarray, ledger: Ledger = NULL_LEDGER) -> np.ndarray:
+    """Dense rank (0..n-1) of every element under stable ordering.
+
+    All ranks are distinct; equal keys rank by position, which is how
+    every caller breaks ties deterministically.
+    """
+    order = parallel_argsort(keys, ledger=ledger)
+    rank = np.empty_like(order)
+    rank[order] = np.arange(order.shape[0])
+    return rank

@@ -1,0 +1,64 @@
+"""Batch subtree aggregation: w(T_e) for every tree edge in one pass.
+
+Karger's classic trick for evaluating all 1-respecting cuts at once:
+for a graph edge (x, y, w), charge +w at x, +w at y and -2w at
+lca(x, y); then the subtree sum at u equals the total weight crossing
+u's subtree boundary,
+
+    w(T_u) = sum_{z in T_u} charge(z).
+
+Because postorder makes every subtree a contiguous range, the subtree
+sums are a prefix-sum difference over the postorder-ordered charges —
+O(m log n) work for the LCAs (batched binary lifting) plus O(n) for the
+scan, O(log n) depth.
+
+This both (a) accelerates the 1-respecting stage and the interest
+predicates (the oracle's per-edge ``cost`` cache is pre-filled in one
+shot) and (b) gives an oracle-independent cross-check of Lemma A.1's
+``cost`` query, which the tests exploit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.pram.combinators import log2ceil, pscan_exclusive
+from repro.pram.ledger import Ledger, NULL_LEDGER
+from repro.primitives.euler import RootedTree
+from repro.primitives.lca import LCA
+
+__all__ = ["all_subtree_costs"]
+
+
+def all_subtree_costs(
+    graph: Graph,
+    tree: RootedTree,
+    ledger: Ledger = NULL_LEDGER,
+    lca: LCA | None = None,
+) -> np.ndarray:
+    """w(T_u) for every vertex u (0 for the root), length ``tree.n``.
+
+    ``tree`` may be a binarized supertree of the graph's vertex set
+    (virtual vertices simply carry no charge of their own).
+    """
+    n = tree.n
+    charges = np.zeros(n, dtype=np.float64)
+    if graph.m:
+        if lca is None:
+            lca = LCA(tree, ledger=ledger)
+        anc = lca.query(graph.u, graph.v, ledger=ledger)
+        np.add.at(charges, graph.u, graph.w)
+        np.add.at(charges, graph.v, graph.w)
+        np.add.at(charges, anc, -2.0 * graph.w)
+    # subtree sums via the postorder prefix trick
+    by_post = charges[tree.order]
+    prefix = pscan_exclusive(by_post, ledger=ledger)
+    total = prefix[-1] + by_post[-1] if n else 0.0
+    # inclusive prefix up to post(u) minus prefix before start(u)
+    post = tree.post
+    start = post - (tree.size - 1)
+    incl = np.concatenate([prefix[1:], [total]]) if n else prefix
+    out = incl[post] - prefix[start]
+    ledger.charge(work=float(n + graph.m), depth=float(log2ceil(max(n, 2))))
+    return out

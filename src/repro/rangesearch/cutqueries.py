@@ -1,0 +1,256 @@
+"""The cut-query oracle of Appendix A (Lemmas A.1 and A.2).
+
+Given a graph G and a rooted spanning tree T (possibly binarized — see
+:mod:`repro.trees.binary`), each graph edge (x, y, w) is mapped to the
+two plane points (post(x), post(y)) and (post(y), post(x)), both with
+weight w, over the postorder numbering of T.  Because every subtree is a
+contiguous postorder interval, subtree-boundary and subtree-to-subtree
+weights become O(1) rectangle queries on a :class:`RangeTree2D`:
+
+* ``cost(u)``            = w(T_e),            e = (u, p(u)),
+* ``cross_cost(u, v)``   = w(T_e, T_f)        for disjoint subtrees,
+* ``down_cost(u, v)``    = w(T_e, V \\ T_f)    for u inside T_v,
+
+each counted exactly once thanks to the double (ordered-pair) insertion.
+On top of these, ``cut(e, f)`` evaluates the three-case formula of
+Lemma A.2, and the *interest* predicates of Definition 4.7 are decided
+per Claim 4.8 (the ancestor case of cross-interest uses
+``w(T_e, T_f \\ T_e) = cost(e) - down_cost(e, f)``).
+
+Work: O(log^2 n) per query with branching 2 — or O(n^{2eps}/eps^2) with
+branching n^eps (Section 4.3) — and O(log n) depth, all charged
+structurally by the underlying range trees.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.pram.combinators import log2ceil
+from repro.pram.ledger import Ledger, NULL_LEDGER
+from repro.primitives.euler import RootedTree
+from repro.rangesearch.tree2d import RangeTree2D
+
+__all__ = ["CutOracle", "NaiveCutOracle"]
+
+
+class CutOracle:
+    """Lemma A.1/A.2 data structure over (graph, rooted tree).
+
+    Parameters
+    ----------
+    graph:
+        The input graph; endpoints must be *real* vertices of the tree.
+    tree:
+        Rooted (and typically binarized) spanning tree; ``tree.n`` may
+        exceed ``graph.n`` when virtual vertices are present.
+    branching:
+        Degree of the range trees (2 = the Lemma 4.9 general-graph
+        structure; ``~n^eps`` = the Lemma 4.25 dense-graph structure).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        tree: RootedTree,
+        branching: int = 2,
+        ledger: Ledger = NULL_LEDGER,
+    ) -> None:
+        if graph.n > tree.n:
+            raise ValueError("tree must span at least the graph's vertices")
+        self.graph = graph
+        self.tree = tree
+        post = tree.post
+        px = post[graph.u]
+        py = post[graph.v]
+        xs = np.concatenate([px, py])
+        ys = np.concatenate([py, px])
+        ws = np.concatenate([graph.w, graph.w])
+        self.points = RangeTree2D(xs, ys, ws, branching=branching, ledger=ledger)
+        self._nb = tree.n
+        self._cost_cache = np.full(tree.n, np.nan)
+        # Lemma A.1 preprocessing beyond the 2-D build: postorder mapping
+        ledger.charge(work=float(2 * graph.m + tree.n), depth=float(log2ceil(max(tree.n, 2))))
+
+    # ------------------------------------------------------------------
+    # the three primitive queries of Lemma A.1
+    # ------------------------------------------------------------------
+    def prefill_costs(self, ledger: Ledger = NULL_LEDGER) -> None:
+        """Populate the w(T_e) cache for every tree edge at once via the
+        Karger subtree-aggregation trick (O(m log n) work, O(log n)
+        depth) — cheaper than n separate rectangle queries; used by the
+        2-respecting driver before the interest searches."""
+        from repro.primitives.treesums import all_subtree_costs
+
+        costs = all_subtree_costs(self.graph, self.tree, ledger=ledger)
+        self._cost_cache[:] = costs
+        self._cost_cache[self.tree.root] = np.nan  # the root has no edge
+
+    def cost(self, u: int, ledger: Ledger = NULL_LEDGER) -> float:
+        """w(T_e) for e = (u, p(u)): total weight leaving u's subtree."""
+        c = self._cost_cache[u]
+        if not np.isnan(c):
+            ledger.charge(work=1.0, depth=1.0)
+            return float(c)
+        t = self.tree
+        s, p = int(t.start(u)), int(t.post[u])
+        val = self.points.query(s, p, 0, s - 1, ledger=ledger) + self.points.query(
+            s, p, p + 1, self._nb - 1, ledger=ledger
+        )
+        self._cost_cache[u] = val
+        return float(val)
+
+    def cross_cost(self, u: int, v: int, ledger: Ledger = NULL_LEDGER) -> float:
+        """w(T_e, T_f) for vertex-disjoint subtrees T_u, T_v."""
+        t = self.tree
+        return self.points.query(
+            int(t.start(v)), int(t.post[v]), int(t.start(u)), int(t.post[u]), ledger=ledger
+        )
+
+    def down_cost(self, u: int, v: int, ledger: Ledger = NULL_LEDGER) -> float:
+        """w(T_u, V \\ T_v) for u inside T_v (u a descendant of v)."""
+        t = self.tree
+        su, pu = int(t.start(u)), int(t.post[u])
+        sv, pv = int(t.start(v)), int(t.post[v])
+        return self.points.query(su, pu, 0, sv - 1, ledger=ledger) + self.points.query(
+            su, pu, pv + 1, self._nb - 1, ledger=ledger
+        )
+
+    # ------------------------------------------------------------------
+    # Lemma A.2: the 2-respecting cut value
+    # ------------------------------------------------------------------
+    def cut(self, u: int, v: int, ledger: Ledger = NULL_LEDGER) -> float:
+        """Value of the cut determined by tree edges e = (u, p(u)) and
+        f = (v, p(v)); ``u == v`` gives the 1-respecting cut w(T_e)."""
+        if u == v:
+            return self.cost(u, ledger=ledger)
+        t = self.tree
+        if t.is_ancestor(v, u):  # e inside T_f
+            return (
+                self.cost(u, ledger=ledger)
+                + self.cost(v, ledger=ledger)
+                - 2.0 * self.down_cost(u, v, ledger=ledger)
+            )
+        if t.is_ancestor(u, v):  # f inside T_e
+            return (
+                self.cost(u, ledger=ledger)
+                + self.cost(v, ledger=ledger)
+                - 2.0 * self.down_cost(v, u, ledger=ledger)
+            )
+        return (
+            self.cost(u, ledger=ledger)
+            + self.cost(v, ledger=ledger)
+            - 2.0 * self.cross_cost(u, v, ledger=ledger)
+        )
+
+    def cut_side_mask(self, u: int, v: Optional[int] = None) -> np.ndarray:
+        """Boolean side mask (over the graph's *real* vertices) of the cut
+        determined by edges e=(u,p(u)) and f=(v,p(v)): a vertex is on the
+        True side iff exactly one of e, f separates it from the root."""
+        t = self.tree
+        posts = t.post[: self.graph.n]
+        in_u = (t.start(u) <= posts) & (posts <= t.post[u])
+        if v is None or v == u:
+            return in_u
+        in_v = (t.start(v) <= posts) & (posts <= t.post[v])
+        return in_u ^ in_v
+
+    # ------------------------------------------------------------------
+    # Definition 4.7: interest predicates
+    # ------------------------------------------------------------------
+    def cross_interested(self, u: int, v: int, ledger: Ledger = NULL_LEDGER) -> bool:
+        """Is e = (u, p(u)) cross-interested in f = (v, p(v))?
+
+        Per Claim 4.8 the qualifying f form a root-descending path which
+        may pass through ancestors of e; for an ancestor f the relevant
+        mass is w(T_e, T_f \\ T_e) = cost(e) - down_cost(e, f).
+        """
+        if u == v:
+            return False
+        t = self.tree
+        if t.is_ancestor(u, v):  # f strictly inside T_e: down-interest domain
+            return False
+        ce = self.cost(u, ledger=ledger)
+        if t.is_ancestor(v, u):  # f an ancestor edge of e
+            mass = ce - self.down_cost(u, v, ledger=ledger)
+        else:
+            mass = self.cross_cost(u, v, ledger=ledger)
+        return ce < 2.0 * mass
+
+    def down_interested(self, u: int, v: int, ledger: Ledger = NULL_LEDGER) -> bool:
+        """Is e = (u, p(u)) down-interested in f = (v, p(v)) in T_e?"""
+        if u == v:
+            return False
+        t = self.tree
+        if not t.is_ancestor(u, v):
+            return False
+        return self.cost(u, ledger=ledger) < 2.0 * self.down_cost(v, u, ledger=ledger)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_nodes_visited(self) -> int:
+        """Structural work of all queries so far (experiment E5)."""
+        return self.points.total_nodes_visited
+
+    @property
+    def query_depth(self) -> int:
+        """Model depth of one cut query: the x-descent of the 2-D tree
+        plus one (parallel) auxiliary 1-D query — O(log n) for b = 2."""
+        return 2 * self.points._x_depth + 2
+
+
+class NaiveCutOracle:
+    """Reference oracle: every query scans all m edges (O(m) work).
+
+    Used by tests to validate :class:`CutOracle` and by the GG18-style
+    baseline's cost model.  API-compatible with :class:`CutOracle` for
+    the query subset it implements.
+    """
+
+    def __init__(self, graph: Graph, tree: RootedTree) -> None:
+        self.graph = graph
+        self.tree = tree
+        t = tree
+        self._pu = t.post[graph.u]
+        self._pv = t.post[graph.v]
+
+    def _in_subtree(self, posts: np.ndarray, x: int) -> np.ndarray:
+        t = self.tree
+        return (t.start(x) <= posts) & (posts <= t.post[x])
+
+    def cost(self, u: int, ledger: Ledger = NULL_LEDGER) -> float:
+        a = self._in_subtree(self._pu, u)
+        b = self._in_subtree(self._pv, u)
+        ledger.charge(work=float(self.graph.m), depth=1.0)
+        return float(self.graph.w[a != b].sum())
+
+    def cross_cost(self, u: int, v: int, ledger: Ledger = NULL_LEDGER) -> float:
+        au, bu = self._in_subtree(self._pu, u), self._in_subtree(self._pv, u)
+        av, bv = self._in_subtree(self._pu, v), self._in_subtree(self._pv, v)
+        ledger.charge(work=float(self.graph.m), depth=1.0)
+        return float(self.graph.w[(au & bv) | (av & bu)].sum())
+
+    def down_cost(self, u: int, v: int, ledger: Ledger = NULL_LEDGER) -> float:
+        au, bu = self._in_subtree(self._pu, u), self._in_subtree(self._pv, u)
+        av, bv = self._in_subtree(self._pu, v), self._in_subtree(self._pv, v)
+        ledger.charge(work=float(self.graph.m), depth=1.0)
+        return float(self.graph.w[(au & ~bv) | (bu & ~av)].sum())
+
+    def cut(self, u: int, v: int, ledger: Ledger = NULL_LEDGER) -> float:
+        side = self.cut_side_mask_tree(u, v)
+        cross = side[self.tree.post[self.graph.u]] != side[self.tree.post[self.graph.v]]
+        ledger.charge(work=float(self.graph.m), depth=1.0)
+        return float(self.graph.w[cross].sum())
+
+    def cut_side_mask_tree(self, u: int, v: Optional[int]) -> np.ndarray:
+        """Side mask indexed by *postorder rank* over all tree vertices."""
+        t = self.tree
+        ranks = np.arange(t.n)
+        in_u = (t.start(u) <= ranks) & (ranks <= t.post[u])
+        if v is None or v == u:
+            return in_u
+        in_v = (t.start(v) <= ranks) & (ranks <= t.post[v])
+        return in_u ^ in_v

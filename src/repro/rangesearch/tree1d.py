@@ -1,0 +1,160 @@
+"""1-D weighted range counting with configurable branching (Lemma 4.24).
+
+A complete tree of degree ``b = Theta(n^eps)`` over the points sorted by
+key, with per-node weight totals.  Preprocessing is O(m/eps) work and
+O(log n) depth; a range query touches O(b) nodes per level over
+O(1/eps) = O(log_b m) levels, i.e. O(n^eps / eps) work — the tradeoff
+that Section 4.3 exploits (b = 2 recovers the classic O(log m) segment
+tree used for the general-graph bound of Lemma 4.9).
+
+Queries return exact sums; *visited node counts* are recorded both on
+the instance (``stats``) and on the ledger, because they are the
+structural work measure benchmarked in experiment E5.
+
+Implementation note: the query path deliberately uses Python lists and
+:mod:`bisect` rather than numpy — the workload is millions of scalar
+lookups, where numpy's per-call boxing dominates (see the profiling
+notes in DESIGN.md's guide-compliance section).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.pram.combinators import log2ceil
+from repro.pram.ledger import Ledger, NULL_LEDGER
+from repro.primitives.sort import parallel_argsort
+
+__all__ = ["RangeTree1D", "RangeQueryStats"]
+
+
+@dataclass
+class RangeQueryStats:
+    """Structural work counters for range structures."""
+
+    queries: int = 0
+    nodes_visited: int = 0
+
+    def merge(self, other: "RangeQueryStats") -> None:
+        self.queries += other.queries
+        self.nodes_visited += other.nodes_visited
+
+
+class RangeTree1D:
+    """Weighted points on a line; total weight over key intervals.
+
+    Parameters
+    ----------
+    keys, weights:
+        Point coordinates and weights (any order; sorted internally).
+    branching:
+        Tree degree b >= 2.
+    presorted:
+        Skip the sort when the caller already provides ascending keys
+        (the 2-D structure builds thousands of these from pre-sorted
+        slices).
+    """
+
+    __slots__ = ("keys", "branching", "levels", "stats", "_depth", "size", "_searchcost")
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        weights: np.ndarray,
+        branching: int = 2,
+        ledger: Ledger = NULL_LEDGER,
+        *,
+        presorted: bool = False,
+    ) -> None:
+        if branching < 2:
+            raise ValueError("branching must be >= 2")
+        keys = np.asarray(keys)
+        weights = np.asarray(weights, dtype=np.float64)
+        if keys.shape != weights.shape:
+            raise ValueError("keys/weights length mismatch")
+        if not presorted:
+            order = parallel_argsort(keys, ledger=ledger)
+            keys = keys[order]
+            weights = weights[order]
+        self.keys: List = keys.tolist()
+        self.size = len(self.keys)
+        self.branching = int(branching)
+        # level 0 = leaf weights; level i+1 = b-ary block sums of level i
+        np_levels: List[np.ndarray] = [weights]
+        b = self.branching
+        while np_levels[-1].shape[0] > 1:
+            cur = np_levels[-1]
+            pad = (-cur.shape[0]) % b
+            if pad:
+                cur = np.concatenate([cur, np.zeros(pad)])
+            np_levels.append(cur.reshape(-1, b).sum(axis=1))
+        self.levels: List[List[float]] = [lv.tolist() for lv in np_levels]
+        self._depth = len(self.levels)
+        self._searchcost = 2 * log2ceil(max(self.size, 2))
+        self.stats = RangeQueryStats()
+        # preprocessing charge: up-sweep work = total cells
+        ledger.charge(
+            work=float(sum(len(lv) for lv in self.levels)),
+            depth=float(max(self._depth - 1, 1)),
+        )
+
+    # ------------------------------------------------------------------
+    def query_value_range(self, lo, hi, ledger: Ledger = NULL_LEDGER) -> float:
+        """Total weight of points with key in the *inclusive* [lo, hi]."""
+        total, visited = self.counted_value_range(lo, hi)
+        ledger.charge(work=float(max(visited, 1)), depth=float(self._depth))
+        return total
+
+    def query_index_range(self, l: int, r: int, ledger: Ledger = NULL_LEDGER) -> float:
+        """Total weight of points with sorted-index in half-open [l, r)."""
+        total, visited = self.counted_index_range(l, r)
+        ledger.charge(work=float(max(visited, 1)), depth=float(self._depth))
+        return total
+
+    # ------------------------------------------------------------------
+    # counted variants: return (sum, nodes_visited) without charging a
+    # ledger — used by RangeTree2D, whose auxiliary queries run logically
+    # in parallel and must be depth-charged as one batch.
+    # ------------------------------------------------------------------
+    def counted_value_range(self, lo, hi) -> Tuple[float, int]:
+        if self.size == 0 or hi < lo:
+            self.stats.queries += 1
+            return 0.0, 1
+        l = bisect_left(self.keys, lo)
+        r = bisect_right(self.keys, hi)
+        total, visited = self.counted_index_range(l, r)
+        return total, visited + self._searchcost
+
+    def counted_index_range(self, l: int, r: int) -> Tuple[float, int]:
+        if l < 0:
+            l = 0
+        if r > self.size:
+            r = self.size
+        total = 0.0
+        visited = 0
+        b = self.branching
+        level = 0
+        levels = self.levels
+        while l < r:
+            arr = levels[level]
+            while l % b and l < r:
+                total += arr[l]
+                l += 1
+                visited += 1
+            while r % b and l < r:
+                r -= 1
+                total += arr[r]
+                visited += 1
+            if l >= r:
+                break
+            l //= b
+            r //= b
+            level += 1
+        stats = self.stats
+        stats.queries += 1
+        stats.nodes_visited += visited
+        return total, visited

@@ -1,0 +1,71 @@
+"""Result containers shared by the algorithm layers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CutResult:
+    """A cut of the input graph.
+
+    Attributes
+    ----------
+    value:
+        Total weight crossing the cut.
+    side:
+        Boolean mask over the graph's vertices (one side of the
+        bipartition).  Always a proper nonempty subset for value-bearing
+        results; for disconnected inputs it marks one component.
+    witness_edges:
+        Child endpoints ``(u, v)`` of the tree edges that the cut
+        2-respects, when the cut was found through a tree (``u == v``
+        for 1-respecting cuts); ``None`` for cuts found by other means
+        (e.g. the Stoer–Wagner baseline).
+    stats:
+        Free-form diagnostics (work/depth snapshots, tree counts,
+        oracle visit counters, ...).
+    """
+
+    value: float
+    side: np.ndarray
+    witness_edges: Optional[Tuple[int, int]] = None
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "side", np.asarray(self.side, dtype=bool))
+
+    def partition(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The two vertex sets of the bipartition."""
+        idx = np.arange(self.side.shape[0])
+        return idx[self.side], idx[~self.side]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        k = int(self.side.sum())
+        return f"CutResult(value={self.value:g}, sides=({k},{self.side.shape[0] - k}))"
+
+
+@dataclass(frozen=True)
+class ApproxResult:
+    """Output of the Section 3 approximation algorithm.
+
+    ``low <= lambda <= high`` holds w.h.p.; ``estimate`` is the centre
+    of the bracket.  ``skeleton_layer`` is the located layer s with
+    ``2^{-s} ~ p_s`` (Definition 3.5).
+    """
+
+    estimate: float
+    low: float
+    high: float
+    skeleton_layer: int
+    layer_cuts: Dict[int, float] = field(default_factory=dict)
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ApproxResult(estimate={self.estimate:g}, "
+            f"bracket=[{self.low:g}, {self.high:g}], layer={self.skeleton_layer})"
+        )

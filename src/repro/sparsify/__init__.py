@@ -1,0 +1,23 @@
+"""Sparsification: skeletons, connectivity certificates, hierarchies."""
+
+from repro.sparsify.certhierarchy import CertificateHierarchy, build_certificate_hierarchy
+from repro.sparsify.certificate import certificate_forests, connectivity_certificate
+from repro.sparsify.hierarchy import (
+    HierarchyParams,
+    TruncatedHierarchy,
+    build_truncated_hierarchy,
+)
+from repro.sparsify.skeleton import SkeletonParams, SkeletonResult, build_skeleton
+
+__all__ = [
+    "SkeletonParams",
+    "SkeletonResult",
+    "build_skeleton",
+    "connectivity_certificate",
+    "certificate_forests",
+    "HierarchyParams",
+    "TruncatedHierarchy",
+    "build_truncated_hierarchy",
+    "CertificateHierarchy",
+    "build_certificate_hierarchy",
+]

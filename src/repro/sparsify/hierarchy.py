@@ -1,0 +1,161 @@
+"""Sampled / truncated / exclusive hierarchies (Section 3.1, Alg. 3.14).
+
+The hierarchy halves an unweighted-multigraph view of G layer by layer:
+``G_0 = G`` (every weight-w edge = w unit copies), and ``G_i`` keeps each
+copy of ``G_{i-1}`` with probability 1/2.  To make this work-efficient
+the *truncated* hierarchy clamps every edge to enter only at its
+*critical layer* ``t_e`` — the deepest layer where its expected
+multiplicity still exceeds ``crit_constant * log n`` (Definition 3.8) —
+sampling there directly from ``B(w_e, 2^{-t_e})`` and halving onward.
+Layers above the critical layer implicitly reuse the critical-layer
+count (Definition 3.9), which cannot disturb any min-cut below the
+separation windows of Claims 3.11-3.13.
+
+The *exclusive* hierarchy is the layer-wise difference
+``hat G_i = G_i^trunc \\ G_{i+1}^trunc`` (Definition 3.16), computed here
+as an aligned count subtraction (the halving guarantees nesting).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graphs.graph import Graph
+from repro.graphs.multigraph import MultiGraph
+from repro.pram.combinators import log2ceil
+from repro.pram.ledger import Ledger, NULL_LEDGER
+
+__all__ = ["HierarchyParams", "TruncatedHierarchy", "build_truncated_hierarchy"]
+
+
+@dataclass(frozen=True)
+class HierarchyParams:
+    """Constants of Section 3 (paper values in comments).
+
+    The paper's constants (500 log n critical multiplicity, 100 log n
+    skeleton probability, [75, 125] log n windows...) are calibrated for
+    w.h.p. statements as n -> infinity; ``scale`` shrinks them uniformly
+    so the separation windows remain *proportionally* identical at
+    benchmark scale.  ``scale=1`` reproduces the printed constants.
+    """
+
+    scale: float = 1.0
+    crit_constant: float = 500.0  # Definition 3.8
+    skeleton_constant: float = 100.0  # Definition 3.4
+    window_low: float = 75.0  # Claim 3.6 / 3.11
+    window_high: float = 125.0
+    above_high: float = 67.0  # Claim 3.12
+    below_low: float = 160.0  # Claim 3.13
+    cert_budget: float = 400.0  # Algorithm 3.17 count_e
+    cert_forests: float = 200.0  # Algorithm 3.17 sfcount
+
+    def log_n(self, n: int) -> float:
+        return math.log2(max(n, 2))
+
+    def crit_threshold(self, n: int) -> float:
+        return max(self.scale * self.crit_constant * self.log_n(n), 1.0)
+
+    def window(self, n: int) -> tuple[float, float]:
+        ln = self.log_n(n)
+        return (self.scale * self.window_low * ln, self.scale * self.window_high * ln)
+
+    def cert_k(self, n: int) -> int:
+        return max(int(math.ceil(self.scale * self.cert_forests * self.log_n(n))), 2)
+
+    def cert_edge_budget(self, n: int) -> int:
+        return max(int(math.ceil(self.scale * self.cert_budget * self.log_n(n))), 4)
+
+
+@dataclass
+class TruncatedHierarchy:
+    """All layers of the truncated + exclusive hierarchies.
+
+    ``layers[i]`` is ``G_i^trunc`` and ``exclusive[i]`` is ``hat G_i``,
+    index-aligned multigraphs over the input's edge slots.  ``t_e`` is
+    the per-edge critical layer.
+    """
+
+    base: Graph
+    params: HierarchyParams
+    t_e: np.ndarray
+    layers: List[MultiGraph]
+    exclusive: List[MultiGraph]
+
+    @property
+    def depth(self) -> int:
+        return len(self.layers)
+
+    def validate(self) -> None:
+        """Structural invariants (used by tests):
+
+        * nesting: layer i+1 <= layer i copy-wise,
+        * exclusivity: exclusive[i] == layers[i] - layers[i+1],
+        * top layer enters at critical multiplicities.
+        """
+        for i in range(self.depth - 1):
+            if not self.layers[i + 1].is_subgraph_of(self.layers[i]):
+                raise GraphFormatError(f"hierarchy not nested at layer {i}")
+            diff = self.layers[i].counts - self.layers[i + 1].counts
+            if not np.array_equal(diff, self.exclusive[i].counts):
+                raise GraphFormatError(f"exclusive layer {i} mismatch")
+        if self.depth and not np.array_equal(
+            self.layers[-1].counts, self.exclusive[-1].counts
+        ):
+            raise GraphFormatError("last exclusive layer must equal last layer")
+
+
+def build_truncated_hierarchy(
+    graph: Graph,
+    params: HierarchyParams = HierarchyParams(),
+    rng: Optional[np.random.Generator] = None,
+    ledger: Ledger = NULL_LEDGER,
+) -> TruncatedHierarchy:
+    """Algorithm 3.14 (Claim 3.15: O(m log n) work, O(log n) depth).
+
+    Requires integer weights (multigraph semantics).
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    w = graph.require_integer_weights()
+    n, m = graph.n, graph.m
+    total = int(w.sum())
+    k = max(log2ceil(max(total, 2)), 1)
+    thresh = params.crit_threshold(n)
+    # Definition 3.8: t_e = largest integer with w / 2^t >= threshold
+    with np.errstate(divide="ignore"):
+        t_e = np.floor(np.log2(np.maximum(w / thresh, 1.0))).astype(np.int64)
+    t_e = np.clip(t_e, 0, k)
+    # enter each edge at its critical layer with a single binomial draw
+    base_counts = rng.binomial(w, 0.5 ** t_e.astype(np.float64)).astype(np.int64)
+    layers: List[MultiGraph] = []
+    prev = None
+    for i in range(k + 1):
+        if prev is None:
+            # layer 0: every edge shows its critical-layer count (for
+            # t_e = 0 the draw was B(w, 1) = w, i.e. the true layer-0
+            # multiplicity; for t_e > 0 this is the Def. 3.9 truncation)
+            counts = base_counts.copy()
+        else:
+            halved = rng.binomial(prev, 0.5).astype(np.int64)
+            counts = np.where(i <= t_e, base_counts, halved)
+        layers.append(MultiGraph(n, graph.u, graph.v, counts))
+        prev = counts
+    exclusive: List[MultiGraph] = []
+    for i in range(k + 1):
+        if i < k:
+            exclusive.append(layers[i].minus(layers[i + 1]))
+        else:
+            exclusive.append(layers[i])
+    # Claim 3.15 charge: binomial sampling at critical layers O(m log n)
+    # + O(log n) halving rounds each linear in live copies
+    ledger.charge(
+        work=float(m * log2ceil(max(n, 2)) + sum(int(l.total_copies) for l in layers)),
+        depth=float(k + log2ceil(max(n, 2))),
+    )
+    return TruncatedHierarchy(
+        base=graph, params=params, t_e=t_e, layers=layers, exclusive=exclusive
+    )

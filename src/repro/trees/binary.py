@@ -1,0 +1,117 @@
+"""Tree binarization (Section 4.1.3).
+
+"Without loss of generality, we can assume that the input tree T is a
+binary tree.  Otherwise, simply replace a node of degree d with a binary
+tree of size O(d)" — the centroid search needs bounded degree so that
+each centroid probes O(1) incident edges.
+
+We binarize *top-down on parent arrays*: a vertex with k > 2 children
+gets a balanced binary gadget of virtual vertices; real vertices keep
+their ids ``0..n-1`` and virtual vertices get ids ``n..n_b-1``.  Graph
+edges only ever attach to real vertices, so in the binarized tree's
+postorder the virtual vertices simply never occur as 2-D points — every
+subtree (real or virtual) is still a contiguous postorder range, which
+is all the cut-query layer (Lemma A.1) needs.
+
+Soundness of running the whole 2-respecting search on the binarized tree
+T_b instead of T: removing any two edges of T_b induces a bipartition of
+the *real* vertices, i.e. a genuine cut of G, so every value the search
+inspects is attainable (never underestimates); and both edges of the
+true minimum 2-respecting pair of T exist in T_b with identical subtrees
+over real vertices, so the search never misses it.  (Virtual edges can
+only expose *additional* cuts, e.g. "a group of siblings vs. the rest",
+which is harmless.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.pram.combinators import log2ceil
+from repro.pram.ledger import Ledger, NULL_LEDGER
+
+__all__ = ["BinarizedTree", "binarize_parent"]
+
+
+@dataclass(frozen=True)
+class BinarizedTree:
+    """Result of :func:`binarize_parent`.
+
+    Attributes
+    ----------
+    parent:
+        Parent array of the binarized tree (length ``n_b``); entries
+        ``0..n_real-1`` are the original vertices.
+    n_real:
+        Number of original vertices.
+    """
+
+    parent: np.ndarray
+    n_real: int
+
+    @property
+    def n(self) -> int:
+        return int(self.parent.shape[0])
+
+    def is_virtual(self, x: int) -> bool:
+        return x >= self.n_real
+
+
+def _balanced_group(
+    parent: List[int], owner: int, members: List[int], next_id: List[int]
+) -> None:
+    """Attach ``members`` under ``owner`` through a balanced binary gadget.
+
+    Recursively splits the member list in half; groups of size > 2 get a
+    fresh virtual vertex.  Gadget depth is O(log k).
+    """
+    k = len(members)
+    if k <= 2:
+        for x in members:
+            parent[x] = owner
+        return
+    mid = k // 2
+    for half in (members[:mid], members[mid:]):
+        if len(half) == 1:
+            parent[half[0]] = owner
+        else:
+            vid = next_id[0]
+            next_id[0] += 1
+            parent.append(owner)  # parent[vid] = owner
+            assert len(parent) == vid + 1
+            _balanced_group(parent, vid, half, next_id)
+
+
+def binarize_parent(
+    parent: np.ndarray, ledger: Ledger = NULL_LEDGER
+) -> BinarizedTree:
+    """Binarize a rooted tree given as a parent array.
+
+    Work O(n), depth O(log d_max) charged (each gadget builds bottom-up
+    independently in parallel, per the paper's remark).
+    """
+    parent = np.asarray(parent, dtype=np.int64)
+    n = int(parent.shape[0])
+    children: List[List[int]] = [[] for _ in range(n)]
+    for x in range(n):
+        p = int(parent[x])
+        if p >= 0:
+            children[p].append(x)
+    out: List[int] = [-1] * n
+    for x in range(n):
+        p = int(parent[x])
+        out[x] = p
+    next_id = [n]
+    max_deg = 1
+    for x in range(n):
+        kids = children[x]
+        if len(kids) > max_deg:
+            max_deg = len(kids)
+        if len(kids) > 2:
+            _balanced_group(out, x, kids, next_id)
+    ledger.charge(work=float(len(out)), depth=float(log2ceil(max(max_deg, 2))))
+    result = np.asarray(out, dtype=np.int64)
+    return BinarizedTree(parent=result, n_real=n)

@@ -1,0 +1,277 @@
+"""Centroid decomposition and the interest-path search (Lemma 4.12,
+Claim 4.13).
+
+The decomposition recursively removes a *centroid* (a vertex whose
+removal leaves components of size <= |T|/2), producing a centroid tree
+of depth O(log n).  The 2-respecting algorithm uses it to locate, for
+every tree edge e, the terminal nodes c_e / d_e of e's cross- and
+down-interest paths (Claim 4.8) with O(log n) *oracle probes* per edge.
+
+The search is phrased generically in :func:`deepest_on_interest_path`:
+given the top vertex of a root-ward-anchored descending path P and a
+membership oracle ``member(x)`` ("is the edge (x, p(x)) on P?" —
+well-defined by Claim 4.8's contiguity), find P's deepest node.  The
+case analysis at each centroid c relies only on P being a descending
+path starting at ``top``:
+
+* ``member(c)`` true  -> the answer is c or in the subtree of the unique
+  member child (probe the <=2 children — the tree is binarized);
+* ``member(c)`` false -> the answer avoids T_c entirely when c is below
+  top, so move toward ``top``: into the child component containing top
+  when c is a proper ancestor of top, else into the parent-side
+  component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.pram.combinators import log2ceil
+from repro.pram.ledger import Ledger, NULL_LEDGER
+from repro.primitives.euler import RootedTree
+
+__all__ = ["CentroidDecomposition", "centroid_decomposition", "deepest_on_interest_path"]
+
+
+@dataclass(frozen=True)
+class CentroidDecomposition:
+    """Centroid tree over the vertices of a rooted tree.
+
+    Attributes
+    ----------
+    cent_parent:
+        Parent of each vertex in the *centroid tree* (-1 for the global
+        centroid root).
+    cent_depth:
+        Depth in the centroid tree (root = 0); max depth is O(log n).
+    cent_root:
+        The global centroid.
+    """
+
+    cent_parent: np.ndarray
+    cent_depth: np.ndarray
+    cent_root: int
+
+    @property
+    def n(self) -> int:
+        return int(self.cent_parent.shape[0])
+
+    @property
+    def height(self) -> int:
+        return int(self.cent_depth.max()) + 1 if self.n else 0
+
+    def child_component_toward(self, c: int, y: int) -> int:
+        """The centroid-tree child of ``c`` whose component contains
+        ``y`` (requires ``y`` to lie strictly inside c's component)."""
+        x = int(y)
+        while self.cent_parent[x] != c:
+            x = int(self.cent_parent[x])
+            if x < 0:
+                raise GraphFormatError("target vertex is not in the centroid's component")
+        return x
+
+
+def centroid_decomposition(
+    tree: RootedTree, ledger: Ledger = NULL_LEDGER
+) -> CentroidDecomposition:
+    """Decompose ``tree`` (any degrees) into a centroid tree.
+
+    Charged at Lemma 4.12's cost: O(n log n) work, O(log n) depth.  The
+    construction itself is the standard sequential O(n log n): per
+    component, compute sizes by a local traversal, walk to the centroid,
+    split, recurse (iteratively, via an explicit stack).
+    """
+    n = tree.n
+    cent_parent = np.full(n, -1, dtype=np.int64)
+    cent_depth = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return CentroidDecomposition(cent_parent, cent_depth, -1)
+    # undirected adjacency from the parent array
+    offsets, nbrs = _undirected_adjacency(tree.parent)
+    removed = np.zeros(n, dtype=bool)
+    size = np.zeros(n, dtype=np.int64)
+    cent_root = -1
+    stack: List[Tuple[int, int, int]] = [(tree.root, -1, 0)]  # (seed, cparent, cdepth)
+    total_work = 0
+    while stack:
+        seed, cpar, cdep = stack.pop()
+        comp = _collect_component(seed, offsets, nbrs, removed)
+        _component_sizes(comp, offsets, nbrs, removed, size)
+        c = _find_centroid(comp[0], len(comp), offsets, nbrs, removed, size)
+        total_work += len(comp)
+        cent_parent[c] = cpar
+        cent_depth[c] = cdep
+        if cpar < 0:
+            cent_root = c
+        removed[c] = True
+        for j in range(offsets[c], offsets[c + 1]):
+            y = int(nbrs[j])
+            if not removed[y]:
+                stack.append((y, c, cdep + 1))
+    ledger.charge(work=float(total_work), depth=float(log2ceil(max(n, 2))))
+    return CentroidDecomposition(cent_parent, cent_depth, cent_root)
+
+
+def _undirected_adjacency(parent: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    n = parent.shape[0]
+    child = np.flatnonzero(parent >= 0)
+    ends = np.concatenate([child, parent[child]])
+    other = np.concatenate([parent[child], child])
+    order = np.argsort(ends, kind="stable")
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(offsets, ends[order] + 1, 1)
+    np.cumsum(offsets, out=offsets)
+    return offsets, other[order]
+
+
+def _collect_component(
+    seed: int, offsets: np.ndarray, nbrs: np.ndarray, removed: np.ndarray
+) -> List[int]:
+    comp = [int(seed)]
+    seen = {int(seed)}
+    i = 0
+    while i < len(comp):
+        x = comp[i]
+        i += 1
+        for j in range(offsets[x], offsets[x + 1]):
+            y = int(nbrs[j])
+            if not removed[y] and y not in seen:
+                seen.add(y)
+                comp.append(y)
+    return comp
+
+
+def _component_sizes(
+    comp: List[int],
+    offsets: np.ndarray,
+    nbrs: np.ndarray,
+    removed: np.ndarray,
+    size: np.ndarray,
+) -> None:
+    """Subtree sizes of the component rooted at comp[0] (DFS order trick:
+    comp is BFS order from the seed, so reversed iteration accumulates)."""
+    # rebuild as DFS from seed with explicit parent-in-component
+    seed = comp[0]
+    parent_in = {seed: -1}
+    order: List[int] = [seed]
+    i = 0
+    while i < len(order):
+        x = order[i]
+        i += 1
+        for j in range(offsets[x], offsets[x + 1]):
+            y = int(nbrs[j])
+            if not removed[y] and y not in parent_in:
+                parent_in[y] = x
+                order.append(y)
+    for x in order:
+        size[x] = 1
+    for x in reversed(order):
+        p = parent_in[x]
+        if p >= 0:
+            size[p] += size[x]
+
+
+def _find_centroid(
+    seed: int,
+    comp_size: int,
+    offsets: np.ndarray,
+    nbrs: np.ndarray,
+    removed: np.ndarray,
+    size: np.ndarray,
+) -> int:
+    """Walk from the seed toward the heavy side until balanced.
+
+    ``size`` holds seed-rooted subtree sizes, under which a neighbor y is
+    a child of x iff ``size[y] < size[x]`` (strict in a tree); the parent
+    side then weighs ``comp_size - size[x]``.
+    """
+    x = int(seed)
+    while True:
+        heavy = -1
+        heavy_size = 0
+        for j in range(offsets[x], offsets[x + 1]):
+            y = int(nbrs[j])
+            if removed[y]:
+                continue
+            s = int(size[y]) if size[y] < size[x] else comp_size - int(size[x])
+            if s > heavy_size:
+                heavy_size = s
+                heavy = y
+        if heavy_size * 2 <= comp_size:
+            return x
+        x = heavy
+
+
+def deepest_on_interest_path(
+    tree: RootedTree,
+    cd: CentroidDecomposition,
+    top: int,
+    member: Callable[[int], bool],
+    ledger: Ledger = NULL_LEDGER,
+) -> int:
+    """Deepest node of the descending path P anchored at ``top``.
+
+    ``member(x)`` answers "is x on P" for any vertex x (by Claim 4.8
+    membership is intrinsic: x is on P iff e is interested in the edge
+    (x, p(x)); ``member(top)`` must be True).  Returns the deepest node
+    of P.  Probes O(log n) membership queries (charged by the member
+    callback itself); navigation uses centroid-parent walks, charged
+    O(log n) work per level.
+    """
+    c = cd.cent_root
+    levels = 0
+    while True:
+        levels += 1
+        if levels > cd.height + 2:  # pragma: no cover - safety net
+            raise GraphFormatError("centroid search failed to converge")
+        if c == top or (tree.is_ancestor(top, c) and member(c)):
+            # c is on P; does P continue into a child of c?
+            nxt = -1
+            for ch in _tree_children(tree, c):
+                # a continuation child must be inside c's current
+                # centroid component; if it is not, P cannot continue
+                # there while the answer stays in the component.
+                if member(ch):
+                    nxt = ch
+                    break
+            if nxt < 0:
+                return c
+            c = cd.child_component_toward(c, nxt)
+            ledger.charge(work=float(log2ceil(max(tree.n, 2)) + 1), depth=1.0)
+            continue
+        # c is not on P: move toward `top`
+        if tree.is_ancestor(c, top) and c != top:
+            # proper ancestor: descend toward the child holding `top`
+            step = _tree_child_toward(tree, c, top)
+            c = cd.child_component_toward(c, step)
+        else:
+            # c below or unrelated to top: the answer avoids T_c; go to
+            # the parent-side component
+            p = int(tree.parent[c])
+            if p < 0:  # pragma: no cover - c can only be the root if top is too
+                return top
+            c = cd.child_component_toward(c, p)
+        ledger.charge(work=float(log2ceil(max(tree.n, 2)) + 1), depth=1.0)
+
+
+_children_cache_key = "_repro_children_cache"
+
+
+def _tree_children(tree: RootedTree, x: int) -> List[int]:
+    cache = getattr(tree, _children_cache_key, None)
+    if cache is None:
+        cache = tree.children_lists()
+        object.__setattr__(tree, _children_cache_key, cache)
+    return cache[x]
+
+
+def _tree_child_toward(tree: RootedTree, anc: int, target: int) -> int:
+    """The child of ``anc`` whose subtree contains ``target``."""
+    for ch in _tree_children(tree, anc):
+        if tree.is_ancestor(ch, target):
+            return ch
+    raise GraphFormatError("target not under ancestor")

@@ -1,0 +1,228 @@
+"""Descending-path decompositions of a rooted tree (Section 4.1.1).
+
+The 2-respecting search decomposes the spanning tree into edge-disjoint
+*descending* paths such that (Property 4.3) any root-to-leaf path
+intersects O(log n) of them.  Two constructions are provided:
+
+* :func:`heavy_path_decomposition` — the classical deterministic
+  decomposition (each vertex's edge to its heaviest-subtree child
+  continues the path).  A root-to-leaf path switches paths only when
+  subtree size at least halves, so it meets at most ``log2 n`` paths.
+  This is the default used by the algorithm layer.
+* :func:`bough_decomposition` — the peeling construction behind
+  [GG18, Lemma 7]: repeatedly strip *boughs* (maximal pendant chains
+  ending in leaves); each round at least halves the number of leaves,
+  so there are O(log n) rounds and a root-to-leaf path gains at most
+  one path per round.
+
+Both satisfy Property 4.3; tests assert it for both.  Edges are named by
+their child endpoint throughout (as in :mod:`repro.primitives.euler`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.pram.combinators import log2ceil
+from repro.pram.ledger import Ledger, NULL_LEDGER
+from repro.primitives.euler import RootedTree
+
+__all__ = [
+    "PathDecomposition",
+    "heavy_path_decomposition",
+    "bough_decomposition",
+    "max_paths_on_root_leaf_route",
+]
+
+
+@dataclass(frozen=True)
+class PathDecomposition:
+    """Edge-disjoint descending paths covering all tree edges.
+
+    Attributes
+    ----------
+    paths:
+        ``paths[i]`` is an int64 array of *child endpoints*, ordered from
+        the shallowest edge to the deepest (``A[i][0]`` is "the edge
+        closest to the root" in the paper's notation).
+    path_of:
+        For every vertex u, the id of the path containing edge
+        ``(u, parent(u))``; -1 for the root.
+    index_in_path:
+        Position of u's edge inside its path; -1 for the root.
+    """
+
+    paths: List[np.ndarray]
+    path_of: np.ndarray
+    index_in_path: np.ndarray
+
+    @property
+    def num_paths(self) -> int:
+        return len(self.paths)
+
+    def head(self, pid: int) -> int:
+        """Child endpoint of path pid's shallowest edge (``A[i][0]``)."""
+        return int(self.paths[pid][0])
+
+    def validate(self, tree: RootedTree) -> None:
+        """Invariant checks: edge-disjoint cover, descending order."""
+        seen = np.zeros(tree.n, dtype=bool)
+        for pid, arr in enumerate(self.paths):
+            if arr.size == 0:
+                raise GraphFormatError("empty path in decomposition")
+            prev = None
+            for u in arr:
+                u = int(u)
+                if tree.parent[u] < 0:
+                    raise GraphFormatError("root has no edge")
+                if seen[u]:
+                    raise GraphFormatError("edge covered twice")
+                seen[u] = True
+                if self.path_of[u] != pid or self.index_in_path[u] != np.where(arr == u)[0][0]:
+                    raise GraphFormatError("inverse maps inconsistent")
+                if prev is not None and int(tree.parent[u]) != prev:
+                    raise GraphFormatError("path is not a descending chain")
+                prev = u
+        uncovered = (~seen) & (tree.parent >= 0)
+        if uncovered.any():
+            raise GraphFormatError("decomposition does not cover all edges")
+
+
+def _build_from_path_lists(
+    n: int, chains: List[List[int]]
+) -> PathDecomposition:
+    path_of = np.full(n, -1, dtype=np.int64)
+    index_in_path = np.full(n, -1, dtype=np.int64)
+    arrays: List[np.ndarray] = []
+    for pid, chain in enumerate(chains):
+        arr = np.asarray(chain, dtype=np.int64)
+        arrays.append(arr)
+        path_of[arr] = pid
+        index_in_path[arr] = np.arange(arr.shape[0])
+    return PathDecomposition(paths=arrays, path_of=path_of, index_in_path=index_in_path)
+
+
+def heavy_path_decomposition(
+    tree: RootedTree, ledger: Ledger = NULL_LEDGER
+) -> PathDecomposition:
+    """Heavy-path decomposition (deterministic Property 4.3 witness).
+
+    Charged at the cost the paper books for Lemma 4.4: O(n log n) work
+    and O(log^2 n) depth (our construction is actually O(n) work; we
+    charge the paper's model cost so phase totals remain comparable).
+    """
+    n = tree.n
+    heavy_child = np.full(n, -1, dtype=np.int64)
+    best = np.zeros(n, dtype=np.int64)
+    # choose per-vertex the child with the largest subtree (ties: smaller id
+    # via reversed scan order below)
+    for u in range(n):
+        p = int(tree.parent[u])
+        if p >= 0 and (tree.size[u] > best[p] or (tree.size[u] == best[p] and (heavy_child[p] < 0 or u < heavy_child[p]))):
+            best[p] = tree.size[u]
+            heavy_child[p] = u
+    chains: List[List[int]] = []
+    for u in range(n):
+        p = int(tree.parent[u])
+        if p < 0:
+            continue
+        if heavy_child[p] == u:
+            continue  # u's edge extends p's chain; emitted with its head
+        # u starts a new chain: follow heavy children downward
+        chain = [u]
+        x = u
+        while heavy_child[x] >= 0:
+            x = int(heavy_child[x])
+            chain.append(x)
+        chains.append(chain)
+    # also the chain starting at the root's heavy child
+    r = tree.root
+    if heavy_child[r] >= 0:
+        chain = []
+        x = r
+        while heavy_child[x] >= 0:
+            x = int(heavy_child[x])
+            chain.append(x)
+        chains.append(chain)
+    ledger.charge(work=float(n * max(log2ceil(max(n, 2)), 1)), depth=float(log2ceil(max(n, 2)) ** 2))
+    return _build_from_path_lists(n, chains)
+
+
+def bough_decomposition(
+    tree: RootedTree, ledger: Ledger = NULL_LEDGER
+) -> PathDecomposition:
+    """GG18-style bough peeling.
+
+    Round k strips every maximal pendant chain (a path of vertices whose
+    every vertex has exactly one live child below it, ending at a live
+    leaf).  Rounds are charged O(n_live) work, O(log n) depth each.
+    """
+    n = tree.n
+    alive = np.ones(n, dtype=bool)
+    chains: List[List[int]] = []
+    live_children = np.zeros(n, dtype=np.int64)
+    for u in range(n):
+        if tree.parent[u] >= 0:
+            live_children[tree.parent[u]] += 1
+    remaining = n - 1  # edges left
+    while remaining > 0:
+        # leaves of the live tree (non-root, no live children)
+        leaves = [
+            u
+            for u in range(n)
+            if alive[u] and u != tree.root and live_children[u] == 0
+        ]
+        stripped = 0
+        for leaf in leaves:
+            if not alive[leaf]:
+                continue  # already absorbed into another bough this round
+            # climb while the parent has exactly one live child and is not root
+            chain_rev = [leaf]
+            x = leaf
+            while True:
+                p = int(tree.parent[x])
+                if p == tree.root or p < 0:
+                    break
+                if live_children[p] != 1 or not alive[p]:
+                    break
+                gp = int(tree.parent[p])
+                if gp < 0:
+                    break
+                chain_rev.append(p)
+                x = p
+            chain = chain_rev[::-1]
+            for u in chain:
+                alive[u] = False
+                live_children[int(tree.parent[u])] -= 1
+            stripped += len(chain)
+            chains.append(chain)
+        remaining -= stripped
+        ledger.charge(work=float(max(stripped, 1)), depth=float(log2ceil(max(n, 2))))
+        if stripped == 0:  # pragma: no cover - safety against malformed trees
+            raise GraphFormatError("bough peeling made no progress")
+    return _build_from_path_lists(n, chains)
+
+
+def max_paths_on_root_leaf_route(
+    tree: RootedTree, decomposition: PathDecomposition
+) -> int:
+    """The Property 4.3 statistic: the max number of distinct paths met
+    on any root-to-leaf route (tests assert it is O(log n))."""
+    n = tree.n
+    count = np.zeros(n, dtype=np.int64)
+    # process vertices in reverse postorder so parents come first
+    for u in tree.order[::-1]:
+        u = int(u)
+        p = int(tree.parent[u])
+        if p < 0:
+            continue
+        if p == tree.root or decomposition.path_of[u] != decomposition.path_of[p]:
+            base = count[p]
+            count[u] = base + 1
+        else:
+            count[u] = count[p]
+    return int(count.max()) if n else 0

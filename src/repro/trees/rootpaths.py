@@ -1,0 +1,73 @@
+"""The Root-paths data structure of Lemma 4.5.
+
+Given a descending-path decomposition, ``Root-paths(u)`` returns the ids
+of the O(log n) decomposition paths that intersect the route from the
+root down to ``u``.  The implementation follows the paper's query
+verbatim: start at the path containing u's edge, jump to that path's
+shallowest edge ``A[i][0]``, then continue from its parent's edge,
+charging O(1) per path found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+from repro.pram.combinators import log2ceil
+from repro.pram.ledger import Ledger, NULL_LEDGER
+from repro.primitives.euler import RootedTree
+from repro.trees.paths import PathDecomposition
+
+__all__ = ["RootPaths"]
+
+
+@dataclass(frozen=True)
+class RootPaths:
+    """Preprocessed Root-paths queries over one tree + decomposition.
+
+    Preprocessing cost (charged at construction by the decomposition
+    itself, Lemma 4.4): the structure here only aliases the
+    decomposition's arrays, the paper's "sort each bough by postorder"
+    step being implicit in our top-down path ordering.
+    """
+
+    tree: RootedTree
+    decomposition: PathDecomposition
+
+    @classmethod
+    def build(
+        cls,
+        tree: RootedTree,
+        decomposition: PathDecomposition,
+        ledger: Ledger = NULL_LEDGER,
+    ) -> "RootPaths":
+        n = tree.n
+        # Lemma 4.5 preprocessing budget: O(n log n) work, O(log^2 n) depth
+        ledger.charge(
+            work=float(n * max(log2ceil(max(n, 2)), 1)),
+            depth=float(log2ceil(max(n, 2)) ** 2),
+        )
+        return cls(tree=tree, decomposition=decomposition)
+
+    def query(self, u: int, ledger: Ledger = NULL_LEDGER) -> List[int]:
+        """Ids of the decomposition paths met on the root -> u route,
+        ordered from u upward to the root.
+
+        O(log n) work and depth per Property 4.3 (charged structurally:
+        one unit per path found).
+        """
+        out: List[int] = []
+        dec, tree = self.decomposition, self.tree
+        x = int(u)
+        steps = 0
+        while True:
+            if tree.parent[x] < 0:  # reached the root
+                break
+            pid = int(dec.path_of[x])
+            out.append(pid)
+            steps += 1
+            head = dec.head(pid)  # shallowest edge of this path
+            x = int(tree.parent[head])
+        ledger.charge(work=float(max(steps, 1)), depth=float(max(steps, 1)))
+        return out

@@ -1,0 +1,45 @@
+"""Reference 2-respecting minimum cut by exhaustive pair enumeration.
+
+O(n^2) cut-oracle queries (or O(n^2 m) with the naive oracle) — the
+ground truth the parallel algorithm is tested against.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.graphs.graph import Graph
+from repro.primitives.euler import RootedTree
+from repro.rangesearch.cutqueries import NaiveCutOracle
+
+__all__ = ["brute_force_two_respecting"]
+
+
+def brute_force_two_respecting(
+    graph: Graph, tree: RootedTree
+) -> Tuple[float, int, int]:
+    """Minimum over all 1- and 2-edge choices of tree edges.
+
+    Returns ``(value, u, v)`` with u, v the child endpoints of the
+    minimizing tree edges (u == v for a 1-respecting optimum).
+    """
+    oracle = NaiveCutOracle(graph, tree)
+    edges = [int(x) for x in tree.tree_edges()]
+    best = (float("inf"), -1, -1)
+    # vectorised per-row evaluation: for edge u, compute cut(u, v) for all v
+    t = tree
+    posts_u = t.post[graph.u]
+    posts_v = t.post[graph.v]
+    w = graph.w
+    for i, a in enumerate(edges):
+        in_a_u = (t.start(a) <= posts_u) & (posts_u <= t.post[a])
+        in_a_v = (t.start(a) <= posts_v) & (posts_v <= t.post[a])
+        for b in edges[i:]:
+            in_b_u = (t.start(b) <= posts_u) & (posts_u <= t.post[b])
+            in_b_v = (t.start(b) <= posts_v) & (posts_v <= t.post[b])
+            side_u = in_a_u ^ in_b_u if a != b else in_a_u
+            side_v = in_a_v ^ in_b_v if a != b else in_a_v
+            val = float(w[side_u != side_v].sum())
+            if val < best[0]:
+                best = (val, a, b)
+    return best

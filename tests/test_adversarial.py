@@ -1,0 +1,174 @@
+"""Adversarial structures and failure injection.
+
+Pathological tree shapes (stars, caterpillars, brooms), extreme weight
+spreads, bridges, and near-degenerate graphs — the inputs most likely to
+break index arithmetic, Monge orientation, or the centroid search.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import stoer_wagner
+from repro.core import minimum_cut
+from repro.graphs import Graph, random_connected_graph
+from repro.primitives import postorder
+from repro.trees import binarize_parent
+from repro.tworespect import brute_force_two_respecting, two_respecting_min_cut
+
+from tests.conftest import assert_valid_cut
+
+
+def star_tree(n):
+    parent = np.zeros(n, dtype=np.int64)
+    parent[0] = -1
+    return parent
+
+
+def caterpillar_tree(n):
+    """Spine with a leaf hanging off every spine vertex: odd ids extend
+    the spine, even ids hang off its current tip."""
+    parent = np.empty(n, dtype=np.int64)
+    parent[0] = -1
+    spine = [0]
+    for i in range(1, n):
+        parent[i] = spine[-1]
+        if i % 2 == 1:
+            spine.append(i)
+    return parent
+
+
+def broom_tree(n):
+    """A long handle ending in a fan of bristles."""
+    handle = n // 2
+    parent = np.empty(n, dtype=np.int64)
+    parent[0] = -1
+    for i in range(1, handle):
+        parent[i] = i - 1
+    for i in range(handle, n):
+        parent[i] = handle - 1
+    return parent
+
+
+def graph_on_tree(parent, extra_edges, rng, max_weight=5):
+    n = parent.shape[0]
+    child = np.flatnonzero(parent >= 0)
+    u = [int(x) for x in child]
+    v = [int(parent[x]) for x in child]
+    for _ in range(extra_edges):
+        a, b = rng.integers(0, n, 2)
+        if a != b:
+            u.append(int(a))
+            v.append(int(b))
+    w = rng.integers(1, max_weight + 1, size=len(u)).astype(np.float64)
+    return Graph(n, np.array(u), np.array(v), w, validate=False)
+
+
+@pytest.mark.parametrize(
+    "shape", [star_tree, caterpillar_tree, broom_tree], ids=["star", "caterpillar", "broom"]
+)
+class TestPathologicalTrees:
+    def test_two_respecting_exact(self, shape):
+        rng = np.random.default_rng(hash(shape.__name__) % 2**31)
+        for n in (9, 24, 41):
+            parent = shape(n)
+            g = graph_on_tree(parent, 3 * n, rng)
+            res = two_respecting_min_cut(g, parent)
+            rt = postorder(binarize_parent(parent).parent)
+            bval, _, _ = brute_force_two_respecting(g, rt)
+            assert res.value == pytest.approx(bval)
+            assert_valid_cut(g, res.value, res.side)
+
+    def test_full_pipeline_exact(self, shape):
+        rng = np.random.default_rng(1 + hash(shape.__name__) % 2**31)
+        parent = shape(30)
+        g = graph_on_tree(parent, 90, rng)
+        res = minimum_cut(g, rng=np.random.default_rng(0))
+        assert res.value == pytest.approx(stoer_wagner(g).value)
+
+
+class TestExtremeWeights:
+    def test_huge_weight_spread(self):
+        rng = np.random.default_rng(5)
+        g = random_connected_graph(30, 90, rng=rng, max_weight=1)
+        w = g.w.copy()
+        w[::3] *= 1e9  # nine orders of magnitude spread
+        g = g.with_weights(w)
+        res = minimum_cut(g, rng=np.random.default_rng(1))
+        assert res.value == pytest.approx(stoer_wagner(g).value, rel=1e-9)
+
+    def test_tiny_fractional_weights(self):
+        rng = np.random.default_rng(6)
+        g = random_connected_graph(25, 70, rng=rng, max_weight=1)
+        g = g.with_weights(rng.uniform(1e-6, 1e-5, g.m))
+        res = minimum_cut(g, rng=np.random.default_rng(2))
+        assert res.value == pytest.approx(stoer_wagner(g).value, rel=1e-6)
+
+    def test_single_heavy_bridge(self):
+        """Two cliques; the bridge is HEAVIER than the clique cuts, so
+        the optimum is inside a clique — exercises the nested case."""
+        from repro.graphs import barbell_graph
+
+        g = barbell_graph(6, bridge_weight=50.0)
+        res = minimum_cut(g, rng=np.random.default_rng(3))
+        assert res.value == pytest.approx(stoer_wagner(g).value)
+        assert res.value == pytest.approx(5.0)  # isolate one clique vertex
+
+    def test_unique_light_bridge(self):
+        from repro.graphs import barbell_graph
+
+        g = barbell_graph(7, bridge_weight=0.001)
+        res = minimum_cut(g, rng=np.random.default_rng(4))
+        assert res.value == pytest.approx(0.001)
+
+
+class TestDegenerateShapes:
+    def test_path_graph(self):
+        n = 30
+        u = np.arange(n - 1)
+        v = np.arange(1, n)
+        g = Graph(n, u, v, np.arange(1, n, dtype=np.float64))
+        res = minimum_cut(g, rng=np.random.default_rng(5))
+        assert res.value == pytest.approx(1.0)  # the lightest path edge
+
+    def test_two_triangles_sharing_a_vertex_would_be_cut(self):
+        """An articulation vertex: min cut isolates one triangle side."""
+        g = Graph.from_edges(
+            5, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (2, 4, 1.0)]
+        )
+        res = minimum_cut(g, rng=np.random.default_rng(6))
+        assert res.value == pytest.approx(stoer_wagner(g).value)
+
+    def test_complete_graph_all_degrees_equal(self):
+        from repro.graphs import complete_graph
+
+        g = complete_graph(9)
+        res = minimum_cut(g, rng=np.random.default_rng(7))
+        assert res.value == pytest.approx(8.0)
+
+    def test_near_bipartite_double_star(self):
+        """Two hubs sharing all leaves — many equal-value cuts."""
+        edges = []
+        n_leaves = 8
+        for i in range(n_leaves):
+            edges.append((2 + i, 0, 1.0))
+            edges.append((2 + i, 1, 1.0))
+        edges.append((0, 1, 1.0))
+        g = Graph.from_edges(2 + n_leaves, edges)
+        res = minimum_cut(g, rng=np.random.default_rng(8))
+        assert res.value == pytest.approx(stoer_wagner(g).value)
+
+
+class TestFuzzPipeline:
+    def test_randomized_corpus_wide(self):
+        """A wider randomized sweep than the core tests: mixed density,
+        mixed weights, mixed roots."""
+        rng = np.random.default_rng(99)
+        for trial in range(12):
+            n = int(rng.integers(4, 45))
+            density = float(rng.uniform(1.05, 6.0))
+            wmax = int(rng.integers(1, 12))
+            g = random_connected_graph(n, int(n * density), rng=rng, max_weight=wmax)
+            res = minimum_cut(g, rng=np.random.default_rng(trial * 7 + 1))
+            sw = stoer_wagner(g)
+            assert res.value == pytest.approx(sw.value), (trial, n, density, wmax)
+            assert_valid_cut(g, res.value, res.side)

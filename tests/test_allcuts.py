@@ -1,0 +1,76 @@
+"""Enumerating all minimum cuts (repro.core.allcuts)."""
+
+import numpy as np
+import pytest
+
+from repro.core import all_minimum_cuts
+from repro.errors import GraphFormatError
+from repro.graphs import Graph, barbell_graph, cycle_graph, random_connected_graph
+
+
+def brute_count(g, lam, atol=1e-9):
+    count = 0
+    for bits in range(1, 1 << (g.n - 1)):
+        side = np.zeros(g.n, dtype=bool)
+        for j in range(g.n - 1):
+            if bits >> j & 1:
+                side[j + 1] = True
+        if abs(g.cut_value(side) - lam) < atol:
+            count += 1
+    return count
+
+
+class TestAllMinimumCuts:
+    def test_cycle_has_choose_two(self):
+        """Every pair of cycle edges induces a minimum cut."""
+        for n in (4, 5, 7):
+            cuts = all_minimum_cuts(cycle_graph(n), rng=np.random.default_rng(n))
+            assert len(cuts) == n * (n - 1) // 2
+            assert all(c.value == pytest.approx(2.0) for c in cuts)
+
+    def test_unique_min_cut(self):
+        cuts = all_minimum_cuts(barbell_graph(5, 0.5), rng=np.random.default_rng(0))
+        assert len(cuts) == 1
+        assert cuts[0].value == pytest.approx(0.5)
+
+    def test_matches_exhaustive_enumeration(self):
+        rng = np.random.default_rng(3)
+        for t in range(6):
+            g = random_connected_graph(8, 18, rng=rng, max_weight=3)
+            cuts = all_minimum_cuts(g, rng=np.random.default_rng(t + 10))
+            lam = cuts[0].value
+            assert len(cuts) == brute_count(g, lam)
+
+    def test_all_results_distinct_and_valid(self):
+        g = cycle_graph(6)
+        cuts = all_minimum_cuts(g, rng=np.random.default_rng(1))
+        keys = set()
+        for c in cuts:
+            side = c.side if not c.side[0] else ~c.side
+            keys.add(tuple(side.tolist()))
+            assert g.cut_value(c.side) == pytest.approx(c.value)
+        assert len(keys) == len(cuts)
+
+    def test_sorted_by_smaller_side(self):
+        cuts = all_minimum_cuts(cycle_graph(8), rng=np.random.default_rng(2))
+        sizes = [int(min(c.side.sum(), (~c.side).sum())) for c in cuts]
+        assert sizes == sorted(sizes)
+
+    def test_disconnected_reports_components(self):
+        g = Graph.from_edges(5, [(0, 1, 1.0), (2, 3, 1.0), (3, 4, 1.0)])
+        cuts = all_minimum_cuts(g)
+        assert all(c.value == 0.0 for c in cuts)
+        assert len(cuts) >= 1
+
+    def test_rejects_tiny(self):
+        with pytest.raises(GraphFormatError):
+            all_minimum_cuts(Graph.empty(1))
+
+    def test_weighted_ties(self):
+        """Parallel light edges create several equal minimum cuts."""
+        g = Graph.from_edges(
+            4, [(0, 1, 1.0), (1, 2, 5.0), (2, 3, 1.0), (0, 3, 5.0), (0, 2, 5.0)]
+        )
+        cuts = all_minimum_cuts(g, rng=np.random.default_rng(4))
+        lam = cuts[0].value
+        assert len(cuts) == brute_count(g, lam)

@@ -1,0 +1,162 @@
+"""The Section 3 approximation algorithm (Theorem 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.approx import approximate_minimum_cut, locate_skeleton_layer
+from repro.baselines import stoer_wagner
+from repro.errors import GraphFormatError
+from repro.graphs import Graph, random_connected_graph
+from repro.pram import Ledger
+from repro.sparsify import HierarchyParams
+
+
+def solver(g):
+    return stoer_wagner(g).value
+
+
+def params():
+    return HierarchyParams(scale=0.02)
+
+
+class TestApproximation:
+    def test_bracket_contains_lambda_small_weights(self):
+        """With small total weight the hierarchy has few layers and layer
+        0 certificates capture lambda exactly."""
+        rng = np.random.default_rng(1)
+        for trial in range(6):
+            g = random_connected_graph(20, 70, rng=rng, max_weight=3)
+            lam = stoer_wagner(g).value
+            res = approximate_minimum_cut(
+                g, params=params(), rng=np.random.default_rng(trial), solver=solver
+            )
+            assert res.low - 1e-9 <= lam <= res.high * 1.35 + 1e-9, (
+                trial, lam, res,
+            )
+
+    def test_heavy_weights_constant_factor(self):
+        """With heavy weights the estimate comes from a sampled layer and
+        must stay within a constant factor of lambda."""
+        rng = np.random.default_rng(2)
+        misses = 0
+        for trial in range(8):
+            g = random_connected_graph(16, 56, rng=rng, max_weight=1)
+            g = g.with_weights(g.w * float(rng.integers(200, 2000)))
+            lam = stoer_wagner(g).value
+            res = approximate_minimum_cut(
+                g, params=params(), rng=np.random.default_rng(trial + 50), solver=solver
+            )
+            ratio = res.estimate / lam
+            if not (1 / 4 <= ratio <= 4):
+                misses += 1
+        assert misses <= 1  # concentration at toy scale is loose but real
+
+    def test_estimate_scales_with_layer(self):
+        g = random_connected_graph(16, 60, rng=3, max_weight=1)
+        g = g.with_weights(g.w * 600.0)
+        res = approximate_minimum_cut(
+            g, params=params(), rng=np.random.default_rng(0), solver=solver
+        )
+        assert res.skeleton_layer >= 1
+        assert res.estimate == pytest.approx(
+            res.layer_cuts[res.skeleton_layer] * 2 ** res.skeleton_layer
+        )
+
+    def test_disconnected_returns_zero(self):
+        g = Graph.from_edges(4, [(0, 1, 2.0), (2, 3, 2.0)])
+        res = approximate_minimum_cut(g, rng=np.random.default_rng(0), solver=solver)
+        assert res.estimate == 0.0
+
+    def test_rejects_tiny(self):
+        with pytest.raises(GraphFormatError):
+            approximate_minimum_cut(Graph.empty(1), solver=solver)
+
+    def test_stats_and_ledger(self):
+        g = random_connected_graph(18, 60, rng=4, max_weight=2)
+        led = Ledger()
+        res = approximate_minimum_cut(
+            g, params=params(), rng=np.random.default_rng(1), solver=solver, ledger=led
+        )
+        assert "hierarchy_depth" in res.stats
+        assert led.work > 0
+        assert {"hierarchy", "certificates", "layer-cuts"} <= set(led.phases)
+
+    def test_float_weights_transparently_scaled(self):
+        rng = np.random.default_rng(9)
+        g = random_connected_graph(18, 60, rng=rng, max_weight=1)
+        g = g.with_weights(rng.uniform(0.5, 2.5, g.m))
+        lam = stoer_wagner(g).value
+        res = approximate_minimum_cut(
+            g, params=params(), rng=np.random.default_rng(0), solver=solver
+        )
+        assert res.stats["weight_scale"] > 1.0
+        assert 0.2 <= res.estimate / lam <= 5.0
+
+    def test_repeats_reduces_spread(self):
+        """The paper's (1+eps)-refinement remark: median of independent
+        hierarchies shrinks the sampling spread (not the quantisation
+        bias) — measured as std of log-estimates over reruns."""
+        rng = np.random.default_rng(0)
+        g = random_connected_graph(16, 56, rng=rng, max_weight=1)
+        g = g.with_weights(g.w * 700.0)
+        singles, medians = [], []
+        for t in range(8):
+            r1 = approximate_minimum_cut(
+                g, params=params(), rng=np.random.default_rng(100 + t), solver=solver
+            )
+            r5 = approximate_minimum_cut(
+                g,
+                params=params(),
+                rng=np.random.default_rng(200 + t),
+                solver=solver,
+                repeats=5,
+            )
+            singles.append(np.log(max(r1.estimate, 1e-9)))
+            medians.append(np.log(max(r5.estimate, 1e-9)))
+            assert r5.stats["repeats"] == 5.0
+            assert "estimate_spread" in r5.stats
+        assert np.std(medians) < np.std(singles)
+
+    def test_repeats_validation(self):
+        g = random_connected_graph(10, 30, rng=1, max_weight=2)
+        with pytest.raises(ValueError):
+            approximate_minimum_cut(g, solver=solver, repeats=0)
+
+    def test_default_solver_runs(self):
+        g = random_connected_graph(20, 66, rng=5, max_weight=2)
+        res = approximate_minimum_cut(g, params=params(), rng=np.random.default_rng(2))
+        lam = stoer_wagner(g).value
+        assert res.estimate >= 0
+        assert res.low <= lam * 2.5  # sanity of the bracket shape
+
+
+class TestLocateLayer:
+    def _params(self):
+        return HierarchyParams(scale=1.0)  # windows in plain log-units
+
+    def test_layer_inside_window(self):
+        p = self._params()
+        n = 256
+        lo, hi = p.window(n)
+        cuts = {0: 10 * hi, 1: 3 * hi, 2: (lo + hi) / 2, 3: lo / 4}
+        assert locate_skeleton_layer(cuts, n, p) == 2
+
+    def test_fallback_boundary(self):
+        p = self._params()
+        n = 256
+        lo, hi = p.window(n)
+        cuts = {0: 10 * hi, 1: 3 * hi, 2: lo / 3}
+        s = locate_skeleton_layer(cuts, n, p)
+        assert s in (1, 2)
+
+    def test_prefers_centre(self):
+        p = self._params()
+        n = 256
+        lo, hi = p.window(n)
+        centre = (lo + hi) / 2
+        cuts = {0: hi, 1: centre, 2: lo}
+        assert locate_skeleton_layer(cuts, n, p) == 1
+
+    def test_all_zero(self):
+        p = self._params()
+        assert locate_skeleton_layer({0: 0.0, 1: 0.0}, 64, p) == 0

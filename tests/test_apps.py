@@ -1,0 +1,129 @@
+"""Application workflows (repro.apps) and the 2-out baseline."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    ClusteringParams,
+    ReliabilityReport,
+    induced_subgraph,
+    min_cut_clusters,
+    reinforce,
+    weakest_partition,
+)
+from repro.baselines import stoer_wagner, two_out_contraction_min_cut
+from repro.errors import GraphFormatError
+from repro.graphs import (
+    Graph,
+    community_graph,
+    random_connected_graph,
+    reliability_network,
+)
+
+
+class TestInducedSubgraph:
+    def test_basic(self):
+        g = Graph.from_edges(4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)])
+        sub = induced_subgraph(g, np.array([1, 2]))
+        assert sub.n == 2
+        assert sub.m == 1
+        assert sub.w[0] == 2.0
+
+    def test_empty_selection(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        assert induced_subgraph(g, np.array([], dtype=np.int64)).n == 0
+
+    def test_preserves_weights(self):
+        g = random_connected_graph(20, 60, rng=1, max_weight=5)
+        sub = induced_subgraph(g, np.arange(20))
+        assert sub.total_weight == pytest.approx(g.total_weight)
+
+
+class TestClustering:
+    def test_recovers_planted_communities(self):
+        sizes = (14, 12, 16)
+        g = community_graph(sizes, intra_degree=8, inter_edges=2, rng=5)
+        parts = min_cut_clusters(g, rng=np.random.default_rng(0))
+        assert sorted(len(p) for p in parts) == sorted(sizes)
+        # parts form a partition
+        allv = np.concatenate(parts)
+        assert sorted(allv.tolist()) == list(range(g.n))
+
+    def test_dense_graph_stays_whole(self):
+        from repro.graphs import complete_graph
+
+        g = complete_graph(16)
+        parts = min_cut_clusters(g, rng=np.random.default_rng(1))
+        assert len(parts) == 1
+
+    def test_disconnected_splits_by_component(self):
+        g = Graph.from_edges(8, [(i, i + 1, 1.0) for i in (0, 1, 2)] + [(i, i + 1, 1.0) for i in (4, 5, 6)])
+        parts = min_cut_clusters(
+            g, params=ClusteringParams(min_size=1), rng=np.random.default_rng(2)
+        )
+        part_sets = [set(p.tolist()) for p in parts]
+        assert not any({0, 4} <= s for s in part_sets)  # never merged
+
+    def test_min_size_respected(self):
+        g = community_graph((10, 10), rng=3)
+        parts = min_cut_clusters(
+            g, params=ClusteringParams(min_size=15), rng=np.random.default_rng(3)
+        )
+        assert len(parts) == 1  # any split would violate min_size
+
+    def test_empty_graph(self):
+        assert min_cut_clusters(Graph.empty(0)) == []
+
+
+class TestReliability:
+    def test_weakest_partition_matches_min_cut(self):
+        net = reliability_network(20, 6, rng=4)
+        rep = weakest_partition(net, rng=np.random.default_rng(0))
+        assert rep.cut_value == pytest.approx(stoer_wagner(net).value)
+        assert rep.isolated.shape[0] <= net.n // 2
+        assert rep.crossing_edges.shape[0] >= 1
+
+    def test_reinforce_monotone(self):
+        net = reliability_network(22, 7, rng=5)
+        reports = reinforce(net, rounds=3, rng=np.random.default_rng(1))
+        vals = [r.cut_value for r in reports]
+        assert all(vals[i + 1] >= vals[i] - 1e-9 for i in range(len(vals) - 1))
+
+    def test_reinforce_validates(self):
+        net = reliability_network(15, 4, rng=6)
+        with pytest.raises(ValueError):
+            reinforce(net, rounds=0)
+        with pytest.raises(ValueError):
+            reinforce(net, rounds=1, factor=1.0)
+
+
+class TestTwoOutContraction:
+    def _simple(self, n, m, seed):
+        g = random_connected_graph(n, m, rng=seed, max_weight=1)
+        return g.with_weights(np.ones(g.m))
+
+    def test_exact_whp_on_corpus(self):
+        hits = 0
+        for t in range(8):
+            g = self._simple(40, 130, t)
+            res = two_out_contraction_min_cut(g, rng=np.random.default_rng(t + 50))
+            sw = stoer_wagner(g)
+            assert res.value >= sw.value - 1e-9
+            assert g.cut_value(res.side) == pytest.approx(res.value)
+            hits += abs(res.value - sw.value) < 1e-9
+        assert hits >= 7
+
+    def test_rejects_weighted(self):
+        g = random_connected_graph(10, 30, rng=1, max_weight=5)
+        with pytest.raises(GraphFormatError):
+            two_out_contraction_min_cut(g)
+
+    def test_disconnected(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        assert two_out_contraction_min_cut(g).value == 0.0
+
+    def test_min_degree_cut_found(self):
+        """Star graph: min cut is any leaf's single edge."""
+        g = Graph.from_edges(6, [(0, i) for i in range(1, 6)])
+        res = two_out_contraction_min_cut(g, rng=np.random.default_rng(2))
+        assert res.value == pytest.approx(1.0)

@@ -1,0 +1,133 @@
+"""Baselines: Stoer–Wagner, Karger–Stein, GG18 stand-in, cost models."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    crossover_density,
+    depth_all,
+    gg18_two_respecting,
+    gg18_work_model,
+    karger_stein,
+    stoer_wagner,
+    work_ab21,
+    work_gg18,
+    work_here,
+    work_sequential_gmw,
+)
+from repro.baselines.models import work_here_best
+from repro.errors import GraphFormatError
+from repro.graphs import Graph, barbell_graph, random_connected_graph
+from repro.pram import Ledger
+from repro.primitives import root_tree, spanning_forest_graph
+from repro.tworespect import two_respecting_min_cut
+
+from tests.conftest import assert_valid_cut, make_graph
+
+
+class TestStoerWagner:
+    def test_matches_networkx(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            n = int(rng.integers(3, 35))
+            g = random_connected_graph(n, 3 * n, rng=rng, max_weight=6)
+            val, _ = nx.stoer_wagner(g.to_networkx())
+            res = stoer_wagner(g)
+            assert res.value == pytest.approx(val)
+            assert_valid_cut(g, res.value, res.side)
+
+    def test_disconnected(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        assert stoer_wagner(g).value == 0.0
+
+    def test_rejects_tiny(self):
+        with pytest.raises(GraphFormatError):
+            stoer_wagner(Graph.empty(1))
+
+    def test_two_vertices(self):
+        g = Graph.from_edges(2, [(0, 1, 3.5)])
+        assert stoer_wagner(g).value == pytest.approx(3.5)
+
+
+class TestKargerStein:
+    def test_finds_min_cut_whp(self):
+        rng = np.random.default_rng(2)
+        hits = 0
+        trials = 8
+        for t in range(trials):
+            n = int(rng.integers(4, 25))
+            g = random_connected_graph(n, 3 * n, rng=rng, max_weight=4)
+            res = karger_stein(g, rng=np.random.default_rng(t))
+            assert_valid_cut(g, res.value, res.side)
+            sw = stoer_wagner(g).value
+            assert res.value >= sw - 1e-9  # contraction cuts never undershoot
+            hits += abs(res.value - sw) < 1e-9
+        assert hits >= trials - 1
+
+    def test_easy_structures(self):
+        g = barbell_graph(6, 1.0)
+        res = karger_stein(g, rng=np.random.default_rng(3))
+        assert res.value == pytest.approx(1.0)
+
+    def test_disconnected(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        assert karger_stein(g).value == 0.0
+
+
+class TestGG18Baseline:
+    def test_matches_two_respecting(self):
+        rng = np.random.default_rng(4)
+        for t in range(5):
+            n = int(rng.integers(5, 35))
+            g = random_connected_graph(n, 3 * n, rng=rng, max_weight=5)
+            ids, _ = spanning_forest_graph(g)
+            parent = root_tree(g.n, g.u[ids], g.v[ids], 0)
+            a = gg18_two_respecting(g, parent)
+            b = two_respecting_min_cut(g, parent)
+            assert a.value == pytest.approx(b.value)
+            assert_valid_cut(g, a.value, a.side)
+
+    def test_work_exceeds_ours(self):
+        """The point of Table 1: the GG18-style baseline does strictly
+        more structural work on the same instance."""
+        g = make_graph(150, 600, 5)
+        ids, _ = spanning_forest_graph(g)
+        parent = root_tree(g.n, g.u[ids], g.v[ids], 0)
+        led_a, led_b = Ledger(), Ledger()
+        gg18_two_respecting(g, parent, ledger=led_a)
+        two_respecting_min_cut(g, parent, ledger=led_b)
+        assert led_a.work > 1.5 * led_b.work
+
+
+class TestCostModels:
+    def test_gg18_dominates_here_asymptotically(self):
+        n = 1 << 16
+        m = n * 64
+        assert work_gg18(m, n) > work_here_best(m, n)
+        assert gg18_work_model(m, n) == work_gg18(m, n)
+
+    def test_ab21_wins_sparse_here_wins_dense(self):
+        n = 1 << 18
+        sparse_m = 2 * n
+        dense_m = n * int(math.log2(n) ** 4)  # deep in the non-sparse regime
+        assert work_ab21(sparse_m, n) < work_here_best(sparse_m, n)
+        assert work_here_best(dense_m, n) < work_ab21(dense_m, n)
+
+    def test_crossover_density_near_polylog(self):
+        n = 1 << 16
+        c = crossover_density(n)
+        assert math.log2(n) ** 2 <= c <= math.log2(n) ** 3.5
+
+    def test_depth_model(self):
+        assert depth_all(256) == pytest.approx(8**3)
+
+    def test_parallel_matches_sequential_shape(self):
+        """Work-optimality: the parallel bound tracks the sequential one
+        within a constant on dense graphs."""
+        n = 1 << 14
+        m = n * n  # m = n^2: unambiguously non-sparse
+        ratio = work_here(m, n) / work_sequential_gmw(m, n)
+        assert ratio < 1.6

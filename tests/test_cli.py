@@ -1,0 +1,81 @@
+"""Command-line interface (python -m repro)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs import random_connected_graph, write_dimacs, write_edgelist
+from repro.baselines import stoer_wagner
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g = random_connected_graph(20, 60, rng=1, max_weight=4)
+    path = tmp_path / "g.el"
+    write_edgelist(g, path)
+    return g, str(path)
+
+
+class TestCut:
+    def test_value_matches_baseline(self, graph_file, capsys):
+        g, path = graph_file
+        assert main(["cut", path, "--seed", "3"]) == 0
+        out = dict(
+            line.split(" ", 1) for line in capsys.readouterr().out.strip().split("\n")
+        )
+        assert float(out["value"]) == pytest.approx(stoer_wagner(g).value)
+        assert float(out["work"]) > 0
+        side = [int(x) for x in out["side"].split()]
+        assert 0 < len(side) < g.n
+
+    def test_epsilon_flag(self, graph_file, capsys):
+        g, path = graph_file
+        assert main(["cut", path, "--epsilon", "0.4", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "value" in out
+
+    def test_dimacs_format(self, tmp_path, capsys):
+        g = random_connected_graph(12, 30, rng=2, max_weight=3)
+        path = tmp_path / "g.dimacs"
+        write_dimacs(g, path)
+        assert main(["cut", str(path), "--format", "dimacs"]) == 0
+        out = capsys.readouterr().out
+        assert float(out.split("\n")[0].split()[1]) == pytest.approx(
+            stoer_wagner(g).value
+        )
+
+
+class TestApprox:
+    def test_outputs_bracket(self, graph_file, capsys):
+        _, path = graph_file
+        assert main(["approx", path, "--seed", "5"]) == 0
+        out = dict(
+            line.split(" ", 1) for line in capsys.readouterr().out.strip().split("\n")
+        )
+        assert float(out["low"]) <= float(out["estimate"]) <= float(out["high"])
+        assert "layer" in out
+
+
+class TestBench:
+    def test_prints_profile(self, capsys):
+        assert main(["bench", "30", "90", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "phase.packing.work" in out
+        assert "value" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_auto_format_detection(self, tmp_path):
+        from repro.cli import _load
+
+        g = random_connected_graph(8, 20, rng=3)
+        p1 = tmp_path / "a.el"
+        write_edgelist(g, p1)
+        p2 = tmp_path / "a.dimacs"
+        write_dimacs(g, p2)
+        assert _load(str(p1), "auto").m == g.m
+        assert _load(str(p2), "auto").m == g.m

@@ -1,0 +1,155 @@
+"""Workload generators (repro.graphs.generators / generators_extra)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    barbell_graph,
+    community_graph,
+    complete_graph,
+    cycle_graph,
+    figure1_graph,
+    gnp_graph,
+    grid_graph,
+    planted_cut_graph,
+    power_law_graph,
+    random_connected_graph,
+    random_graph_density,
+    random_spanning_tree_edges,
+    reliability_network,
+)
+from repro.baselines import stoer_wagner
+
+
+class TestRandomConnected:
+    def test_connected_and_sized(self):
+        g = random_connected_graph(50, 200, rng=0)
+        assert g.n == 50
+        assert g.is_connected()
+        assert 49 <= g.m <= 200
+
+    def test_deterministic_given_seed(self):
+        a = random_connected_graph(30, 90, rng=7, max_weight=5)
+        b = random_connected_graph(30, 90, rng=7, max_weight=5)
+        assert a == b
+
+    def test_weights_in_range(self):
+        # coalescing may sum a few parallel duplicates above max_weight
+        g = random_connected_graph(30, 90, rng=1, max_weight=4, coalesce=False)
+        assert g.w.min() >= 1 and g.w.max() <= 4
+
+    def test_single_vertex(self):
+        g = random_connected_graph(1, 0, rng=0)
+        assert g.n == 1 and g.m == 0
+
+    def test_density_exponent(self):
+        g = random_graph_density(64, 1.5, rng=0)
+        assert g.is_connected()
+        assert g.m >= 64 ** 1.4  # coalescing only removes a few
+
+
+class TestSpanningTree:
+    def test_tree_edge_count(self):
+        u, v = random_spanning_tree_edges(20, 1)
+        assert u.shape == (19,)
+
+    def test_spans(self):
+        from repro.graphs import Graph
+
+        u, v = random_spanning_tree_edges(40, 2)
+        assert Graph(40, u, v).is_connected()
+
+
+class TestStructured:
+    def test_cycle_min_cut_is_two(self):
+        g = cycle_graph(9, weight=1.5)
+        assert stoer_wagner(g).value == pytest.approx(3.0)
+
+    def test_barbell_min_cut_is_bridge(self):
+        g = barbell_graph(6, bridge_weight=2.5)
+        res = stoer_wagner(g)
+        assert res.value == pytest.approx(2.5)
+        assert res.side.sum() in (6, 6)
+
+    def test_grid_shape(self):
+        g = grid_graph(4, 5)
+        assert g.n == 20
+        assert g.m == 4 * 4 + 3 * 5
+        assert g.is_connected()
+
+    def test_complete_graph(self):
+        g = complete_graph(6)
+        assert g.m == 15
+        assert stoer_wagner(g).value == 5.0
+
+    def test_gnp_p1_is_complete(self):
+        g = gnp_graph(5, 1.0, rng=0)
+        assert g.m == 10
+
+    def test_gnp_p0_is_empty(self):
+        assert gnp_graph(5, 0.0, rng=0).m == 0
+
+
+class TestPlantedCut:
+    def test_planted_side_value(self):
+        g = planted_cut_graph(15, 20, 3.0, rng=4)
+        side = np.arange(g.n) < 15
+        assert g.cut_value(side) == pytest.approx(3.0)
+
+    def test_planted_is_minimum(self):
+        g = planted_cut_graph(15, 15, 2.0, inside_degree=10, rng=5)
+        assert stoer_wagner(g).value == pytest.approx(2.0)
+
+
+class TestFigure1:
+    def test_shape_and_tree(self):
+        g, parent, labels = figure1_graph()
+        assert g.is_connected()
+        assert (parent < 0).sum() == 1
+        assert set(labels) == {"r", "e", "f", "e_prime"}
+
+    def test_caption_interest_relations(self):
+        """The caption's three relations: e<->f cross-interested both
+        ways, e' down-interested in f."""
+        from repro.primitives import postorder
+        from repro.rangesearch import CutOracle
+        from repro.trees import binarize_parent
+
+        g, parent, lab = figure1_graph()
+        rt = postorder(binarize_parent(parent).parent)
+        oracle = CutOracle(g, rt)
+        e, f, ep = lab["e"], lab["f"], lab["e_prime"]
+        assert oracle.cross_interested(e, f)
+        assert oracle.cross_interested(f, e)
+        assert oracle.down_interested(ep, f)
+
+
+class TestExtraGenerators:
+    def test_community_graph_connected(self):
+        g = community_graph((10, 12, 8), rng=0)
+        assert g.is_connected()
+        assert g.n == 30
+
+    def test_community_min_cut_is_between_communities(self):
+        g = community_graph((12, 12), intra_degree=8, inter_edges=2, rng=1)
+        res = stoer_wagner(g)
+        side_sizes = sorted([int(res.side.sum()), g.n - int(res.side.sum())])
+        assert side_sizes == [12, 12]
+
+    def test_power_law_connected(self):
+        g = power_law_graph(80, 300, rng=2)
+        assert g.is_connected()
+
+    def test_power_law_has_hubs(self):
+        g = power_law_graph(200, 1200, rng=3)
+        deg = np.zeros(g.n)
+        np.add.at(deg, g.u, 1)
+        np.add.at(deg, g.v, 1)
+        assert deg.max() > 4 * deg.mean()
+
+    def test_reliability_network(self):
+        g = reliability_network(20, 6, rng=4)
+        assert g.is_connected()
+        res = stoer_wagner(g)
+        # the cut isolates a single edge site
+        assert min(int(res.side.sum()), g.n - int(res.side.sum())) == 1

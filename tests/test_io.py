@@ -1,0 +1,81 @@
+"""Graph I/O round trips (repro.graphs.io)."""
+
+import io
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs import (
+    Graph,
+    random_connected_graph,
+    read_dimacs,
+    read_edgelist,
+    write_dimacs,
+    write_edgelist,
+)
+
+
+class TestEdgelist:
+    def test_roundtrip_exact(self, tmp_path):
+        g = random_connected_graph(20, 60, rng=3, max_weight=7)
+        path = tmp_path / "g.el"
+        write_edgelist(g, path)
+        assert read_edgelist(path) == g
+
+    def test_roundtrip_float_weights(self):
+        g = Graph.from_edges(3, [(0, 1, 0.123456789), (1, 2, 7.25)])
+        buf = io.StringIO()
+        write_edgelist(g, buf)
+        buf.seek(0)
+        g2 = read_edgelist(buf)
+        assert g2.w.tolist() == g.w.tolist()
+
+    def test_empty_graph(self):
+        buf = io.StringIO()
+        write_edgelist(Graph.empty(4), buf)
+        buf.seek(0)
+        g = read_edgelist(buf)
+        assert g.n == 4 and g.m == 0
+
+    def test_bad_header(self):
+        with pytest.raises(GraphFormatError):
+            read_edgelist(io.StringIO("nonsense\n"))
+
+    def test_truncated_edge_line(self):
+        with pytest.raises(GraphFormatError):
+            read_edgelist(io.StringIO("2 1\n0 1\n"))
+
+
+class TestDimacs:
+    def test_roundtrip(self, tmp_path):
+        g = random_connected_graph(15, 40, rng=5, max_weight=3)
+        path = tmp_path / "g.dimacs"
+        write_dimacs(g, path)
+        g2 = read_dimacs(path)
+        assert g2.n == g.n and g2.m == g.m
+        assert g2.total_weight == pytest.approx(g.total_weight)
+
+    def test_comments_and_default_weight(self):
+        text = "c a comment\np cut 3 2\ne 1 2\ne 2 3 5\n"
+        g = read_dimacs(io.StringIO(text))
+        assert g.m == 2
+        assert sorted(g.w.tolist()) == [1.0, 5.0]
+
+    def test_one_based_conversion(self):
+        g = read_dimacs(io.StringIO("p cut 2 1\ne 1 2 3\n"))
+        assert (int(g.u[0]), int(g.v[0])) == (0, 1)
+
+    def test_edge_before_problem_line(self):
+        with pytest.raises(GraphFormatError):
+            read_dimacs(io.StringIO("e 1 2 3\n"))
+
+    def test_missing_problem_line(self):
+        with pytest.raises(GraphFormatError):
+            read_dimacs(io.StringIO("c only comments\n"))
+
+    def test_float_weights_preserved(self):
+        g = Graph.from_edges(2, [(0, 1, 2.5)])
+        buf = io.StringIO()
+        write_dimacs(g, buf)
+        buf.seek(0)
+        assert read_dimacs(buf).w[0] == pytest.approx(2.5)

@@ -1,0 +1,177 @@
+"""Batched LCA and the all-subtree-costs aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs import Graph, random_connected_graph
+from repro.pram import Ledger
+from repro.primitives import LCA, all_subtree_costs, postorder, root_tree, spanning_forest_graph
+from repro.rangesearch import CutOracle, NaiveCutOracle
+from repro.trees import binarize_parent
+
+from tests.conftest import make_graph, make_rooted
+
+
+def naive_lca(rt, a, b):
+    anc = set()
+    x = int(a)
+    while x != -1:
+        anc.add(x)
+        x = int(rt.parent[x])
+    x = int(b)
+    while x not in anc:
+        x = int(rt.parent[x])
+    return x
+
+
+class TestLCA:
+    def test_matches_naive_walk(self):
+        rng = np.random.default_rng(1)
+        for t in range(5):
+            g = make_graph(int(rng.integers(3, 100)), 200, t)
+            _, rt = make_rooted(g)
+            lca = LCA(rt)
+            qa = rng.integers(0, rt.n, 40)
+            qb = rng.integers(0, rt.n, 40)
+            out = lca.query(qa, qb)
+            for a, b, c in zip(qa, qb, out):
+                assert c == naive_lca(rt, a, b)
+
+    def test_self_and_ancestor_queries(self):
+        parent = np.array([-1, 0, 1, 2, 2])
+        rt = postorder(parent)
+        lca = LCA(rt)
+        assert lca.query(np.array([3]), np.array([3]))[0] == 3
+        assert lca.query(np.array([3]), np.array([1]))[0] == 1
+        assert lca.query(np.array([3]), np.array([4]))[0] == 2
+        assert lca.query(np.array([0]), np.array([4]))[0] == 0
+
+    def test_path_tree(self):
+        parent = np.arange(-1, 19, dtype=np.int64)
+        rt = postorder(parent)
+        lca = LCA(rt)
+        out = lca.query(np.array([19, 5]), np.array([7, 19]))
+        assert out.tolist() == [7, 5]
+
+    def test_shape_mismatch(self):
+        _, rt = make_rooted(make_graph(10, 25, 2))
+        with pytest.raises(GraphFormatError):
+            LCA(rt).query(np.array([1, 2]), np.array([1]))
+
+    def test_charges_ledger(self):
+        _, rt = make_rooted(make_graph(30, 80, 3))
+        led = Ledger()
+        lca = LCA(rt, ledger=led)
+        lca.query(np.array([1]), np.array([2]), ledger=led)
+        assert led.work > 0
+
+
+class TestAllSubtreeCosts:
+    def test_matches_oracle_cost(self):
+        rng = np.random.default_rng(2)
+        for t in range(6):
+            n = int(rng.integers(3, 90))
+            g = random_connected_graph(n, 3 * n, rng=rng, max_weight=6)
+            _, rt = make_rooted(g)
+            costs = all_subtree_costs(g, rt)
+            naive = NaiveCutOracle(g, rt)
+            for u in range(rt.n):
+                if rt.parent[u] < 0:
+                    assert costs[u] == pytest.approx(0.0)
+                else:
+                    assert costs[u] == pytest.approx(naive.cost(u))
+
+    def test_root_cost_zero(self):
+        g = make_graph(20, 60, 4)
+        _, rt = make_rooted(g)
+        costs = all_subtree_costs(g, rt)
+        assert costs[rt.root] == pytest.approx(0.0)
+
+    def test_leaf_cost_is_degree(self):
+        g = Graph.from_edges(3, [(0, 1, 2.0), (1, 2, 3.0), (0, 2, 5.0)])
+        parent = np.array([-1, 0, 1])
+        rt = postorder(parent)
+        costs = all_subtree_costs(g, rt)
+        assert costs[2] == pytest.approx(8.0)  # leaf 2: edges (1,2)+(0,2)
+
+    def test_prefill_makes_oracle_cost_queryless(self):
+        g = make_graph(30, 100, 5)
+        _, rt = make_rooted(g)
+        oracle = CutOracle(g, rt)
+        oracle.prefill_costs()
+        q_before = oracle.points.stats.queries
+        for u in range(rt.n):
+            if rt.parent[u] >= 0:
+                oracle.cost(u)
+        assert oracle.points.stats.queries == q_before
+
+    def test_prefilled_values_match_queries(self):
+        g = make_graph(25, 80, 6)
+        _, rt = make_rooted(g)
+        a = CutOracle(g, rt)
+        b = CutOracle(g, rt)
+        b.prefill_costs()
+        for u in range(rt.n):
+            if rt.parent[u] >= 0:
+                assert a.cost(u) == pytest.approx(b.cost(u))
+
+
+class TestContract:
+    def test_quotient_shape(self):
+        g = Graph.from_edges(4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (0, 3, 4.0)])
+        q, dense = g.contract(np.array([0, 0, 1, 1]))
+        assert q.n == 2
+        assert q.m == 1
+        assert q.w[0] == pytest.approx(2.0 + 4.0)
+
+    def test_identity_labels(self):
+        g = make_graph(10, 30, 7)
+        q, dense = g.contract(np.arange(10))
+        assert q.n == 10
+        assert q.total_weight == pytest.approx(g.coalesced().total_weight)
+
+    def test_cut_values_preserved_across_classes(self):
+        g = make_graph(12, 40, 8)
+        labels = np.arange(12) % 3
+        q, dense = g.contract(labels)
+        side_q = np.array([True, False, False])
+        side_g = side_q[dense]
+        assert q.cut_value(side_q) == pytest.approx(g.cut_value(side_g))
+
+    def test_bad_label_length(self):
+        with pytest.raises(GraphFormatError):
+            make_graph(5, 10, 9).contract(np.array([0, 1]))
+
+
+class TestMatula:
+    def test_upper_bound_and_factor(self):
+        from repro.baselines import matula_approx, stoer_wagner
+
+        rng = np.random.default_rng(3)
+        for t in range(10):
+            n = int(rng.integers(4, 50))
+            g = random_connected_graph(n, 3 * n, rng=rng, max_weight=7)
+            lam = stoer_wagner(g).value
+            res = matula_approx(g, epsilon=0.5)
+            assert lam - 1e-9 <= res.value <= 2.5 * lam + 1e-9
+            assert g.cut_value(res.side) == pytest.approx(res.value)
+
+    def test_disconnected(self):
+        from repro.baselines import matula_approx
+
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        assert matula_approx(g).value == 0.0
+
+    def test_bad_epsilon(self):
+        from repro.baselines import matula_approx
+
+        with pytest.raises(ValueError):
+            matula_approx(make_graph(5, 12, 10), epsilon=0.0)
+
+    def test_barbell_exact(self):
+        from repro.baselines import matula_approx
+        from repro.graphs import barbell_graph
+
+        res = matula_approx(barbell_graph(6, 1.0))
+        assert res.value <= 2.5

@@ -1,0 +1,155 @@
+"""End-to-end exact minimum cut (Theorems 4.1 / 4.26)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import stoer_wagner
+from repro.core import branching_for_epsilon, minimum_cut
+from repro.errors import GraphFormatError
+from repro.graphs import (
+    Graph,
+    barbell_graph,
+    community_graph,
+    cycle_graph,
+    planted_cut_graph,
+    random_connected_graph,
+)
+from repro.pram import Ledger
+
+from tests.conftest import assert_valid_cut, make_graph
+
+
+class TestExactness:
+    def test_random_corpus(self):
+        rng = np.random.default_rng(42)
+        for trial in range(10):
+            n = int(rng.integers(5, 60))
+            g = random_connected_graph(
+                n, int(n * rng.uniform(1.2, 4)), rng=rng, max_weight=int(rng.integers(1, 9))
+            )
+            res = minimum_cut(g, rng=np.random.default_rng(trial))
+            sw = stoer_wagner(g)
+            assert res.value == pytest.approx(sw.value)
+            assert_valid_cut(g, res.value, res.side)
+
+    def test_unweighted_corpus(self):
+        rng = np.random.default_rng(43)
+        for trial in range(6):
+            n = int(rng.integers(5, 50))
+            g = random_connected_graph(n, 3 * n, rng=rng, max_weight=1)
+            res = minimum_cut(g, rng=np.random.default_rng(trial + 100))
+            assert res.value == pytest.approx(stoer_wagner(g).value)
+
+    def test_barbell(self):
+        res = minimum_cut(barbell_graph(8, 1.5), rng=np.random.default_rng(0))
+        assert res.value == pytest.approx(1.5)
+        assert min(res.side.sum(), (~res.side).sum()) == 8
+
+    def test_cycle(self):
+        res = minimum_cut(cycle_graph(15), rng=np.random.default_rng(0))
+        assert res.value == pytest.approx(2.0)
+
+    def test_planted(self):
+        g = planted_cut_graph(18, 22, 3.0, rng=9)
+        res = minimum_cut(g, rng=np.random.default_rng(0))
+        assert res.value == pytest.approx(stoer_wagner(g).value)
+
+    def test_community(self):
+        g = community_graph((14, 12, 10), rng=10)
+        res = minimum_cut(g, rng=np.random.default_rng(0))
+        assert res.value == pytest.approx(stoer_wagner(g).value)
+
+    def test_float_weights(self):
+        rng = np.random.default_rng(44)
+        g = random_connected_graph(25, 80, rng=rng, max_weight=1)
+        g = g.with_weights(rng.uniform(0.5, 3.0, g.m))
+        res = minimum_cut(g, rng=np.random.default_rng(1))
+        assert res.value == pytest.approx(stoer_wagner(g).value)
+
+    def test_parallel_edges(self):
+        g = Graph.from_edges(3, [(0, 1, 1.0), (0, 1, 1.0), (1, 2, 3.0), (0, 2, 1.0)])
+        res = minimum_cut(g, rng=np.random.default_rng(0))
+        assert res.value == pytest.approx(stoer_wagner(g).value)
+
+
+class TestVariants:
+    def test_epsilon_branching(self):
+        g = make_graph(40, 200, 20, max_weight=5)
+        sw = stoer_wagner(g).value
+        for eps in (0.2, 0.5):
+            res = minimum_cut(g, epsilon=eps, rng=np.random.default_rng(2))
+            assert res.value == pytest.approx(sw)
+            assert res.stats["branching"] == branching_for_epsilon(g.n, eps)
+
+    def test_bough_decomposition_variant(self):
+        g = make_graph(35, 140, 21)
+        res = minimum_cut(g, decomposition="bough", rng=np.random.default_rng(3))
+        assert res.value == pytest.approx(stoer_wagner(g).value)
+
+    def test_thorough_mode(self):
+        g = make_graph(25, 90, 22)
+        res = minimum_cut(g, max_trees=None, rng=np.random.default_rng(4))
+        assert res.value == pytest.approx(stoer_wagner(g).value)
+
+    def test_approx_value_skips_stage_one(self):
+        g = make_graph(30, 110, 23)
+        lam = stoer_wagner(g).value
+        led = Ledger()
+        res = minimum_cut(g, approx_value=lam, rng=np.random.default_rng(5), ledger=led)
+        assert res.value == pytest.approx(lam)
+        assert "approximate" not in led.phases
+
+    def test_deterministic_given_rng(self):
+        g = make_graph(30, 110, 24)
+        a = minimum_cut(g, rng=np.random.default_rng(7))
+        b = minimum_cut(g, rng=np.random.default_rng(7))
+        assert a.value == b.value
+        assert (a.side == b.side).all()
+
+
+class TestEdgeCases:
+    def test_two_vertices(self):
+        g = Graph.from_edges(2, [(0, 1, 4.5), (0, 1, 1.0)])
+        res = minimum_cut(g)
+        assert res.value == pytest.approx(5.5)
+
+    def test_disconnected(self):
+        g = Graph.from_edges(5, [(0, 1, 1.0), (2, 3, 1.0), (3, 4, 1.0)])
+        res = minimum_cut(g)
+        assert res.value == 0.0
+        assert 0 < res.side.sum() < 5
+
+    def test_single_vertex_rejected(self):
+        with pytest.raises(GraphFormatError):
+            minimum_cut(Graph.empty(1))
+
+    def test_bad_epsilon(self):
+        with pytest.raises(GraphFormatError):
+            minimum_cut(make_graph(10, 30, 25), epsilon=-0.5)
+
+    def test_branching_for_epsilon(self):
+        assert branching_for_epsilon(256, None) == 2
+        assert branching_for_epsilon(256, 0.5) == 16
+        assert branching_for_epsilon(1, 0.5) == 2
+
+
+class TestAccounting:
+    def test_phase_totals(self):
+        g = make_graph(40, 150, 26)
+        led = Ledger()
+        minimum_cut(g, rng=np.random.default_rng(8), ledger=led)
+        assert {"approximate", "packing", "two-respecting"} <= set(led.phases)
+        assert led.work > 0
+
+    def test_depth_polylog(self):
+        g = make_graph(100, 400, 27)
+        led = Ledger()
+        minimum_cut(g, rng=np.random.default_rng(9), ledger=led)
+        # Theorem 4.1: O(log^3 n) depth (generous model constant)
+        assert led.depth <= 120 * np.log2(g.n) ** 3
+
+    def test_stats_fields(self):
+        g = make_graph(30, 100, 28)
+        res = minimum_cut(g, rng=np.random.default_rng(10))
+        for key in ("num_trees", "skeleton_edges", "lambda_underestimate", "branching"):
+            assert key in res.stats

@@ -1,0 +1,93 @@
+"""Multigraph count algebra (repro.graphs.multigraph)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError, IntegerWeightsRequired
+from repro.graphs import Graph, MultiGraph
+
+
+def mg():
+    g = Graph.from_edges(4, [(0, 1, 3.0), (1, 2, 5.0), (2, 3, 2.0), (0, 3, 1.0)])
+    return MultiGraph.from_graph(g)
+
+
+class TestConstruction:
+    def test_from_graph_counts(self):
+        m = mg()
+        assert m.total_copies == 11
+        assert m.num_slots == 4
+
+    def test_rejects_float_weights(self):
+        g = Graph.from_edges(2, [(0, 1, 1.5)])
+        with pytest.raises(IntegerWeightsRequired):
+            MultiGraph.from_graph(g)
+
+    def test_rejects_negative_counts(self):
+        m = mg()
+        with pytest.raises(GraphFormatError):
+            m.with_counts(np.array([1, -1, 0, 0]))
+
+    def test_rejects_misaligned(self):
+        m = mg()
+        with pytest.raises(GraphFormatError):
+            MultiGraph(m.n, m.u, m.v, np.array([1]))
+
+
+class TestAlgebra:
+    def test_thin_all_or_nothing(self, rng):
+        m = mg()
+        assert m.thin(1.0, rng).total_copies == 11
+        assert m.thin(0.0, rng).total_copies == 0
+
+    def test_thin_is_subgraph(self, rng):
+        m = mg()
+        t = m.thin(0.5, rng)
+        assert t.is_subgraph_of(m)
+
+    def test_thin_bad_probability(self, rng):
+        with pytest.raises(ValueError):
+            mg().thin(1.5, rng)
+
+    def test_minus_clamps(self):
+        m = mg()
+        other = m.with_counts(np.array([5, 0, 1, 0]))
+        d = m.minus(other)
+        assert d.counts.tolist() == [0, 5, 1, 1]
+
+    def test_union_sums(self):
+        m = mg()
+        assert m.union(m).total_copies == 22
+
+    def test_cap(self):
+        m = mg()
+        assert m.cap(2).counts.tolist() == [2, 2, 2, 1]
+
+    def test_alignment_enforced(self):
+        m = mg()
+        g2 = Graph.from_edges(4, [(0, 1, 1.0)])
+        with pytest.raises(GraphFormatError):
+            m.minus(MultiGraph.from_graph(g2))
+
+
+class TestViews:
+    def test_support(self):
+        m = mg().with_counts(np.array([0, 2, 0, 1]))
+        assert m.support().tolist() == [1, 3]
+
+    def test_support_graph_weights(self):
+        m = mg().with_counts(np.array([0, 2, 0, 1]))
+        sg = m.support_graph()
+        assert sg.m == 2
+        assert sorted(sg.w.tolist()) == [1.0, 2.0]
+
+    def test_cut_value_counts_copies(self):
+        m = mg()
+        side = np.array([True, True, False, False])
+        # crossing: (1,2) x5 and (0,3) x1
+        assert m.cut_value(side) == 6
+
+    def test_connected_components_of_support(self):
+        m = mg().with_counts(np.array([1, 0, 1, 0]))
+        k, _ = m.connected_components()
+        assert k == 2

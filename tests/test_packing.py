@@ -1,0 +1,114 @@
+"""Tree packing (Section 4.2, Theorem 4.18)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import stoer_wagner
+from repro.errors import NotConnectedError
+from repro.graphs import Graph, planted_cut_graph, random_connected_graph
+from repro.packing import greedy_tree_packing, pack_trees
+from repro.pram import Ledger
+from repro.primitives import postorder
+from repro.tworespect import brute_force_two_respecting
+
+from tests.conftest import make_graph
+
+
+class TestGreedyPacking:
+    def test_trees_are_spanning(self):
+        g = make_graph(30, 120, 1)
+        packing = greedy_tree_packing(g, iterations=10)
+        for ids in packing.trees:
+            assert ids.shape[0] == g.n - 1
+            assert g.subgraph_edges(ids).is_connected()
+
+    def test_multiplicities_sum_to_iterations(self):
+        g = make_graph(25, 100, 2)
+        packing = greedy_tree_packing(g, iterations=17)
+        assert sum(packing.multiplicity) == 17
+        assert packing.iterations == 17
+
+    def test_loads_spread_over_edges(self):
+        """Greedy packing must not reuse one tree forever on a graph with
+        alternatives: distinct trees appear."""
+        g = make_graph(20, 80, 3, max_weight=1)
+        packing = greedy_tree_packing(g, iterations=12)
+        assert packing.num_distinct >= 2
+
+    def test_tree_parent_roots_at_zero(self):
+        g = make_graph(15, 60, 4)
+        packing = greedy_tree_packing(g, iterations=3)
+        parent = packing.tree_parent(0)
+        assert parent[0] == -1
+        postorder(parent)  # validates tree structure
+
+    def test_disconnected_rejected(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(NotConnectedError):
+            greedy_tree_packing(g, iterations=2)
+
+    def test_sample_trees_includes_top(self):
+        g = make_graph(20, 80, 5)
+        packing = greedy_tree_packing(g, iterations=20)
+        rng = np.random.default_rng(0)
+        if packing.num_distinct > 2:
+            chosen = packing.sample_trees(2, rng)
+            top = max(range(packing.num_distinct), key=lambda i: packing.multiplicity[i])
+            assert top in chosen
+            assert len(chosen) == 2
+
+    def test_sample_all_when_k_large(self):
+        g = make_graph(15, 50, 6)
+        packing = greedy_tree_packing(g, iterations=5)
+        chosen = packing.sample_trees(100, np.random.default_rng(0))
+        assert chosen == list(range(packing.num_distinct))
+
+
+class TestPackTrees:
+    def test_two_respecting_hit(self):
+        """Karger's guarantee: some packed tree 2-constrains the min cut
+        — verified by brute-force 2-respecting on every candidate."""
+        from repro.trees import binarize_parent
+
+        rng = np.random.default_rng(7)
+        for trial in range(5):
+            g = planted_cut_graph(10, 10, 2.0, rng=rng)
+            lam = stoer_wagner(g).value
+            result = pack_trees(g, lam / 2, rng=np.random.default_rng(trial))
+            best = min(
+                brute_force_two_respecting(
+                    g, postorder(binarize_parent(p).parent)
+                )[0]
+                for p in result.tree_parents
+            )
+            assert best == pytest.approx(lam)
+
+    def test_trees_span_original_graph(self):
+        g = make_graph(30, 120, 8)
+        result = pack_trees(g, 1.0, rng=np.random.default_rng(1))
+        for parent in result.tree_parents:
+            assert parent.shape[0] == g.n
+            assert (parent < 0).sum() == 1
+
+    def test_max_trees_cap(self):
+        g = make_graph(25, 100, 9, max_weight=1)
+        result = pack_trees(g, 1.0, max_trees=2, rng=np.random.default_rng(2))
+        assert result.num_trees <= 2
+
+    def test_disconnected_rejected(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(NotConnectedError):
+            pack_trees(g, 1.0, rng=np.random.default_rng(3))
+
+    def test_overestimate_recovers_connectivity(self):
+        """A wildly overestimated lambda makes the first skeleton too
+        sparse; pack_trees must retry with a denser one."""
+        g = make_graph(30, 100, 10, max_weight=1)
+        result = pack_trees(g, 1e6, rng=np.random.default_rng(4))
+        assert result.skeleton.skeleton.is_connected()
+
+    def test_phases_recorded(self):
+        g = make_graph(20, 70, 11)
+        led = Ledger()
+        pack_trees(g, 1.0, rng=np.random.default_rng(5), ledger=led)
+        assert {"skeleton", "greedy-packing"} <= set(led.phases)

@@ -1,0 +1,29 @@
+"""JSON experiment records (repro.metrics.records)."""
+
+import json
+
+from repro.metrics import MeasuredPoint, dump_records, load_records, points_to_records
+
+
+class TestRecords:
+    def test_points_to_records_flattens_extra(self):
+        pts = [MeasuredPoint(n=4, m=8, work=1.5, depth=2.0, extra={"z": 3.0})]
+        recs = points_to_records(pts)
+        assert recs == [{"n": 4, "m": 8, "work": 1.5, "depth": 2.0, "z": 3.0}]
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "sub" / "exp.json"
+        dump_records(path, "E-test", [{"a": 1}], meta={"seed": 7})
+        data = load_records(path)
+        assert data["experiment"] == "E-test"
+        assert data["meta"]["seed"] == 7
+        assert data["records"] == [{"a": 1}]
+
+    def test_creates_directories(self, tmp_path):
+        path = dump_records(tmp_path / "x" / "y" / "z.json", "E", [])
+        assert path.exists()
+
+    def test_valid_json_on_disk(self, tmp_path):
+        path = dump_records(tmp_path / "r.json", "E", [{"k": 2.5}])
+        raw = json.loads(path.read_text())
+        assert raw["records"][0]["k"] == 2.5

@@ -1,0 +1,90 @@
+"""Result containers and the metrics/experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    MeasuredPoint,
+    dense_workload,
+    density_sweep_workloads,
+    fit_power_law,
+    format_ratio,
+    format_table,
+    normalised_curve,
+)
+from repro.results import ApproxResult, CutResult
+
+
+class TestCutResult:
+    def test_partition(self):
+        r = CutResult(value=2.0, side=np.array([True, False, True]))
+        a, b = r.partition()
+        assert a.tolist() == [0, 2]
+        assert b.tolist() == [1]
+
+    def test_side_coerced_to_bool(self):
+        r = CutResult(value=1.0, side=np.array([1, 0, 1]))
+        assert r.side.dtype == bool
+
+    def test_repr(self):
+        r = CutResult(value=3.5, side=np.array([True, False]))
+        assert "3.5" in repr(r)
+
+    def test_witness_default_none(self):
+        assert CutResult(value=0.0, side=np.array([True, False])).witness_edges is None
+
+
+class TestApproxResult:
+    def test_fields(self):
+        r = ApproxResult(estimate=10.0, low=6.7, high=13.3, skeleton_layer=2)
+        assert r.low < r.estimate < r.high
+        assert "layer=2" in repr(r)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        out = format_table(["name", "value"], [["abc", 1.5], ["d", 123456.0]])
+        lines = out.split("\n")
+        assert len(lines) == 4
+        assert "name" in lines[0]
+        assert "---" in lines[1]
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="Table 1")
+        assert out.startswith("Table 1")
+
+    def test_format_ratio(self):
+        assert format_ratio(4.0, 2.0) == "2.00"
+        assert format_ratio(1.0, 0.0) == "inf"
+        assert format_ratio(0.0, 0.0) == "1.0"
+
+
+class TestWorkloads:
+    def test_dense_workload_size(self):
+        g = dense_workload(32, 1.5, seed=0)
+        assert g.n == 32
+        assert g.is_connected()
+        assert g.m >= 32
+
+    def test_density_sweep(self):
+        gs = density_sweep_workloads(40, [2, 4, 8], seed=1)
+        assert len(gs) == 3
+        ms = [g.m for g in gs]
+        assert ms == sorted(ms)
+
+    def test_measured_point(self):
+        p = MeasuredPoint(n=10, m=20, work=5.0, depth=2.0, extra={"x": 1.0})
+        assert p.extra["x"] == 1.0
+
+
+class TestFits:
+    def test_power_law_exact(self):
+        xs = [10.0, 100.0, 1000.0]
+        ys = [3 * x**2 for x in xs]
+        alpha, c = fit_power_law(xs, ys)
+        assert alpha == pytest.approx(2.0)
+        assert c == pytest.approx(3.0)
+
+    def test_normalised_curve(self):
+        assert normalised_curve([2.0, 4.0, 8.0]) == [1.0, 2.0, 4.0]
+        assert normalised_curve([0.0, 5.0]) == [0.0, 0.0]

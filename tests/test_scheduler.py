@@ -1,0 +1,53 @@
+"""Brent projections (repro.pram.scheduler)."""
+
+import pytest
+
+from repro.pram import Ledger, brent_time, ledger_curve, parallelism, speedup_curve
+
+
+class TestBrentTime:
+    def test_single_processor_is_work_plus_depth(self):
+        assert brent_time(100, 10, 1) == 110
+
+    def test_many_processors_floor_at_depth(self):
+        assert brent_time(100, 10, 10**9) == pytest.approx(10, rel=1e-3)
+
+    def test_invalid_processors(self):
+        with pytest.raises(ValueError):
+            brent_time(1, 1, 0)
+
+
+class TestParallelism:
+    def test_ratio(self):
+        assert parallelism(1000, 10) == 100
+
+    def test_zero_depth(self):
+        assert parallelism(1000, 0) == float("inf")
+
+
+class TestSpeedupCurve:
+    def test_self_relative_speedup_monotone(self):
+        curve = speedup_curve(1_000_000, 100, [1, 2, 4, 8, 16])
+        speeds = [p.speedup for p in curve]
+        assert speeds == sorted(speeds)
+        assert curve[0].speedup == pytest.approx(1_000_000 / 1_000_100)
+
+    def test_efficiency_at_one_processor(self):
+        curve = speedup_curve(1000, 1, [1])
+        assert curve[0].efficiency == pytest.approx(curve[0].speedup)
+
+    def test_absolute_baseline(self):
+        # work-optimal parallel algorithm: speedup vs sequential ~ p
+        curve = speedup_curve(1000, 1, [10], baseline_sequential=1000)
+        assert curve[0].speedup == pytest.approx(1000 / 101)
+
+    def test_speedup_saturates_at_parallelism(self):
+        w, d = 10000, 10
+        curve = speedup_curve(w, d, [1, 10**6])
+        assert curve[-1].speedup <= parallelism(w, d) + 1
+
+    def test_ledger_curve(self):
+        led = Ledger()
+        led.charge(500, 5)
+        curve = ledger_curve(led, [5])
+        assert curve[0].time == pytest.approx(105)

@@ -1,0 +1,210 @@
+"""Sparsification: skeletons, NI certificates, hierarchies (Sections 2.4,
+3.1, 4.2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import stoer_wagner
+from repro.graphs import Graph, MultiGraph, planted_cut_graph, random_connected_graph
+from repro.pram import Ledger
+from repro.sparsify import (
+    HierarchyParams,
+    SkeletonParams,
+    build_certificate_hierarchy,
+    build_skeleton,
+    build_truncated_hierarchy,
+    certificate_forests,
+    connectivity_certificate,
+)
+
+from tests.conftest import make_graph
+
+
+class TestCertificate:
+    def test_weight_bound(self):
+        """Theorem 2.6 / Definition 2.5.1: total weight <= k(n-1)."""
+        g = make_graph(40, 300, 1, max_weight=9)
+        for k in (1, 3, 8):
+            cert = connectivity_certificate(g, k)
+            assert cert.total_weight <= k * (g.n - 1) + 1e-9
+
+    def test_small_cuts_preserved_exactly(self):
+        """Definition 2.5.2: every cut of value <= k keeps its value."""
+        rng = np.random.default_rng(2)
+        for trial in range(6):
+            g = random_connected_graph(18, 60, rng=rng, max_weight=4)
+            lam = stoer_wagner(g).value
+            k = int(lam) + 3
+            cert = connectivity_certificate(g, k)
+            # check many random bipartitions with small cut values
+            for _ in range(40):
+                side = rng.random(g.n) < 0.5
+                if not side.any() or side.all():
+                    continue
+                val = g.cut_value(side)
+                if val <= k:
+                    assert cert.cut_value(side) == pytest.approx(val)
+
+    def test_min_cut_preserved(self):
+        g = planted_cut_graph(12, 12, 2.0, rng=3)
+        cert = connectivity_certificate(g, 10)
+        assert stoer_wagner(cert).value == pytest.approx(stoer_wagner(g).value)
+
+    def test_larger_cuts_at_least_k(self):
+        g = make_graph(20, 190, 4, max_weight=1)  # dense unweighted
+        k = 3
+        cert = connectivity_certificate(g, k)
+        assert stoer_wagner(cert).value >= min(stoer_wagner(g).value, k) - 1e-9
+
+    def test_rounds_stop_early_on_forest(self):
+        g = make_graph(20, 19, 5, max_weight=1)  # unit-weight tree
+        cert, rounds = certificate_forests(g, 10)
+        assert rounds == 1
+        assert cert.m == g.m
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            connectivity_certificate(make_graph(5, 8, 6), 0)
+
+    def test_charges_ledger(self):
+        led = Ledger()
+        connectivity_certificate(make_graph(30, 120, 7), 4, ledger=led)
+        assert led.work > 0 and led.depth > 0
+
+
+class TestSkeleton:
+    def test_p_one_keeps_connectivity_and_cut(self):
+        """At test scale p caps at 1: skeleton == weight-capped input and
+        the min cut value is unchanged (Observation 4.22)."""
+        g = make_graph(30, 120, 8, max_weight=5)
+        lam = stoer_wagner(g).value
+        skel = build_skeleton(g, lam / 2, rng=np.random.default_rng(0))
+        assert skel.p == 1.0
+        assert skel.skeleton.is_connected()
+        assert stoer_wagner(skel.skeleton).value == pytest.approx(lam)
+
+    def test_sampling_kicks_in_for_huge_cuts(self):
+        """A graph of very heavy parallel mass samples at p < 1 and the
+        skeleton min-cut lands near p * lambda."""
+        rng = np.random.default_rng(9)
+        g = random_connected_graph(24, 120, rng=rng, max_weight=1)
+        g = g.with_weights(g.w * 4000.0)  # lambda ~ thousands
+        lam = stoer_wagner(g).value
+        params = SkeletonParams(certify=False)
+        skel = build_skeleton(g, lam, params=params, rng=rng)
+        assert skel.p < 1.0
+        sk_cut = stoer_wagner(skel.skeleton).value
+        expect = skel.p * lam
+        assert 0.4 * expect <= sk_cut <= 2.5 * expect + params.weight_cap(g.n)
+
+    def test_cap_applied(self):
+        g = Graph.from_edges(3, [(0, 1, 1e9), (1, 2, 1e9), (0, 2, 1.0)])
+        skel = build_skeleton(g, 2.0, rng=np.random.default_rng(1))
+        assert skel.skeleton.w.max() <= skel.cap
+
+    def test_rescale(self):
+        g = make_graph(20, 60, 10)
+        skel = build_skeleton(g, 2.0, rng=np.random.default_rng(2))
+        assert skel.rescale_cut_value(5.0) == pytest.approx(5.0 / skel.p)
+
+    def test_poisson_path_for_float_weights(self):
+        g = Graph.from_edges(4, [(0, 1, 2000.5), (1, 2, 1500.25), (2, 3, 1800.75), (0, 3, 900.5)])
+        skel = build_skeleton(
+            g, 2000.0, params=SkeletonParams(certify=False), rng=np.random.default_rng(3)
+        )
+        assert skel.p < 1.0
+        assert skel.skeleton.m <= g.m
+
+
+def small_params():
+    """Hierarchy constants scaled for test-size graphs."""
+    return HierarchyParams(scale=0.02)
+
+
+class TestHierarchy:
+    def _heavy_graph(self, seed, n=16, wmax=800):
+        rng = np.random.default_rng(seed)
+        g = random_connected_graph(n, n * 4, rng=rng, max_weight=wmax)
+        return g
+
+    def test_structure_validates(self):
+        g = self._heavy_graph(1)
+        h = build_truncated_hierarchy(g, params=small_params(), rng=np.random.default_rng(0))
+        h.validate()
+
+    def test_depth_tracks_total_weight(self):
+        g = self._heavy_graph(2)
+        h = build_truncated_hierarchy(g, params=small_params(), rng=np.random.default_rng(1))
+        assert h.depth == int(np.ceil(np.log2(g.total_weight))) + 1
+
+    def test_layer_zero_counts_near_critical(self):
+        """Claim 3.10 analogue: the entry count of every edge sits near
+        its critical multiplicity window."""
+        params = small_params()
+        g = self._heavy_graph(3, n=12, wmax=3000)
+        h = build_truncated_hierarchy(g, params=params, rng=np.random.default_rng(2))
+        thresh = params.crit_threshold(g.n)
+        w = g.require_integer_weights()
+        for e in range(g.m):
+            expected = w[e] / (2.0 ** h.t_e[e])
+            assert thresh <= expected + 1e-9 or h.t_e[e] == 0
+            if h.t_e[e] > 0:
+                assert expected < 2 * thresh + 1e-9
+
+    def test_counts_decrease_along_layers(self):
+        g = self._heavy_graph(4)
+        h = build_truncated_hierarchy(g, params=small_params(), rng=np.random.default_rng(3))
+        for i in range(h.depth - 1):
+            assert (h.layers[i + 1].counts <= h.layers[i].counts).all()
+
+    def test_integer_weights_required(self):
+        g = Graph.from_edges(2, [(0, 1, 1.5)])
+        from repro.errors import IntegerWeightsRequired
+
+        with pytest.raises(IntegerWeightsRequired):
+            build_truncated_hierarchy(g, rng=np.random.default_rng(0))
+
+    def test_charges_ledger(self):
+        led = Ledger()
+        build_truncated_hierarchy(
+            self._heavy_graph(5), params=small_params(),
+            rng=np.random.default_rng(4), ledger=led,
+        )
+        assert led.work > 0
+
+
+class TestCertificateHierarchy:
+    def test_cumulative_preserves_small_cuts(self):
+        """Claim 3.18 at test scale: cuts below the certificate budget
+        survive in the cumulative certificates."""
+        params = small_params()
+        rng = np.random.default_rng(6)
+        g = random_connected_graph(14, 50, rng=rng, max_weight=400)
+        h = build_truncated_hierarchy(g, params=params, rng=rng)
+        certs = build_certificate_hierarchy(h)
+        k_budget = params.cert_k(g.n)
+        for i in range(h.depth):
+            layer_graph = h.layers[i].support_graph()
+            if layer_graph.m == 0 or not layer_graph.is_connected():
+                continue
+            lam_layer = stoer_wagner(layer_graph).value
+            cum = certs.cumulative(i)
+            if lam_layer < k_budget and cum.m > 0 and cum.is_connected():
+                assert stoer_wagner(cum).value <= lam_layer + 1e-9
+
+    def test_forest_budget_respected(self):
+        params = small_params()
+        rng = np.random.default_rng(7)
+        g = random_connected_graph(12, 40, rng=rng, max_weight=300)
+        h = build_truncated_hierarchy(g, params=params, rng=rng)
+        certs = build_certificate_hierarchy(h)
+        assert all(f <= params.cert_k(g.n) for f in certs.forests_per_layer)
+
+    def test_certificates_within_layers(self):
+        params = small_params()
+        rng = np.random.default_rng(8)
+        g = random_connected_graph(12, 40, rng=rng, max_weight=300)
+        h = build_truncated_hierarchy(g, params=params, rng=rng)
+        certs = build_certificate_hierarchy(h)
+        for i in range(h.depth):
+            assert (certs.certificates[i].counts <= h.exclusive[i].counts).all()

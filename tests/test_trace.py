@@ -1,0 +1,145 @@
+"""Series-parallel traces and schedule bounds (repro.pram.trace)."""
+
+import numpy as np
+import pytest
+
+from repro.pram import Ledger, TraceLedger, brent_time, schedule_bounds
+from repro.pram.trace import SPNode
+
+
+class TestTraceRecording:
+    def test_trace_totals_match_counters(self):
+        led = TraceLedger()
+        led.charge(5, 2)
+        with led.parallel() as par:
+            for d in (3, 7):
+                with par.branch():
+                    led.charge(4, d)
+        led.charge(1, 1)
+        assert led.trace.total_work() == pytest.approx(led.work)
+        assert led.trace.total_depth() == pytest.approx(led.depth)
+
+    def test_sequential_charges_merge(self):
+        led = TraceLedger()
+        for _ in range(100):
+            led.charge(1, 1)
+        assert led.trace.count_nodes() == 1  # merged into the root segment
+
+    def test_parallel_creates_children(self):
+        led = TraceLedger()
+        with led.parallel() as par:
+            with par.branch():
+                led.charge(1, 1)
+            with par.branch():
+                led.charge(1, 1)
+        # root + par + 2 branches
+        assert led.trace.count_nodes() == 4
+
+    def test_batch_pins_trace_depth(self):
+        led = TraceLedger()
+        with led.batch(depth=3):
+            led.charge(100, 50)
+        assert led.depth == 3
+        assert led.trace.total_depth() == pytest.approx(3)
+        assert led.trace.total_work() == pytest.approx(100)
+
+    def test_nested_structures(self):
+        led = TraceLedger()
+        with led.parallel() as outer:
+            with outer.branch():
+                with led.parallel() as inner:
+                    with inner.branch():
+                        led.charge(2, 5)
+            with outer.branch():
+                led.charge(2, 3)
+        assert led.depth == 5
+        assert led.trace.total_depth() == pytest.approx(5)
+
+    def test_reset(self):
+        led = TraceLedger()
+        led.charge(1, 1)
+        led.reset()
+        assert led.trace.total_work() == 0
+        assert led.work == 0
+
+    def test_matches_plain_ledger_on_algorithm(self):
+        """TraceLedger is a drop-in: identical counters to Ledger."""
+        from repro.graphs import random_connected_graph
+        from repro.primitives import root_tree, spanning_forest_graph
+        from repro.tworespect import two_respecting_min_cut
+
+        g = random_connected_graph(60, 200, rng=1, max_weight=4)
+        ids, _ = spanning_forest_graph(g)
+        parent = root_tree(g.n, g.u[ids], g.v[ids], 0)
+        plain, traced = Ledger(), TraceLedger()
+        a = two_respecting_min_cut(g, parent, ledger=plain)
+        b = two_respecting_min_cut(g, parent, ledger=traced)
+        assert a.value == b.value
+        assert traced.work == pytest.approx(plain.work)
+        assert traced.depth == pytest.approx(plain.depth)
+        assert traced.trace.total_work() == pytest.approx(plain.work)
+
+
+class TestScheduleBounds:
+    def test_pure_sequential_equals_brent(self):
+        led = TraceLedger()
+        led.charge(100, 10)
+        lo, hi = led.bounds(4)
+        assert lo == pytest.approx(max(25, 10))
+        assert hi == pytest.approx(brent_time(100, 10, 4))
+
+    def test_parallel_region_tightens_lower(self):
+        led = TraceLedger()
+        with led.parallel() as par:
+            for _ in range(8):
+                with par.branch():
+                    led.charge(10, 10)
+        lo, hi = led.bounds(8)
+        # perfectly divisible: both bounds collapse to the branch depth
+        assert lo == pytest.approx(10)
+        assert hi == pytest.approx(20)  # area + max slack
+
+    def test_bounds_ordered_and_within_brent(self):
+        rng = np.random.default_rng(0)
+        led = TraceLedger()
+        for _ in range(5):
+            led.charge(float(rng.integers(1, 50)), float(rng.integers(1, 5)))
+            with led.parallel() as par:
+                for _ in range(int(rng.integers(1, 6))):
+                    with par.branch():
+                        led.charge(float(rng.integers(1, 80)), float(rng.integers(1, 9)))
+        for p in (1, 2, 7, 64):
+            lo, hi = led.bounds(p)
+            assert lo <= hi + 1e-9
+            assert hi <= brent_time(led.work, led.depth, p) + 1e-6
+            assert lo >= max(led.work / p, 0) - 1e-9
+
+    def test_single_processor_exact(self):
+        """On p = 1 the makespan is exactly the work plus idle depth."""
+        led = TraceLedger()
+        led.charge(30, 3)
+        with led.parallel() as par:
+            with par.branch():
+                led.charge(10, 2)
+        lo, hi = led.bounds(1)
+        assert lo <= led.work + led.depth
+        assert hi == pytest.approx(brent_time(led.work, led.depth, 1))
+
+    def test_rejects_bad_processors(self):
+        led = TraceLedger()
+        with pytest.raises(ValueError):
+            led.bounds(0)
+
+    def test_manual_sp_tree(self):
+        seq = SPNode(kind="seq", work=8, depth=2)
+        par = SPNode(
+            kind="par",
+            children=[SPNode(kind="seq", work=4, depth=4), SPNode(kind="seq", work=4, depth=1)],
+        )
+        root = SPNode(kind="seq", children=[seq, par])
+        assert root.total_work() == 16
+        assert root.total_depth() == 6
+        lo, hi = schedule_bounds(root, 2)
+        assert lo <= hi
+        # lower: seq max(4,2)=4 + par max(8/2, 4)=4 => 8
+        assert lo == pytest.approx(8)
