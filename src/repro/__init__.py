@@ -6,6 +6,8 @@ See README.md for the tour and DESIGN.md for the system inventory.
 Public API highlights
 ---------------------
 - :func:`repro.minimum_cut` — the paper's exact parallel algorithm.
+- :func:`repro.resilient_minimum_cut` — the same, behind budgets,
+  verified retries, and a graceful-degradation fallback chain.
 - :func:`repro.approximate_minimum_cut` — the Section 3 approximation.
 - :class:`repro.Graph` and the generators in :mod:`repro.graphs`.
 - :class:`repro.Ledger` — PRAM work/depth accounting.
@@ -20,6 +22,7 @@ __all__ = [
     "Graph",
     "Ledger",
     "minimum_cut",
+    "resilient_minimum_cut",
     "approximate_minimum_cut",
     "two_respecting_min_cut",
 ]
@@ -32,6 +35,10 @@ def __getattr__(name: str):
         from repro.core.mincut import minimum_cut
 
         return minimum_cut
+    if name == "resilient_minimum_cut":
+        from repro.resilience.driver import resilient_minimum_cut
+
+        return resilient_minimum_cut
     if name == "approximate_minimum_cut":
         from repro.approx.approximate import approximate_minimum_cut
 

@@ -21,12 +21,17 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.errors import ReproError
 from repro.graphs.graph import Graph
 from repro.graphs.generators import random_connected_graph
 from repro.graphs.io import read_dimacs, read_edgelist
 from repro.pram.ledger import Ledger
 
 __all__ = ["main"]
+
+#: exit status for well-formed invocations that fail inside the library
+#: (malformed graph files, exhausted budgets, invalid parameters, ...)
+EXIT_REPRO_ERROR = 2
 
 
 def _load(path: str, fmt: str) -> Graph:
@@ -38,21 +43,37 @@ def _load(path: str, fmt: str) -> Graph:
 
 
 def _cmd_cut(args: argparse.Namespace) -> int:
-    from repro.core.mincut import minimum_cut
-
     graph = _load(args.file, args.format)
     ledger = Ledger()
-    res = minimum_cut(
-        graph,
-        epsilon=args.epsilon,
-        rng=np.random.default_rng(args.seed),
-        ledger=ledger,
-    )
+    if args.deadline is not None or args.max_attempts is not None:
+        from repro.resilience import resilient_minimum_cut
+
+        res = resilient_minimum_cut(
+            graph,
+            deadline=args.deadline,
+            max_attempts=args.max_attempts if args.max_attempts is not None else 3,
+            epsilon=args.epsilon,
+            seed=args.seed,
+            ledger=ledger,
+        )
+    else:
+        from repro.core.mincut import minimum_cut
+
+        res = minimum_cut(
+            graph,
+            epsilon=args.epsilon,
+            rng=np.random.default_rng(args.seed),
+            ledger=ledger,
+        )
     print(f"value {res.value}")
     small = res.side if res.side.sum() * 2 <= graph.n else ~res.side
     print(f"side {' '.join(str(int(v)) for v in np.flatnonzero(small))}")
     print(f"work {ledger.work}")
     print(f"depth {ledger.depth}")
+    if args.deadline is not None or args.max_attempts is not None:
+        print(f"attempts {res.attempts}")
+        print(f"fallback {res.fallback_used or 'none'}")
+        print(f"verified {int(res.verification.ok if res.verification else 0)}")
     return 0
 
 
@@ -109,6 +130,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_cut.add_argument("--epsilon", type=float, default=None,
                        help="Section 4.3 range-tree degree exponent")
     p_cut.add_argument("--seed", type=int, default=0)
+    p_cut.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                       help="wall-clock budget; routes through the resilient "
+                            "driver (verified retries, Stoer-Wagner fallback)")
+    p_cut.add_argument("--max-attempts", type=int, default=None, metavar="N",
+                       help="exact-pipeline attempts before falling back "
+                            "(implies the resilient driver; default 3)")
     p_cut.set_defaults(func=_cmd_cut)
 
     p_apx = sub.add_parser("approx", help="(1 +- eps) approximation")
@@ -132,6 +159,11 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except ReproError as exc:
+        # library errors are user-facing: one line on stderr, exit 2,
+        # no traceback
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_REPRO_ERROR
     except BrokenPipeError:
         # downstream consumer (e.g. `| head`) closed the pipe: exit quietly
         try:

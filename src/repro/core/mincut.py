@@ -20,10 +20,12 @@ from typing import Literal, Optional
 
 import numpy as np
 
-from repro.errors import GraphFormatError
+from repro.errors import GraphFormatError, InvalidParameterError
 from repro.graphs.graph import Graph
+from repro.graphs.validate import ensure_finite_weights
 from repro.packing.karger import pack_trees
 from repro.pram.ledger import Ledger, NULL_LEDGER
+from repro.resilience.budget import checkpoint as _checkpoint
 from repro.results import CutResult
 from repro.sparsify.hierarchy import HierarchyParams
 from repro.sparsify.skeleton import SkeletonParams
@@ -38,10 +40,10 @@ def branching_for_epsilon(n: int, epsilon: Optional[float]) -> int:
     ``epsilon=None`` (or any value driving the degree to 2) selects the
     general-graph structure of Lemma 4.9.
     """
+    if epsilon is not None and epsilon <= 0:
+        raise InvalidParameterError("epsilon must be positive")
     if epsilon is None or n < 2:
         return 2
-    if epsilon <= 0:
-        raise GraphFormatError("epsilon must be positive")
     return max(2, int(round(n**epsilon)))
 
 
@@ -91,6 +93,7 @@ def minimum_cut(
     """
     if graph.n < 2:
         raise GraphFormatError("min cut needs at least 2 vertices")
+    ensure_finite_weights(graph)
     k, labels = graph.connected_components()
     if k > 1:
         return CutResult(value=0.0, side=labels == labels[0], stats={"num_trees": 0.0})
@@ -134,6 +137,7 @@ def minimum_cut(
     with ledger.phase("two-respecting"):
         with ledger.parallel() as par:
             for parent in packing.tree_parents:
+                _checkpoint("mincut.tree")
                 with par.branch():
                     res = two_respecting_min_cut(
                         graph,

@@ -12,6 +12,53 @@ class GraphFormatError(ReproError):
     self loops where disallowed, …)."""
 
 
+class InvalidParameterError(ReproError):
+    """Raised when a non-graph algorithm parameter (epsilon, attempt
+    counts, budget values, …) is out of its valid range."""
+
+
+class BudgetExceeded(ReproError):
+    """Raised at a cooperative cancellation checkpoint once the active
+    :class:`repro.resilience.Budget` has run out of wall-clock time or
+    ledger work.
+
+    Attributes
+    ----------
+    reason:
+        Which resource ran out: ``"deadline"``, ``"work"``, or
+        ``"injected"`` (a fault-plan blowout).
+    site:
+        The checkpoint site that observed the exhaustion (best effort).
+    """
+
+    def __init__(self, message: str, *, reason: str = "deadline", site: str = "") -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.site = site
+
+
+class FaultInjected(ReproError):
+    """Raised by :mod:`repro.resilience.faults` when a deterministic fault
+    plan fires an error-type fault (e.g. inside an executor branch)."""
+
+
+class BranchErrors(ReproError):
+    """Aggregate of every failure collected by a hardened
+    :func:`repro.pram.executor.parallel_map` run.
+
+    Attributes
+    ----------
+    failures:
+        ``[(item_index, exception), ...]`` — every branch that still
+        failed after its per-item retries, in item order.
+    """
+
+    def __init__(self, failures) -> None:
+        self.failures = list(failures)
+        lines = ", ".join(f"[{i}] {type(e).__name__}: {e}" for i, e in self.failures)
+        super().__init__(f"{len(self.failures)} parallel branch(es) failed: {lines}")
+
+
 class NotConnectedError(ReproError):
     """Raised by routines that require a connected input graph."""
 

@@ -24,6 +24,7 @@ from repro.graphs.multigraph import MultiGraph
 from repro.graphs.validate import (
     brute_force_min_cut,
     check_side_mask,
+    ensure_finite_weights,
     side_from_vertices,
     validate_cut,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "read_dimacs",
     "write_dimacs",
     "check_side_mask",
+    "ensure_finite_weights",
     "validate_cut",
     "side_from_vertices",
     "brute_force_min_cut",

@@ -10,11 +10,33 @@ from repro.errors import GraphFormatError
 from repro.graphs.graph import Graph
 
 __all__ = [
+    "ensure_finite_weights",
     "check_side_mask",
     "validate_cut",
     "side_from_vertices",
     "brute_force_min_cut",
 ]
+
+
+def ensure_finite_weights(graph: Graph) -> Graph:
+    """Reject NaN/inf edge weights and non-finite totals.
+
+    Graphs built through transformation helpers (``with_weights``,
+    ``subgraph_edges``, …) skip construction-time validation for speed;
+    NaN and inf would otherwise flow silently into the float64 exact
+    path, where every comparison against NaN is False and the pipeline
+    returns garbage instead of failing.  Entry points call this once.
+    """
+    if graph.m and not np.all(np.isfinite(graph.w)):
+        bad = int(np.flatnonzero(~np.isfinite(graph.w))[0])
+        raise GraphFormatError(
+            f"edge weights must be finite (edge {bad} has weight {graph.w[bad]!r})"
+        )
+    with np.errstate(over="ignore"):
+        total = graph.total_weight
+    if not np.isfinite(total):
+        raise GraphFormatError(f"total edge weight is not finite ({total!r})")
+    return graph
 
 
 def check_side_mask(graph: Graph, side: np.ndarray) -> np.ndarray:
@@ -31,6 +53,8 @@ def check_side_mask(graph: Graph, side: np.ndarray) -> np.ndarray:
 
 def validate_cut(graph: Graph, side: np.ndarray, value: float, *, rtol: float = 1e-9) -> None:
     """Assert that ``side`` really induces a cut of weight ``value``."""
+    if not np.isfinite(value):
+        raise GraphFormatError(f"cut value must be finite, got {value!r}")
     side = check_side_mask(graph, side)
     actual = graph.cut_value(side)
     if not np.isclose(actual, value, rtol=rtol, atol=1e-9):

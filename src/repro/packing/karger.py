@@ -21,6 +21,8 @@ from repro.errors import NotConnectedError
 from repro.graphs.graph import Graph
 from repro.packing.greedy import GreedyPacking, greedy_tree_packing
 from repro.pram.ledger import Ledger, NULL_LEDGER
+from repro.resilience.budget import checkpoint as _checkpoint
+from repro.resilience.faults import SITE_DROP_TREE, poll as _poll_fault
 from repro.sparsify.skeleton import SkeletonParams, SkeletonResult, build_skeleton
 
 __all__ = ["PackingResult", "pack_trees"]
@@ -81,15 +83,24 @@ def pack_trees(
 
     lam = max(float(lambda_underestimate), 1e-12)
     with ledger.phase("skeleton"):
+        rebuilds_at_full_p = 0
         while True:
+            _checkpoint("pack_trees.skeleton")
             skel = build_skeleton(graph, lam, params=skeleton_params, rng=rng, ledger=ledger)
             if skel.skeleton.n == graph.n and skel.skeleton.is_connected():
                 break
-            if skel.p >= 1.0:  # pragma: no cover - input itself disconnected
-                raise NotConnectedError("skeleton disconnected at p = 1")
+            if skel.p >= 1.0:
+                # the input is connected (checked above), so a p = 1
+                # skeleton can only be disconnected through a corrupted
+                # sample (e.g. an injected fault) — rebuild, bounded
+                rebuilds_at_full_p += 1
+                if rebuilds_at_full_p > 2:  # pragma: no cover - defensive
+                    raise NotConnectedError("skeleton disconnected at p = 1")
+                continue
             lam /= 2.0  # double the sampling probability and retry
 
     with ledger.phase("greedy-packing"):
+        _checkpoint("pack_trees.packing")
         packing = greedy_tree_packing(
             skel.skeleton, iterations=packing_iterations, ledger=ledger
         )
@@ -100,4 +111,9 @@ def pack_trees(
     else:
         chosen = packing.sample_trees(max_trees, rng)
     parents = [packing.tree_parent(i) for i in chosen]
+    fault = _poll_fault(SITE_DROP_TREE)
+    if fault is not None and len(parents) > 1:
+        # injected fault: silently lose one candidate tree (never the last
+        # one — the driver's contract guarantees at least one candidate)
+        del parents[fault.index % len(parents)]
     return PackingResult(skeleton=skel, packing=packing, tree_parents=parents)

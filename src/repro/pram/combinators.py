@@ -21,6 +21,7 @@ from typing import Callable, List, Optional, Sequence, TypeVar
 import numpy as np
 
 from repro.pram.ledger import Ledger, NULL_LEDGER
+from repro.resilience.budget import checkpoint as _checkpoint
 
 __all__ = [
     "pmap",
@@ -61,6 +62,7 @@ def pmap(
         return out
     with ledger.parallel() as par:
         for item in items:
+            _checkpoint("pmap")  # cooperative cancellation; charges nothing
             with par.branch():
                 out.append(fn(item))
     if spawn_depth:
@@ -87,6 +89,7 @@ def preduce(
         return unit
     rounds = 0
     while len(vals) > 1:
+        _checkpoint("preduce")
         nxt: List[U] = []
         for i in range(0, len(vals) - 1, 2):
             nxt.append(op(vals[i], vals[i + 1]))

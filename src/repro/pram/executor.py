@@ -8,13 +8,25 @@ pure-Python execution, wall-clock speedup from this executor is limited
 to whatever time the branches spend in numpy kernels that release the
 GIL — which is precisely why the repro's measured quantities are work
 and depth rather than wall-clock (repro band 2/5).
+
+Robustness: one failed branch must not destroy the whole pool.
+:func:`parallel_map` supports per-item retries, per-item timeouts, and
+error aggregation — with ``on_error="aggregate"`` every branch runs to
+completion and the failures are raised together as one
+:class:`repro.errors.BranchErrors`.  Worker threads run in a copy of the
+caller's :mod:`contextvars` context, so fault plans and budgets armed in
+the caller are visible inside branches.
 """
 
 from __future__ import annotations
 
+import contextvars
 import os
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from typing import Callable, List, Literal, Optional, Sequence, Tuple, TypeVar
+
+from repro.errors import BranchErrors, FaultInjected, InvalidParameterError
+from repro.resilience.faults import SITE_EXECUTOR_BRANCH, poll_indexed as _poll_fault
 
 __all__ = ["parallel_map"]
 
@@ -22,21 +34,119 @@ T = TypeVar("T")
 U = TypeVar("U")
 
 
+def _run_item(fn: Callable[[T], U], item: T, index: int) -> U:
+    if _poll_fault(SITE_EXECUTOR_BRANCH, index) is not None:
+        raise FaultInjected(f"injected failure in executor branch {index}")
+    return fn(item)
+
+
+def _attempt(
+    fn: Callable[[T], U],
+    items: List[T],
+    indices: Sequence[int],
+    workers: int,
+    timeout: Optional[float],
+) -> Tuple[dict, dict]:
+    """One pass over ``indices``; returns ``(results, failures)`` by index."""
+    results: dict = {}
+    failures: dict = {}
+    ctx = contextvars.copy_context()
+
+    def call(i: int) -> U:
+        return ctx.copy().run(_run_item, fn, items[i], i)
+
+    if workers <= 1 and timeout is None:
+        for i in indices:
+            try:
+                results[i] = call(i)
+            except Exception as exc:  # noqa: BLE001 - aggregated for the caller
+                failures[i] = exc
+        return results, failures
+
+    pool = ThreadPoolExecutor(max_workers=max(workers, 1))
+    timed_out = False
+    try:
+        futures: dict = {pool.submit(call, i): i for i in indices}
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, timeout=timeout, return_when=FIRST_COMPLETED)
+            if not done:  # timed out with work still in flight
+                # queued branches are cancelled; running ones cannot be
+                # interrupted, but we stop waiting and record the timeout
+                timed_out = True
+                for fut in pending:
+                    fut.cancel()
+                    i = futures[fut]
+                    failures[i] = TimeoutError(f"branch {i} exceeded {timeout:g}s")
+                break
+            for fut in done:
+                i = futures[fut]
+                try:
+                    results[i] = fut.result()
+                except Exception as exc:  # noqa: BLE001 - aggregated
+                    failures[i] = exc
+    finally:
+        # don't block shutdown on a branch we already declared timed out
+        pool.shutdown(wait=not timed_out, cancel_futures=timed_out)
+    return results, failures
+
+
 def parallel_map(
     fn: Callable[[T], U],
     items: Sequence[T],
     max_workers: Optional[int] = None,
+    *,
+    retries: int = 0,
+    timeout: Optional[float] = None,
+    on_error: Literal["raise", "aggregate"] = "raise",
 ) -> List[U]:
     """Map ``fn`` over ``items`` on a thread pool, preserving order.
 
-    ``max_workers`` defaults to ``os.cpu_count()``.  Falls back to a
-    sequential loop for empty or single-item inputs.
+    Parameters
+    ----------
+    max_workers:
+        Defaults to ``os.cpu_count()``.  Falls back to a sequential loop
+        for empty or single-item inputs (unless a timeout is requested).
+    retries:
+        Per-item retry count: a failed item re-runs up to this many
+        extra times before counting as failed.
+    timeout:
+        Per-wait timeout in seconds.  A branch still running once no
+        other branch has completed for ``timeout`` seconds is recorded
+        as a ``TimeoutError`` (cooperative: the thread itself cannot be
+        killed, but the caller stops waiting for it).
+    on_error:
+        ``"raise"`` re-raises the first failure (after retries), the
+        historical behaviour.  ``"aggregate"`` runs every branch to
+        completion and raises a single :class:`BranchErrors` carrying
+        *all* failures — so one bad branch cannot hide the others'
+        outcomes or poison the pool.
     """
+    if retries < 0:
+        raise InvalidParameterError("retries must be >= 0")
+    if timeout is not None and timeout <= 0:
+        raise InvalidParameterError("timeout must be positive seconds")
     items = list(items)
-    if len(items) <= 1:
-        return [fn(x) for x in items]
+    if not items:
+        return []
     workers = max_workers or os.cpu_count() or 1
-    if workers <= 1:
-        return [fn(x) for x in items]
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, items))
+    if len(items) == 1 and timeout is None:
+        workers = 1
+
+    results: dict = {}
+    failed: dict = {}
+    todo: List[int] = list(range(len(items)))
+    for _ in range(retries + 1):
+        got, bad = _attempt(fn, items, todo, workers, timeout)
+        results.update(got)
+        failed = bad
+        todo = sorted(bad)
+        if not todo:
+            break
+
+    if failed:
+        ordered = sorted(failed.items())
+        if on_error == "raise":
+            raise ordered[0][1]
+        raise BranchErrors(ordered)
+    return [results[i] for i in range(len(items))]

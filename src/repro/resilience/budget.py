@@ -1,0 +1,158 @@
+"""Wall-clock deadlines and ledger work budgets with cooperative
+cancellation.
+
+A :class:`Budget` bounds one computation by wall-clock seconds and/or
+ledger work units.  The pipeline's long-running loops (``pmap`` items,
+skeleton rebuilds, hierarchy layers, 2-respecting stages) call
+:func:`checkpoint`, which raises :class:`repro.errors.BudgetExceeded`
+once the budget armed in the current context is exhausted.  Checkpoints
+charge **nothing** to the ledger — work/depth accounting of a budgeted
+run is bit-identical to an unbudgeted one (tested in
+``tests/test_resilience.py``).
+
+Budgets are scoped through a contextvar (:func:`budget_scope`), so
+library code deep in the pipeline needs no extra parameters and
+concurrent unbudgeted callers are unaffected.  The clock is injectable
+for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.errors import BudgetExceeded, InvalidParameterError
+from repro.pram.ledger import Ledger
+from repro.resilience.faults import SITE_BUDGET_BLOWOUT, poll as _poll_fault
+
+__all__ = ["Budget", "budget_scope", "checkpoint", "active_budget"]
+
+
+@dataclass
+class Budget:
+    """A cooperative wall-clock / ledger-work budget.
+
+    Parameters
+    ----------
+    deadline:
+        Wall-clock seconds allowed from :meth:`start` (None = unbounded).
+    max_work:
+        Ledger work units allowed from :meth:`start`; requires ``ledger``
+        (None = unbounded).
+    ledger:
+        The ledger whose ``work`` counter the work budget reads.
+    clock:
+        Monotonic-seconds source (injectable for tests).
+    """
+
+    deadline: Optional[float] = None
+    max_work: Optional[float] = None
+    ledger: Optional[Ledger] = None
+    clock: Callable[[], float] = time.monotonic
+    _t0: Optional[float] = field(default=None, repr=False)
+    _w0: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.deadline is not None and self.deadline <= 0:
+            raise InvalidParameterError("deadline must be positive seconds")
+        if self.max_work is not None:
+            if self.max_work <= 0:
+                raise InvalidParameterError("max_work must be positive")
+            if self.ledger is None:
+                raise InvalidParameterError("a work budget needs a ledger to read")
+
+    def start(self) -> "Budget":
+        """Anchor the budget at the current clock/ledger readings."""
+        self._t0 = self.clock()
+        if self.ledger is not None:
+            self._w0 = self.ledger.work
+        return self
+
+    @property
+    def started(self) -> bool:
+        return self._t0 is not None
+
+    def elapsed(self) -> float:
+        if self._t0 is None:
+            return 0.0
+        return self.clock() - self._t0
+
+    def work_spent(self) -> float:
+        if self.ledger is None:
+            return 0.0
+        return self.ledger.work - self._w0
+
+    def remaining_time(self) -> Optional[float]:
+        """Seconds left, or None when no deadline is set."""
+        if self.deadline is None:
+            return None
+        return self.deadline - self.elapsed()
+
+    def exhausted_reason(self) -> Optional[str]:
+        """``"deadline"`` / ``"work"`` if over budget, else None."""
+        if self.deadline is not None and self.started and self.elapsed() > self.deadline:
+            return "deadline"
+        if self.max_work is not None and self.work_spent() > self.max_work:
+            return "work"
+        return None
+
+    def checkpoint(self, site: str = "") -> None:
+        """Raise :class:`BudgetExceeded` if the budget is exhausted."""
+        reason = self.exhausted_reason()
+        if reason == "deadline":
+            raise BudgetExceeded(
+                f"deadline of {self.deadline:g}s exceeded "
+                f"(elapsed {self.elapsed():.3g}s)",
+                reason="deadline",
+                site=site,
+            )
+        if reason == "work":
+            raise BudgetExceeded(
+                f"work budget of {self.max_work:g} exceeded "
+                f"(spent {self.work_spent():g})",
+                reason="work",
+                site=site,
+            )
+
+
+_active: ContextVar[Optional[Budget]] = ContextVar("repro_budget", default=None)
+
+
+def active_budget() -> Optional[Budget]:
+    """The budget armed in the current context, if any."""
+    return _active.get()
+
+
+@contextmanager
+def budget_scope(budget: Optional[Budget]) -> Iterator[Optional[Budget]]:
+    """Arm ``budget`` (starting it if fresh) for the duration of the block.
+
+    ``None`` disarms, letting inner code run unbudgeted."""
+    if budget is not None and not budget.started:
+        budget.start()
+    token = _active.set(budget)
+    try:
+        yield budget
+    finally:
+        _active.reset(token)
+
+
+def checkpoint(site: str = "") -> None:
+    """Cooperative cancellation point.
+
+    Called from the pipeline's loops; near-free when no budget or fault
+    plan is armed (two contextvar reads, no ledger charges ever).
+    """
+    fault = _poll_fault(SITE_BUDGET_BLOWOUT)
+    if fault is not None:
+        raise BudgetExceeded(
+            f"injected deadline blowout at {site or 'checkpoint'}",
+            reason="injected",
+            site=site,
+        )
+    budget = _active.get()
+    if budget is not None:
+        budget.checkpoint(site)

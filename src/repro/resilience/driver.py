@@ -1,0 +1,208 @@
+"""The resilient exact-min-cut driver: verified retries, seed
+escalation, and the graceful-degradation fallback chain.
+
+Strategy (``exact`` → ``exact escalated`` → ``stoer_wagner``):
+
+1. run the exact pipeline under a per-attempt slice of the overall
+   budget (slices grow geometrically — exponential backoff — so early
+   unlucky attempts cannot starve later, escalated ones);
+2. cross-check the candidate against the cheap certificates of
+   :mod:`repro.resilience.verify`; a suspect answer (w.h.p. failure or
+   injected fault) triggers a retry with a **fresh seed** (spawned from
+   an independent ``SeedSequence`` stream) and **escalated constants**
+   (thorough tree scan, denser skeleton);
+3. once attempts or the overall budget are exhausted, fall back to the
+   deterministic O(n^3) :func:`repro.baselines.stoer_wagner.stoer_wagner`
+   baseline.
+
+The returned :class:`repro.results.CutResult` carries provenance —
+``attempts``, ``fallback_used``, ``verification`` — so callers can see
+how the answer was produced and alert on degraded service.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable, Literal, Optional
+
+import numpy as np
+
+from repro.baselines.stoer_wagner import stoer_wagner
+from repro.errors import BudgetExceeded, InvalidParameterError
+from repro.graphs.graph import Graph
+from repro.graphs.validate import ensure_finite_weights
+from repro.pram.ledger import Ledger, NULL_LEDGER
+from repro.resilience.budget import Budget, budget_scope
+from repro.resilience.faults import SITE_CORRUPT_VALUE, poll as _poll_fault
+from repro.resilience.verify import verify_cut
+from repro.results import CutResult
+from repro.sparsify.hierarchy import HierarchyParams
+from repro.sparsify.skeleton import SkeletonParams
+
+__all__ = ["resilient_minimum_cut", "escalated_params"]
+
+#: geometric growth factor for per-attempt budget slices and skeleton density
+_ESCALATION = 2.0
+
+
+def escalated_params(base: SkeletonParams, attempt: int) -> SkeletonParams:
+    """Skeleton constants for retry ``attempt`` (0 = the caller's own).
+
+    Each retry doubles the sampling constant — a denser skeleton whose
+    packing is exponentially less likely to miss the min cut again.
+    """
+    if attempt <= 0:
+        return base
+    return dataclasses.replace(
+        base, sample_constant=base.sample_constant * _ESCALATION**attempt
+    )
+
+
+def _attempt_slice(total: Optional[float], attempt: int, max_attempts: int) -> Optional[float]:
+    """Geometric slice of ``total`` for ``attempt`` (slices double and sum
+    to the whole: total * 2^k / (2^A - 1))."""
+    if total is None:
+        return None
+    denom = _ESCALATION**max_attempts - 1.0
+    return total * _ESCALATION**attempt / denom
+
+
+def resilient_minimum_cut(
+    graph: Graph,
+    *,
+    deadline: Optional[float] = None,
+    max_work: Optional[float] = None,
+    max_attempts: int = 3,
+    seed: Optional[int] = None,
+    spot_check_max_n: int = 200,
+    epsilon: Optional[float] = None,
+    max_trees: "int | None | Literal['auto']" = "auto",
+    decomposition: Literal["heavy", "bough"] = "heavy",
+    skeleton_params: SkeletonParams = SkeletonParams(),
+    hierarchy_params: Optional[HierarchyParams] = None,
+    ledger: Ledger = NULL_LEDGER,
+    clock: Callable[[], float] = time.monotonic,
+) -> CutResult:
+    """Exact minimum cut with budgets, verified retries, and fallback.
+
+    Parameters
+    ----------
+    deadline:
+        Overall wall-clock budget in seconds (None = unbounded).  The
+        run terminates — possibly via the Stoer–Wagner fallback — soon
+        after it expires (checkpoints are cooperative).
+    max_work:
+        Overall ledger-work budget; needs a real ``ledger``.
+    max_attempts:
+        Exact-pipeline attempts before falling back (>= 1).
+    seed:
+        Seeds an independent stream per attempt via
+        ``np.random.SeedSequence(seed).spawn``; the whole driver is
+        deterministic given it.
+    spot_check_max_n:
+        Below this size verification includes the exact Stoer–Wagner
+        comparison (0 disables it).
+    epsilon, max_trees, decomposition, skeleton_params, hierarchy_params:
+        Forwarded to :func:`repro.core.mincut.minimum_cut` (skeleton
+        constants escalate on retries).
+    clock:
+        Monotonic-seconds source, injectable for deterministic tests.
+
+    Returns
+    -------
+    CutResult with provenance: ``attempts`` (exact attempts consumed),
+    ``fallback_used`` (None or ``"stoer_wagner"``), ``verification``
+    (the final :class:`VerificationReport`).
+    """
+    from repro.core.mincut import minimum_cut
+
+    if max_attempts < 1:
+        raise InvalidParameterError("max_attempts must be >= 1")
+    ensure_finite_weights(graph)
+
+    work_ledger = ledger
+    if max_work is not None and isinstance(ledger, type(NULL_LEDGER)):
+        # the null ledger never accumulates; meter work privately
+        work_ledger = Ledger()
+    overall = Budget(
+        deadline=deadline,
+        max_work=max_work,
+        ledger=work_ledger if max_work is not None else None,
+        clock=clock,
+    ).start()
+
+    seed_stream = np.random.SeedSequence(seed)
+    attempt_seeds = seed_stream.spawn(max_attempts)
+    attempts_made = 0
+    suspects: list[float] = []
+
+    for attempt in range(max_attempts):
+        if overall.exhausted_reason() is not None:
+            break
+        slice_deadline = _attempt_slice(deadline, attempt, max_attempts)
+        remaining = overall.remaining_time()
+        if slice_deadline is not None and remaining is not None:
+            slice_deadline = min(max(remaining, 1e-9), slice_deadline)
+        slice_work = _attempt_slice(max_work, attempt, max_attempts)
+        attempt_budget = Budget(
+            deadline=slice_deadline,
+            max_work=slice_work,
+            ledger=work_ledger if slice_work is not None else None,
+            clock=clock,
+        )
+        params = escalated_params(skeleton_params, attempt)
+        trees = max_trees if attempt == 0 else None  # retries scan thoroughly
+        attempts_made += 1
+        try:
+            with budget_scope(attempt_budget):
+                res = minimum_cut(
+                    graph,
+                    epsilon=epsilon,
+                    max_trees=trees,
+                    decomposition=decomposition,
+                    skeleton_params=params,
+                    hierarchy_params=hierarchy_params,
+                    rng=np.random.default_rng(attempt_seeds[attempt]),
+                    ledger=ledger if ledger is not NULL_LEDGER else work_ledger,
+                )
+        except BudgetExceeded:
+            # slice (or overall) budget blown: next attempt gets a bigger
+            # slice, unless the overall budget is gone — then fall back
+            continue
+
+        fault = _poll_fault(SITE_CORRUPT_VALUE)
+        if fault is not None:
+            res = dataclasses.replace(res, value=res.value * fault.scale + 1.0)
+
+        report = verify_cut(
+            graph, res, spot_check_max_n=spot_check_max_n, ledger=ledger
+        )
+        if report.ok:
+            stats = dict(res.stats)
+            stats["resilience_suspect_values"] = float(len(suspects))
+            return dataclasses.replace(
+                res,
+                stats=stats,
+                attempts=attempts_made,
+                fallback_used=None,
+                verification=report,
+            )
+        suspects.append(res.value)
+
+    # ---- graceful degradation: deterministic sequential baseline ----------
+    fallback = stoer_wagner(graph)
+    report = verify_cut(
+        graph, fallback, spot_check_max_n=0, ledger=ledger
+    )
+    reason = overall.exhausted_reason()
+    stats = dict(fallback.stats)
+    stats["resilience_suspect_values"] = float(len(suspects))
+    stats["resilience_budget_exhausted"] = 1.0 if reason is not None else 0.0
+    return dataclasses.replace(
+        fallback,
+        stats=stats,
+        attempts=attempts_made,
+        fallback_used="stoer_wagner",
+        verification=report,
+    )

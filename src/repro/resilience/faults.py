@@ -1,0 +1,210 @@
+"""Deterministic fault injection for the resilient execution layer.
+
+A :class:`FaultPlan` arms a set of :class:`Fault` descriptors, each bound
+to a named *site* inside the pipeline.  Product code polls its site via
+:func:`poll` at well-defined points; when the armed fault's hit counter
+matches, the site applies the fault (drop a packed tree, corrupt the
+skeleton sample, raise inside an executor branch, blow the deadline,
+corrupt the reported cut value).  Every fault fires **at most once** and
+every trigger is a pure function of the plan — no wall clock, no global
+randomness — so a faulted run is exactly reproducible under a fixed
+seed.
+
+Sites instrumented in the pipeline
+----------------------------------
+``packing.drop_tree``
+    :func:`repro.packing.karger.pack_trees` silently loses one candidate
+    tree (keeps at least one).
+``skeleton.corrupt``
+    :func:`repro.sparsify.skeleton.build_skeleton` deterministically
+    perturbs the sampled weights (seeded by ``Fault.seed``), simulating
+    an unlucky sample outside the w.h.p. regime.
+``executor.branch``
+    :func:`repro.pram.executor.parallel_map` raises
+    :class:`repro.errors.FaultInjected` inside the branch whose item
+    index equals ``Fault.index``.
+``budget.blowout``
+    :func:`repro.resilience.budget.checkpoint` raises
+    :class:`repro.errors.BudgetExceeded` as if the deadline had expired.
+``driver.corrupt_value``
+    :func:`repro.resilience.driver.resilient_minimum_cut` perturbs the
+    candidate value before verification — a deterministic stand-in for a
+    w.h.p. failure of the randomized pipeline.
+
+Activation is scoped (:func:`inject` context manager, contextvar-backed)
+so concurrent un-faulted callers are unaffected.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SITE_DROP_TREE",
+    "SITE_CORRUPT_SKELETON",
+    "SITE_EXECUTOR_BRANCH",
+    "SITE_BUDGET_BLOWOUT",
+    "SITE_CORRUPT_VALUE",
+    "ALL_SITES",
+    "Fault",
+    "FaultPlan",
+    "canonical_plans",
+    "inject",
+    "poll",
+    "active_plan",
+]
+
+SITE_DROP_TREE = "packing.drop_tree"
+SITE_CORRUPT_SKELETON = "skeleton.corrupt"
+SITE_EXECUTOR_BRANCH = "executor.branch"
+SITE_BUDGET_BLOWOUT = "budget.blowout"
+SITE_CORRUPT_VALUE = "driver.corrupt_value"
+
+ALL_SITES: Tuple[str, ...] = (
+    SITE_DROP_TREE,
+    SITE_CORRUPT_SKELETON,
+    SITE_EXECUTOR_BRANCH,
+    SITE_BUDGET_BLOWOUT,
+    SITE_CORRUPT_VALUE,
+)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One armed fault.
+
+    Attributes
+    ----------
+    site:
+        Which instrumentation point applies it (one of :data:`ALL_SITES`).
+    at:
+        Fire on the ``at``-th poll of the site (0-based), exactly once.
+    index:
+        Site-specific target (tree index to drop, executor item index).
+    seed:
+        Seed for any randomness the site needs to apply the corruption.
+    scale:
+        Site-specific magnitude (e.g. value-corruption factor).
+    """
+
+    site: str
+    at: int = 0
+    index: int = 0
+    seed: int = 0
+    scale: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.site not in ALL_SITES:
+            raise ValueError(f"unknown fault site {self.site!r}; known: {ALL_SITES}")
+        if self.at < 0:
+            raise ValueError("fault trigger index must be >= 0")
+
+
+@dataclass
+class FaultPlan:
+    """A seedable, deterministic set of faults plus its firing record.
+
+    ``fired`` (``[(site, hit_number), ...]``) lets tests assert that the
+    plan actually exercised the intended recovery path.
+    """
+
+    faults: Sequence[Fault] = ()
+    name: str = ""
+    _hits: Dict[str, int] = field(default_factory=dict, repr=False)
+    _spent: List[int] = field(default_factory=list, repr=False)
+    fired: List[Tuple[str, int]] = field(default_factory=list)
+
+    def poll(self, site: str) -> Optional[Fault]:
+        """Record one hit of ``site``; return the fault to apply, if any."""
+        hit = self._hits.get(site, 0)
+        self._hits[site] = hit + 1
+        for i, f in enumerate(self.faults):
+            if f.site == site and f.at == hit and i not in self._spent:
+                self._spent.append(i)
+                self.fired.append((site, hit))
+                return f
+        return None
+
+    def poll_indexed(self, site: str, index: int) -> Optional[Fault]:
+        """Like :meth:`poll`, but match on ``Fault.index`` instead of hit
+        order — for sites whose invocations carry a stable identity (e.g.
+        executor branches, where thread scheduling makes hit order
+        nondeterministic)."""
+        hit = self._hits.get(site, 0)
+        self._hits[site] = hit + 1
+        for i, f in enumerate(self.faults):
+            if f.site == site and f.index == index and i not in self._spent:
+                self._spent.append(i)
+                self.fired.append((site, index))
+                return f
+        return None
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every armed fault has fired."""
+        return len(self._spent) == len(self.faults)
+
+    def reset(self) -> None:
+        self._hits.clear()
+        self._spent.clear()
+        self.fired.clear()
+
+
+_active: ContextVar[Optional[FaultPlan]] = ContextVar("repro_fault_plan", default=None)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The fault plan armed in the current context, if any."""
+    return _active.get()
+
+
+@contextmanager
+def inject(plan: Optional[FaultPlan]) -> Iterator[Optional[FaultPlan]]:
+    """Arm ``plan`` for the duration of the block (``None`` disarms)."""
+    token = _active.set(plan)
+    try:
+        yield plan
+    finally:
+        _active.reset(token)
+
+
+def poll(site: str) -> Optional[Fault]:
+    """Site hook: the armed fault for ``site`` in this context, or None.
+
+    Free when no plan is armed (one contextvar read).
+    """
+    plan = _active.get()
+    if plan is None:
+        return None
+    return plan.poll(site)
+
+
+def poll_indexed(site: str, index: int) -> Optional[Fault]:
+    """Site hook for index-identified invocations (executor branches)."""
+    plan = _active.get()
+    if plan is None:
+        return None
+    return plan.poll_indexed(site, index)
+
+
+def canonical_plans(seed: int = 0) -> Dict[str, FaultPlan]:
+    """One representative plan per fault kind, used by the recovery test
+    matrix (`tests/test_resilience.py`) to prove every recovery path."""
+    return {
+        "drop_tree": FaultPlan([Fault(SITE_DROP_TREE, seed=seed)], name="drop_tree"),
+        "corrupt_skeleton": FaultPlan(
+            [Fault(SITE_CORRUPT_SKELETON, seed=seed)], name="corrupt_skeleton"
+        ),
+        "executor_branch": FaultPlan(
+            [Fault(SITE_EXECUTOR_BRANCH, index=0, seed=seed)], name="executor_branch"
+        ),
+        "budget_blowout": FaultPlan(
+            [Fault(SITE_BUDGET_BLOWOUT, seed=seed)], name="budget_blowout"
+        ),
+        "corrupt_value": FaultPlan(
+            [Fault(SITE_CORRUPT_VALUE, seed=seed)], name="corrupt_value"
+        ),
+    }

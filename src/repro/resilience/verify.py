@@ -1,0 +1,173 @@
+"""Cheap post-hoc certificates for candidate minimum cuts.
+
+The exact pipeline is correct w.h.p., not always; a production service
+needs a cheap detector for the unlucky runs.  Every check here exploits
+the one-sided failure mode of the algorithm — each inspected value is a
+*genuine* cut of G, so a failed run can only report a value that is
+**too high**:
+
+* ``finite-value`` / ``side-consistency`` — the mask is a proper
+  bipartition whose crossing weight really equals the reported value
+  (O(m)); catches corrupted results outright.
+* ``degree-bound`` — the min cut is at most the minimum weighted degree
+  (each single-vertex star is a cut), so a candidate above it is wrong
+  (O(m)).
+* ``one-respecting`` — Karger's batch subtree trick on one fresh
+  spanning tree gives the minimum 1-respecting cut of that tree, another
+  genuine-cut upper bound, in O(m log n) work / O(log n) depth
+  (:func:`repro.primitives.treesums.all_subtree_costs`).
+* ``stoer-wagner`` — exact deterministic spot-check, enabled only below
+  ``spot_check_max_n`` where its O(n^3) is cheap.
+
+A report with ``ok=False`` marks the run *suspect*: the resilient driver
+retries with a fresh seed and escalated constants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.pram.ledger import Ledger, NULL_LEDGER
+from repro.results import CutResult
+
+__all__ = ["VerificationReport", "verify_cut", "one_respecting_upper_bound"]
+
+#: absolute slack for floating-point cut comparisons
+_ATOL = 1e-6
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of :func:`verify_cut`.
+
+    ``checks`` lists ``(name, passed)`` in execution order; ``ok`` is
+    their conjunction.  ``detail`` explains the first failure.
+    """
+
+    ok: bool
+    checks: Tuple[Tuple[str, bool], ...] = ()
+    detail: str = ""
+    #: tightest cheap upper bound the checks computed (min degree /
+    #: 1-respecting / Stoer-Wagner value), for diagnostics
+    upper_bound: float = math.inf
+
+    def passed(self, name: str) -> Optional[bool]:
+        """Result of one named check, or None if it did not run."""
+        for n, p in self.checks:
+            if n == name:
+                return p
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        ran = " ".join(f"{n}={'ok' if p else 'FAIL'}" for n, p in self.checks)
+        return f"VerificationReport(ok={self.ok}, {ran})"
+
+
+def one_respecting_upper_bound(
+    graph: Graph, ledger: Ledger = NULL_LEDGER
+) -> float:
+    """Minimum 1-respecting cut of one fresh spanning tree of ``graph``.
+
+    A genuine cut of G, hence an upper bound on the min cut.  Infinite
+    for disconnected inputs (where the bound is useless anyway).
+    """
+    from repro.primitives.connectivity import spanning_forest_graph
+    from repro.primitives.euler import postorder, root_tree
+    from repro.primitives.treesums import all_subtree_costs
+    from repro.trees.binary import binarize_parent
+
+    fids, labels = spanning_forest_graph(graph, ledger=ledger)
+    if fids.shape[0] != graph.n - 1:
+        return math.inf
+    parent = root_tree(graph.n, graph.u[fids], graph.v[fids], 0, ledger=ledger)
+    rt = postorder(binarize_parent(parent, ledger=ledger).parent, ledger=ledger)
+    costs = all_subtree_costs(graph, rt, ledger=ledger)
+    non_root = rt.parent >= 0
+    if not non_root.any():
+        return math.inf
+    return float(costs[non_root].min())
+
+
+def verify_cut(
+    graph: Graph,
+    result: CutResult,
+    *,
+    spot_check_max_n: int = 200,
+    ledger: Ledger = NULL_LEDGER,
+    atol: float = _ATOL,
+) -> VerificationReport:
+    """Cross-check ``result`` against the cheap certificates above.
+
+    ``spot_check_max_n`` gates the exact Stoer–Wagner comparison; set it
+    to 0 to keep verification strictly near-linear.
+    """
+    checks: list[Tuple[str, bool]] = []
+    detail = ""
+    upper = math.inf
+
+    def fail(name: str, why: str) -> VerificationReport:
+        checks.append((name, False))
+        return VerificationReport(
+            ok=False, checks=tuple(checks), detail=why, upper_bound=upper
+        )
+
+    # finite value ----------------------------------------------------------
+    if not math.isfinite(result.value) or result.value < -atol:
+        return fail("finite-value", f"non-finite or negative value {result.value!r}")
+    checks.append(("finite-value", True))
+
+    # side consistency ------------------------------------------------------
+    side = np.asarray(result.side, dtype=bool)
+    if side.shape != (graph.n,):
+        return fail("side-consistency", "side mask has wrong length")
+    k = int(side.sum())
+    if k == 0 or k == graph.n:
+        return fail("side-consistency", "side mask is not a proper subset")
+    actual = graph.cut_value(side)
+    if not math.isclose(actual, result.value, rel_tol=1e-9, abs_tol=atol):
+        return fail(
+            "side-consistency",
+            f"mask induces cut {actual:g}, result claims {result.value:g}",
+        )
+    checks.append(("side-consistency", True))
+
+    # degree upper bound ----------------------------------------------------
+    if graph.m:
+        upper = float(graph.weighted_degrees[graph.weighted_degrees > 0].min())
+        ledger.charge(work=float(graph.m), depth=1.0)
+    if result.value > upper + atol:
+        return fail(
+            "degree-bound",
+            f"value {result.value:g} exceeds min weighted degree {upper:g}",
+        )
+    checks.append(("degree-bound", True))
+
+    # 1-respecting upper bound ---------------------------------------------
+    one_r = one_respecting_upper_bound(graph, ledger=ledger)
+    upper = min(upper, one_r)
+    if result.value > one_r + atol:
+        return fail(
+            "one-respecting",
+            f"value {result.value:g} exceeds 1-respecting bound {one_r:g}",
+        )
+    checks.append(("one-respecting", True))
+
+    # exact spot-check ------------------------------------------------------
+    if 2 <= graph.n <= spot_check_max_n:
+        from repro.baselines.stoer_wagner import stoer_wagner
+
+        exact = stoer_wagner(graph).value
+        upper = min(upper, float(exact))
+        if not math.isclose(exact, result.value, rel_tol=1e-9, abs_tol=atol):
+            return fail(
+                "stoer-wagner",
+                f"exact min cut is {exact:g}, result claims {result.value:g}",
+            )
+        checks.append(("stoer-wagner", True))
+
+    return VerificationReport(ok=True, checks=tuple(checks), upper_bound=upper)

@@ -28,12 +28,27 @@ class CutResult:
     stats:
         Free-form diagnostics (work/depth snapshots, tree counts,
         oracle visit counters, ...).
+    attempts:
+        How many exact-pipeline attempts produced this result (1 for a
+        direct :func:`repro.core.mincut.minimum_cut` call; > 1 when the
+        resilient driver retried after a suspected w.h.p. failure).
+    fallback_used:
+        ``None`` when the exact pipeline produced the answer; otherwise
+        the name of the graceful-degradation stage that did (currently
+        ``"stoer_wagner"``).
+    verification:
+        The :class:`repro.resilience.verify.VerificationReport` of the
+        returned answer, when the resilient driver verified it; ``None``
+        for unverified (direct) runs.
     """
 
     value: float
     side: np.ndarray
     witness_edges: Optional[Tuple[int, int]] = None
     stats: Dict[str, float] = field(default_factory=dict)
+    attempts: int = 1
+    fallback_used: Optional[str] = None
+    verification: Optional[object] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "side", np.asarray(self.side, dtype=bool))

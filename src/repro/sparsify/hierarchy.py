@@ -29,6 +29,7 @@ from repro.graphs.graph import Graph
 from repro.graphs.multigraph import MultiGraph
 from repro.pram.combinators import log2ceil
 from repro.pram.ledger import Ledger, NULL_LEDGER
+from repro.resilience.budget import checkpoint as _checkpoint
 
 __all__ = ["HierarchyParams", "TruncatedHierarchy", "build_truncated_hierarchy"]
 
@@ -134,6 +135,7 @@ def build_truncated_hierarchy(
     layers: List[MultiGraph] = []
     prev = None
     for i in range(k + 1):
+        _checkpoint("hierarchy.layer")
         if prev is None:
             # layer 0: every edge shows its critical-layer count (for
             # t_e = 0 the draw was B(w, 1) = w, i.e. the true layer-0

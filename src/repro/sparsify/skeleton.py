@@ -29,6 +29,7 @@ from repro.graphs.graph import Graph
 from repro.pram.combinators import log2ceil
 from repro.pram.ledger import Ledger, NULL_LEDGER
 from repro.primitives.random_bits import capped_binomial
+from repro.resilience.faults import SITE_CORRUPT_SKELETON, poll as _poll_fault
 from repro.sparsify.certificate import connectivity_certificate
 
 __all__ = ["SkeletonParams", "SkeletonResult", "build_skeleton"]
@@ -122,6 +123,15 @@ def build_skeleton(
                 w_int.astype(np.int64), p, cap, rng, ledger=ledger
             )
         sampled = graph.with_weights(counts.astype(np.float64))
+    fault = _poll_fault(SITE_CORRUPT_SKELETON)
+    if fault is not None and sampled.m:
+        # injected fault: deterministically wreck a slice of the sample,
+        # simulating a draw far outside the w.h.p. concentration regime
+        frng = np.random.default_rng(fault.seed)
+        keep = frng.random(sampled.m) >= 0.5
+        if not keep.any():
+            keep[0] = True
+        sampled = sampled.with_weights(np.where(keep, sampled.w, 0.0))
     if params.certify:
         k = cap  # preserve every cut up to the capped regime exactly
         skeleton = connectivity_certificate(sampled, k, ledger=ledger)

@@ -25,6 +25,7 @@ import numpy as np
 from repro.errors import GraphFormatError
 from repro.graphs.graph import Graph
 from repro.pram.ledger import Ledger, NULL_LEDGER
+from repro.resilience.budget import checkpoint as _checkpoint
 from repro.primitives.euler import postorder
 from repro.rangesearch.cutqueries import CutOracle
 from repro.results import CutResult
@@ -76,6 +77,7 @@ def two_respecting_min_cut(
     if graph.n < 2:
         raise GraphFormatError("need at least two vertices")
 
+    _checkpoint("two_respecting.start")
     with ledger.phase("binarize+postorder"):
         bt = binarize_parent(tree_parent, ledger=ledger)
         rt = postorder(bt.parent, ledger=ledger)
@@ -84,6 +86,7 @@ def two_respecting_min_cut(
         oracle.prefill_costs(ledger=ledger)
 
     # --- 1-respecting cuts: every tree edge alone -------------------------
+    _checkpoint("two_respecting.one_respecting")
     best: Tuple[float, int, int] = (float("inf"), -1, -1)
     with ledger.phase("one-respecting"):
         with ledger.parallel() as par:
@@ -96,6 +99,7 @@ def two_respecting_min_cut(
                         best = (val, u, u)
 
     # --- same-path pairs ---------------------------------------------------
+    _checkpoint("two_respecting.single_path")
     with ledger.phase("decompose"):
         dec_fn = heavy_path_decomposition if decomposition == "heavy" else bough_decomposition
         dec = dec_fn(rt, ledger=ledger)
@@ -106,6 +110,7 @@ def two_respecting_min_cut(
             best = (val, a, b)
 
     # --- distinct-path pairs -------------------------------------------------
+    _checkpoint("two_respecting.path_pairs")
     with ledger.phase("centroid"):
         cd = centroid_decomposition(rt, ledger=ledger)
     with ledger.phase("interest-terminals"):

@@ -64,6 +64,55 @@ class TestBench:
         assert "value" in out
 
 
+class TestResilience:
+    def test_deadline_flag_prints_provenance(self, graph_file, capsys):
+        g, path = graph_file
+        assert main(["cut", path, "--deadline", "60", "--seed", "3"]) == 0
+        out = dict(
+            line.split(" ", 1) for line in capsys.readouterr().out.strip().split("\n")
+        )
+        assert float(out["value"]) == pytest.approx(stoer_wagner(g).value)
+        assert int(out["attempts"]) >= 1
+        assert out["fallback"] == "none"
+        assert out["verified"] == "1"
+
+    def test_expired_deadline_falls_back_not_crashes(self, graph_file, capsys):
+        _, path = graph_file
+        assert main(["cut", path, "--deadline", "1e-9", "--seed", "3"]) == 0
+        out = dict(
+            line.split(" ", 1) for line in capsys.readouterr().out.strip().split("\n")
+        )
+        assert out["fallback"] == "stoer_wagner"
+
+    def test_max_attempts_flag(self, graph_file, capsys):
+        g, path = graph_file
+        assert main(["cut", path, "--max-attempts", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "attempts" in out
+
+
+class TestErrorHandling:
+    def test_repro_error_exits_2_with_one_line_message(self, tmp_path, capsys):
+        bad = tmp_path / "bad.el"
+        bad.write_text("0 1 nan\n1 2 1.0\n")
+        code = main(["cut", str(bad)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert err.count("\n") == 1  # one line, no traceback
+        assert "error:" in err
+
+    def test_missing_file_is_oserror_not_swallowed(self):
+        # only library errors are converted; a bad path still raises
+        with pytest.raises(OSError):
+            main(["cut", "/no/such/file.el"])
+
+    def test_invalid_epsilon_exits_2(self, graph_file, capsys):
+        _, path = graph_file
+        code = main(["cut", path, "--epsilon", "-1"])
+        assert code == 2
+        assert "InvalidParameterError" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

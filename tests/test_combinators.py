@@ -1,12 +1,15 @@
-"""Parallel combinators (repro.pram.combinators)."""
+"""Parallel combinators (repro.pram.combinators) and the hardened
+thread-pool executor (repro.pram.executor)."""
 
 import numpy as np
 import pytest
 
+from repro.errors import BranchErrors, InvalidParameterError
 from repro.pram import (
     Ledger,
     bulk_charge,
     log2ceil,
+    parallel_map,
     pfilter,
     pmap,
     preduce,
@@ -110,3 +113,74 @@ class TestBulkCharge:
         led = Ledger()
         bulk_charge(led, 100, per_item_work=1.0, depth=5)
         assert led.depth == 5
+
+
+class TestParallelMap:
+    def test_results_in_order(self):
+        assert parallel_map(lambda x: x + 1, [1, 2, 3, 4]) == [2, 3, 4, 5]
+
+    def test_empty_and_single(self):
+        assert parallel_map(lambda x: x, []) == []
+        assert parallel_map(lambda x: x * 3, [7]) == [21]
+
+    def test_raise_mode_propagates_first_failure(self):
+        def boom(x):
+            if x == 2:
+                raise ValueError("two")
+            return x
+
+        with pytest.raises(ValueError, match="two"):
+            parallel_map(boom, [1, 2, 3])
+
+    def test_aggregate_mode_collects_all_failures(self):
+        # one failed branch must not hide the others: every failure is
+        # collected and raised together, successes still computed
+        def boom(x):
+            if x % 2 == 0:
+                raise ValueError(f"even {x}")
+            return x
+
+        with pytest.raises(BranchErrors) as ei:
+            parallel_map(boom, [1, 2, 3, 4, 5], on_error="aggregate")
+        failures = ei.value.failures
+        assert [i for i, _ in failures] == [1, 3]
+        assert all(isinstance(e, ValueError) for _, e in failures)
+        assert "2 parallel branch(es) failed" in str(ei.value)
+
+    def test_per_item_retries_recover_flaky_branches(self):
+        calls = {}
+
+        def flaky(x):
+            calls[x] = calls.get(x, 0) + 1
+            if calls[x] == 1 and x == 3:
+                raise RuntimeError("transient")
+            return x * x
+
+        assert parallel_map(flaky, [1, 2, 3], retries=1) == [1, 4, 9]
+        assert calls[3] == 2  # retried exactly once
+
+    def test_retries_exhausted_still_fails(self):
+        def always(x):
+            raise RuntimeError("persistent")
+
+        with pytest.raises(BranchErrors) as ei:
+            parallel_map(always, [1, 2], retries=2, on_error="aggregate")
+        assert len(ei.value.failures) == 2
+
+    def test_timeout_records_slow_branch(self):
+        import time
+
+        def slow(x):
+            if x == 1:
+                time.sleep(2.0)
+            return x
+
+        with pytest.raises(BranchErrors) as ei:
+            parallel_map(slow, [0, 1], timeout=0.2, on_error="aggregate")
+        assert any(isinstance(e, TimeoutError) for _, e in ei.value.failures)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            parallel_map(lambda x: x, [1], retries=-1)
+        with pytest.raises(InvalidParameterError):
+            parallel_map(lambda x: x, [1], timeout=0.0)

@@ -5,7 +5,7 @@ import pytest
 
 from repro.baselines import stoer_wagner
 from repro.core import branching_for_epsilon, minimum_cut
-from repro.errors import GraphFormatError
+from repro.errors import GraphFormatError, InvalidParameterError
 from repro.graphs import (
     Graph,
     barbell_graph,
@@ -124,8 +124,14 @@ class TestEdgeCases:
             minimum_cut(Graph.empty(1))
 
     def test_bad_epsilon(self):
-        with pytest.raises(GraphFormatError):
+        with pytest.raises(InvalidParameterError):
             minimum_cut(make_graph(10, 30, 25), epsilon=-0.5)
+
+    def test_bad_epsilon_is_not_a_graph_error(self):
+        # a non-graph parameter must not masquerade as a format problem
+        with pytest.raises(InvalidParameterError):
+            branching_for_epsilon(64, 0.0)
+        assert not issubclass(InvalidParameterError, GraphFormatError)
 
     def test_branching_for_epsilon(self):
         assert branching_for_epsilon(256, None) == 2
