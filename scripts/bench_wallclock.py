@@ -1,0 +1,234 @@
+#!/usr/bin/env python
+"""Wall-clock regression harness for the fast-path kernels.
+
+Runs the E5 (2-respecting work optimality / eps tradeoff) and E8
+(density crossover) sweeps once under the reference kernels and once
+under the fast kernels (``repro.kernels``), checks the parity contract
+on every configuration (bit-identical cut value, identical stats
+counters, identical ledger work/depth totals and per-phase records), and
+writes ``BENCH_wallclock.json`` at the repo root with per-stage wall
+timings, per-experiment aggregate speedups, and a ledger-parity
+checksum.  It also times the sweep dispatch under the thread and process
+executor backends (:mod:`repro.pram.executor`).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_wallclock.py [--small]
+        [--min-speedup X] [--output PATH] [--skip-executors]
+
+``--small`` shrinks every sweep for CI smoke runs.  ``--min-speedup X``
+exits non-zero when any experiment's aggregate speedup (sum of reference
+wall seconds / sum of fast wall seconds) falls below X.  Parity failures
+always exit non-zero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import platform
+import sys
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core import branching_for_epsilon  # noqa: E402
+from repro.graphs import random_connected_graph  # noqa: E402
+from repro.kernels import force_kernels  # noqa: E402
+from repro.pram import Ledger, force_executor, parallel_map  # noqa: E402
+from repro.primitives import root_tree, spanning_forest_graph  # noqa: E402
+from repro.tworespect import two_respecting_min_cut  # noqa: E402
+
+
+class TimedLedger(Ledger):
+    """A Ledger that also records wall seconds spent inside each phase."""
+
+    __slots__ = ("phase_wall",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.phase_wall: dict = {}
+
+    def phase(self, name: str):
+        parent = super().phase(name)
+
+        @contextmanager
+        def timed():
+            t0 = time.perf_counter()
+            with parent as rec:
+                yield rec
+            self.phase_wall[name] = (
+                self.phase_wall.get(name, 0.0) + time.perf_counter() - t0
+            )
+
+        return timed()
+
+
+def _spanning_parent(g):
+    ids, _ = spanning_forest_graph(g)
+    return root_tree(g.n, g.u[ids], g.v[ids], 0)
+
+
+def _configs(small: bool):
+    """(experiment, label, n, m, seed, branching) rows mirroring E5/E8."""
+    rows = []
+    m_sweep = [1500, 3000] if small else [1500, 3000, 6000, 12000, 24000]
+    for m in m_sweep:
+        rows.append(("E5_m_sweep", f"n=500 m={m} b=2", 500, m, m, 2))
+    eps_sweep = [None, 0.15] if small else [None, 0.15, 0.3, 0.45]
+    eps_n, eps_m = (200, 8000) if small else (400, 50000)
+    for eps in eps_sweep:
+        b = branching_for_epsilon(eps_n, eps)
+        tag = "b=2" if eps is None else f"eps={eps:g}"
+        rows.append(("E5_eps_sweep", f"n={eps_n} m={eps_m} {tag} (b={b})", eps_n, eps_m, 77, b))
+    densities = [2, 8] if small else [2, 4, 8, 16, 32, 64]
+    n8 = 256 if small else 512
+    for d in densities:
+        rows.append(("E8_density", f"n={n8} m/n={d} b=2", n8, d * n8, d, 2))
+    return rows
+
+
+def _run_mode(mode: str, g, parent, branching: int):
+    # the instance is built by the caller: generation and spanning-tree
+    # construction are mode-independent and must not dilute the ratio
+    led = TimedLedger()
+    t0 = time.perf_counter()
+    with force_kernels(mode):
+        res = two_respecting_min_cut(g, parent, branching=branching, ledger=led)
+    wall = time.perf_counter() - t0
+    return {
+        "value": res.value,
+        "stats": dict(res.stats),
+        "work": led.work,
+        "depth": led.depth,
+        "wall_s": wall,
+        "stages": {k: round(v, 6) for k, v in led.phase_wall.items()},
+    }
+
+
+def _fast_only(config) -> float:
+    """Executor-backend worker: solve one config with fast kernels."""
+    _, _, n, m, seed, branching = config
+    g = random_connected_graph(n, m, rng=seed, max_weight=6)
+    parent = _spanning_parent(g)
+    with force_kernels("fast"):
+        res = two_respecting_min_cut(g, parent, branching=branching)
+    return res.value
+
+
+def _time_executors(configs, backends=("thread", "process")):
+    out = {}
+    for backend in backends:
+        t0 = time.perf_counter()
+        with force_executor(backend):
+            values = parallel_map(_fast_only, configs)
+        out[backend] = {"wall_s": round(time.perf_counter() - t0, 4),
+                        "values": [round(v, 9) for v in values]}
+    walls = [out[b]["wall_s"] for b in backends]
+    if len(walls) == 2 and walls[1] > 0:
+        out["process_speedup_vs_thread"] = round(walls[0] / walls[1], 3)
+    return out
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--small", action="store_true", help="CI-sized sweeps")
+    ap.add_argument("--min-speedup", type=float, default=None,
+                    help="fail if any experiment's aggregate speedup is below this")
+    ap.add_argument("--output", type=Path, default=ROOT / "BENCH_wallclock.json")
+    ap.add_argument("--skip-executors", action="store_true",
+                    help="skip the thread-vs-process dispatch timing")
+    args = ap.parse_args()
+
+    configs = _configs(args.small)
+    experiments: dict = {}
+    parity_ok = True
+    hasher = hashlib.sha256()
+
+    for exp, label, n, m, seed, b in configs:
+        g = random_connected_graph(n, m, rng=seed, max_weight=6)
+        parent = _spanning_parent(g)
+        ref = _run_mode("reference", g, parent, b)
+        fast = _run_mode("fast", g, parent, b)
+        same = (
+            ref["value"] == fast["value"]
+            and ref["stats"] == fast["stats"]
+            and (ref["work"], ref["depth"]) == (fast["work"], fast["depth"])
+        )
+        parity_ok &= same
+        hasher.update(
+            f"{label}|{ref['value']!r}|{ref['work']!r}|{ref['depth']!r}|{same}".encode()
+        )
+        speedup = ref["wall_s"] / fast["wall_s"] if fast["wall_s"] > 0 else float("inf")
+        entry = experiments.setdefault(exp, {"configs": []})
+        entry["configs"].append(
+            {
+                "label": label,
+                "n": n,
+                "m": m,
+                "branching": b,
+                "value": ref["value"],
+                "ledger": {"work": ref["work"], "depth": ref["depth"]},
+                "parity": same,
+                "wall_s": {"reference": round(ref["wall_s"], 4),
+                           "fast": round(fast["wall_s"], 4)},
+                "speedup": round(speedup, 3),
+                "stages": {"reference": ref["stages"], "fast": fast["stages"]},
+            }
+        )
+        status = "ok" if same else "PARITY MISMATCH"
+        print(f"[{exp}] {label}: ref {ref['wall_s']:.3f}s fast {fast['wall_s']:.3f}s "
+              f"({speedup:.2f}x) {status}")
+
+    total_ref = total_fast = 0.0
+    for exp, entry in experiments.items():
+        ref_s = sum(c["wall_s"]["reference"] for c in entry["configs"])
+        fast_s = sum(c["wall_s"]["fast"] for c in entry["configs"])
+        entry["aggregate_speedup"] = round(ref_s / fast_s, 3) if fast_s else float("inf")
+        total_ref += ref_s
+        total_fast += fast_s
+        print(f"== {exp}: aggregate speedup {entry['aggregate_speedup']:.2f}x "
+              f"({ref_s:.2f}s -> {fast_s:.2f}s)")
+
+    report = {
+        "generated_by": "scripts/bench_wallclock.py",
+        "small": args.small,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "experiments": experiments,
+        "aggregate_speedup": round(total_ref / total_fast, 3) if total_fast else None,
+        "parity_ok": bool(parity_ok),
+        "parity_checksum": hasher.hexdigest(),
+    }
+    if not args.skip_executors:
+        # time fan-out dispatch of the fast-mode sweep under both real
+        # executor backends (branches are pure-Python bound, so the
+        # process pool is the one that can beat a single core)
+        exec_configs = [c for c in configs if c[0] == "E8_density"]
+        report["executor_backends"] = _time_executors(exec_configs)
+        print(f"executor dispatch: {report['executor_backends']}")
+
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+
+    if not parity_ok:
+        print("FAIL: ledger/value parity violated", file=sys.stderr)
+        return 1
+    if args.min_speedup is not None:
+        for exp, entry in experiments.items():
+            if entry["aggregate_speedup"] < args.min_speedup:
+                print(f"FAIL: {exp} aggregate speedup "
+                      f"{entry['aggregate_speedup']}x < {args.min_speedup}x",
+                      file=sys.stderr)
+                return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,241 @@
+"""Batched interest-terminal search (fast kernels).
+
+The reference :func:`repro.tworespect.path_pairs.find_interest_terminals`
+runs two centroid-guided searches per tree edge (Claim 4.13), each
+probing the interest predicates one oracle call at a time — by far the
+largest query volume of the 2-respecting pipeline.  The driver here runs
+*every* edge's searches simultaneously as a masked NumPy state machine
+over :func:`deepest_on_interest_path`'s control flow: probe-free
+navigation steps (ancestor tests, child-toward walks, centroid component
+descents) advance as vectorized rounds, and each round's pending
+membership probes — both predicate kinds together — are answered by one
+fused :meth:`CutOracle.interested_many` batch.
+
+Parity argument
+---------------
+* Control flow: every search walks the exact decision sequence of
+  ``deepest_on_interest_path`` — membership probe iff ``top`` is a
+  proper ancestor of the current centroid, then the centroid's children
+  probed in ``children_lists`` order with first-hit short-circuit (the
+  short-circuit vertex of both member lambdas equals ``top``, which the
+  search never probes, so every probe reaches the oracle).  Batched
+  predicate values are bit-identical to the scalar ones, hence every
+  search visits the same centroids and returns the same terminal.
+* Stats: the probe multiset equals the union of the reference's per-edge
+  probe sequences, so the tree's ``queries``/``nodes_visited`` counters
+  advance by identical totals.
+* Ledger: the reference opens one parallel branch per edge whose depth
+  is the *sum* of its sequential charges (probe charges plus one
+  navigation charge ``(log2ceil(n)+1, 1)`` per centroid step).  Every
+  charge amount is an integer-valued float, so float accumulation order
+  is exact and the per-search NumPy accumulators reproduce the per-edge
+  (work, depth) pairs bit-for-bit; a single branch charging
+  ``(sum_e w_e, max_e d_e)`` leaves the frame — and therefore the
+  ledger — in the identical state.
+
+Requires a prefilled cost cache (``prefill_costs``), like every batched
+oracle entry point; the 2-respecting driver guarantees it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.pram.combinators import log2ceil
+from repro.pram.ledger import Ledger, NULL_LEDGER
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cutqueries -> kernels)
+    from repro.rangesearch.cutqueries import CutOracle
+    from repro.trees.centroid import CentroidDecomposition
+
+__all__ = ["find_interest_terminals_batched"]
+
+
+def _component_child_toward(
+    cent_parent: np.ndarray, c: np.ndarray, y: np.ndarray
+) -> np.ndarray:
+    """Vectorized ``cd.child_component_toward(c[i], y[i])``: walk each
+    ``y`` up the centroid tree until its parent is ``c``."""
+    x = y.copy()
+    while True:
+        p = cent_parent[x]
+        m = p != c
+        if not m.any():
+            return x
+        if (p < 0)[m].any():
+            raise GraphFormatError("target vertex is not in the centroid's component")
+        x = np.where(m, p, x)
+
+
+def find_interest_terminals_batched(
+    oracle: "CutOracle",
+    cd: "CentroidDecomposition",
+    ledger: Ledger = NULL_LEDGER,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Drop-in for ``find_interest_terminals`` with batched probes."""
+    tree = oracle.tree
+    n = tree.n
+    c_e = np.full(n, -1, dtype=np.int64)
+    d_e = np.full(n, -1, dtype=np.int64)
+    parent = np.asarray(tree.parent, dtype=np.int64)
+    edges = np.flatnonzero(parent >= 0)
+    ne = edges.shape[0]
+    if ne == 0:
+        with ledger.parallel():
+            pass
+        return c_e, d_e
+    post = np.asarray(tree.post, dtype=np.int64)
+    first = post - (np.asarray(tree.size, dtype=np.int64) - 1)
+    cent_parent = np.asarray(cd.cent_parent, dtype=np.int64)
+    maxlev = cd.height  # O(n) property — hoisted out of the round loop
+    navw = float(log2ceil(max(n, 2)) + 1)
+
+    # children in ``children_lists`` order: grouped by parent, each
+    # group in increasing child index (the reference's probe order)
+    korder = np.argsort(parent[edges], kind="stable")
+    ch_flat = edges[korder]
+    ch_cnt = np.bincount(parent[edges], minlength=n).astype(np.int64)
+    ch_off = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(ch_cnt, out=ch_off[1:])
+
+    # two searches per edge u: [0:ne] cross (top = root), [ne:) down
+    # (top = u); both share the edge's reference branch, whose charges
+    # are the *sum* of the two searches' — integer-valued, so per-search
+    # accumulators recombine exactly
+    k2 = 2 * ne
+    edge = np.concatenate([edges, edges])
+    top = np.concatenate([np.full(ne, tree.root, dtype=np.int64), edges])
+    cur = np.full(k2, cd.cent_root, dtype=np.int64)
+    kidx = np.zeros(k2, dtype=np.int64)
+    iters = np.zeros(k2, dtype=np.int64)
+    accw = np.zeros(k2, dtype=np.float64)
+    accd = np.zeros(k2, dtype=np.float64)
+    alive = np.ones(k2, dtype=bool)
+    pending = np.full(k2, -1, dtype=np.int64)  # probe vertex, -1 = none
+    in_scan = np.zeros(k2, dtype=bool)  # pending probe is a child probe
+    out = np.full(k2, -1, dtype=np.int64)
+    is_cross = np.zeros(k2, dtype=bool)
+    is_cross[:ne] = True
+
+    def finish(idx: np.ndarray) -> None:
+        out[idx] = cur[idx]
+        alive[idx] = False
+        pending[idx] = -1
+
+    def nav_step(idx: np.ndarray) -> None:
+        """One off-path centroid move toward ``top`` (probe-free)."""
+        if not idx.shape[0]:
+            return
+        c = cur[idx]
+        t = top[idx]
+        # proper ancestor of top: descend toward the child holding top
+        anc_ct = (first[c] <= post[t]) & (post[t] <= post[c]) & (c != t)
+        step = parent[c]
+        bad = ~anc_ct & (step < 0)
+        if bad.any():  # pragma: no cover - c can only be the root if top is too
+            finish(idx[bad])
+            out[idx[bad]] = t[bad]
+            idx, c, t, anc_ct, step = (
+                idx[~bad], c[~bad], t[~bad], anc_ct[~bad], step[~bad]
+            )
+        ai = np.flatnonzero(anc_ct)
+        if ai.shape[0]:
+            # _tree_child_toward: first child of c whose subtree holds top
+            res = np.full(ai.shape[0], -1, dtype=np.int64)
+            unresolved = np.ones(ai.shape[0], dtype=bool)
+            kk = 0
+            while unresolved.any():
+                ui = np.flatnonzero(unresolved)
+                cc = c[ai[ui]]
+                has = ch_cnt[cc] > kk
+                if not has.any():
+                    raise GraphFormatError("target not under ancestor")
+                ch = ch_flat[np.where(has, ch_off[cc] + kk, 0)]
+                tt = post[t[ai[ui]]]
+                hit = has & (first[ch] <= tt) & (tt <= post[ch])
+                res[ui[hit]] = ch[hit]
+                unresolved[ui[hit]] = False
+                kk += 1
+            step = step.copy()
+            step[ai] = res
+        cur[idx] = _component_child_toward(cent_parent, c, step)
+        accw[idx] += navw
+        accd[idx] += 1.0
+
+    def enter_scan(idx: np.ndarray) -> None:
+        """Centroid confirmed on-path: probe its first child or finish."""
+        if not idx.shape[0]:
+            return
+        kidx[idx] = 0
+        deg = ch_cnt[cur[idx]]
+        leaf = deg == 0
+        finish(idx[leaf])
+        go = idx[~leaf]
+        pending[go] = ch_flat[ch_off[cur[go]]]
+        in_scan[go] = True
+
+    while alive.any():
+        # drive every probe-less search to its next probe (or its end)
+        while True:
+            di = np.flatnonzero(alive & (pending < 0))
+            if not di.shape[0]:
+                break
+            iters[di] += 1
+            if (iters[di] > maxlev + 2).any():  # pragma: no cover - safety net
+                raise GraphFormatError("centroid search failed to converge")
+            c = cur[di]
+            t = top[di]
+            eq = c == t
+            anc_tc = (first[t] <= post[c]) & (post[c] <= post[t])
+            member = ~eq & anc_tc  # proper ancestor: membership unknown
+            mi = di[member]
+            pending[mi] = cur[mi]
+            in_scan[mi] = False
+            enter_scan(di[eq])
+            nav_step(di[~eq & ~anc_tc])
+        live = np.flatnonzero(alive)
+        if not live.shape[0]:
+            break
+        # both predicate kinds of the round answered by ONE fused batch
+        vals, works, depths = oracle.interested_many(
+            edge[live], pending[live], is_cross[live]
+        )
+        accw[live] += works
+        accd[live] += depths
+        yes = vals != 0.0
+        scan = in_scan[live]
+        # membership probes: interested -> child scan, else move on
+        enter_scan(live[~scan & yes])
+        off = live[~scan & ~yes]
+        pending[off] = -1  # back to the drive loop after the move
+        nav_step(off)
+        # child probes: first interested child wins; else try the next
+        # sibling, finishing at the centroid when none is left
+        win = live[scan & yes]
+        if win.shape[0]:
+            nxt = pending[win]
+            cur[win] = _component_child_toward(cent_parent, cur[win], nxt)
+            accw[win] += navw
+            accd[win] += 1.0
+            pending[win] = -1
+            in_scan[win] = False
+        miss = live[scan & ~yes]
+        if miss.shape[0]:
+            kidx[miss] += 1
+            done = kidx[miss] >= ch_cnt[cur[miss]]
+            finish(miss[done])
+            more = miss[~done]
+            pending[more] = ch_flat[ch_off[cur[more]] + kidx[more]]
+
+    c_e[edge[:ne]] = out[:ne]
+    d_e[edge[ne:]] = out[ne:]
+    with ledger.parallel() as par:
+        with par.branch():
+            ledger.charge(
+                work=float(accw.sum()),
+                depth=float((accd[:ne] + accd[ne:]).max()),
+            )
+    return c_e, d_e

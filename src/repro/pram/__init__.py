@@ -12,7 +12,7 @@ from repro.pram.combinators import (
     preduce,
     pscan_exclusive,
 )
-from repro.pram.executor import parallel_map
+from repro.pram.executor import executor_backend, force_executor, parallel_map
 from repro.pram.ledger import NULL_LEDGER, Ledger, ParallelFrame, PhaseRecord
 from repro.pram.trace import SPNode, TraceLedger, schedule_bounds
 from repro.pram.scheduler import (
@@ -35,6 +35,8 @@ __all__ = [
     "bulk_charge",
     "log2ceil",
     "parallel_map",
+    "executor_backend",
+    "force_executor",
     "BrentProjection",
     "brent_time",
     "parallelism",

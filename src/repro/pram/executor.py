@@ -1,13 +1,32 @@
-"""Optional *real* thread-pool execution of coarse-grained parallel loops.
+"""Optional *real* execution backends for coarse-grained parallel loops.
 
 The accounting in :mod:`repro.pram.ledger` is the primary experimental
-instrument (see DESIGN.md); this module exists so examples can also run
-independent coarse-grained units (trees in a packing, layers of a
-hierarchy) on a real thread pool.  Because CPython holds the GIL during
-pure-Python execution, wall-clock speedup from this executor is limited
-to whatever time the branches spend in numpy kernels that release the
-GIL — which is precisely why the repro's measured quantities are work
-and depth rather than wall-clock (repro band 2/5).
+instrument (see DESIGN.md); this module exists so examples and the
+wall-clock harness can also run independent coarse-grained units (trees
+in a packing, layers of a hierarchy, sweep configurations) on a real
+executor.  Three backends are available, selected by the
+``REPRO_EXECUTOR`` environment variable or :func:`force_executor`:
+
+``thread`` (default)
+    A lazily-created module-level :class:`ThreadPoolExecutor`, reused
+    across calls.  Because CPython holds the GIL during pure-Python
+    execution, wall-clock speedup is limited to whatever time the
+    branches spend in numpy kernels that release the GIL — which is
+    precisely why the repro's measured quantities are work and depth
+    rather than wall-clock (repro band 2/5).
+``process``
+    A lazily-created module-level :class:`ProcessPoolExecutor` for
+    coarse branches that are pure-Python bound.  Worker processes do
+    not see the caller's :mod:`contextvars`, so fault plans and budget
+    checkpoints are polled in the *parent* before each branch is
+    dispatched — injected executor-branch faults and budget blowouts
+    fire with the same per-item failure semantics as the thread
+    backend.  Branch callables must be picklable; a call whose ``fn``
+    cannot be pickled (lambdas, closures) transparently falls back to
+    the thread backend.
+``sync``
+    An in-line sequential loop (deterministic debugging).  Cooperative
+    timeouts need concurrency and are ignored.
 
 Robustness: one failed branch must not destroy the whole pool.
 :func:`parallel_map` supports per-item retries, per-item timeouts, and
@@ -15,23 +34,112 @@ error aggregation — with ``on_error="aggregate"`` every branch runs to
 completion and the failures are raised together as one
 :class:`repro.errors.BranchErrors`.  Worker threads run in a copy of the
 caller's :mod:`contextvars` context, so fault plans and budgets armed in
-the caller are visible inside branches.
+the caller are visible inside branches.  Shared pools are reserved for
+untimed calls: a call with a ``timeout`` gets a private pool, because a
+timed-out branch keeps its worker occupied and must not poison the
+shared pool for later callers.  A broken shared process pool (a worker
+died) is evicted so the next attempt starts fresh.
 """
 
 from __future__ import annotations
 
 import contextvars
 import os
-from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
-from typing import Callable, List, Literal, Optional, Sequence, Tuple, TypeVar
+import pickle
+import threading
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Literal,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from repro.errors import BranchErrors, FaultInjected, InvalidParameterError
 from repro.resilience.faults import SITE_EXECUTOR_BRANCH, poll_indexed as _poll_fault
 
-__all__ = ["parallel_map"]
+__all__ = ["parallel_map", "executor_backend", "force_executor"]
 
 T = TypeVar("T")
 U = TypeVar("U")
+
+_BACKENDS = ("thread", "process", "sync")
+
+_override: ContextVar[Optional[str]] = ContextVar("repro_executor_backend", default=None)
+
+
+def executor_backend() -> str:
+    """The active executor backend: ``"thread"``, ``"process"`` or
+    ``"sync"``.
+
+    Resolution order: :func:`force_executor` override, then the
+    ``REPRO_EXECUTOR`` environment variable, then ``"thread"``.
+    """
+    forced = _override.get()
+    if forced is not None:
+        return forced
+    backend = os.environ.get("REPRO_EXECUTOR", "thread").strip().lower() or "thread"
+    if backend not in _BACKENDS:
+        raise InvalidParameterError(
+            f"REPRO_EXECUTOR must be one of {_BACKENDS}, got {backend!r}"
+        )
+    return backend
+
+
+@contextmanager
+def force_executor(backend: str) -> Iterator[None]:
+    """Force the executor backend for the duration of the block
+    (contextvar scoped, so concurrent callers are unaffected)."""
+    if backend not in _BACKENDS:
+        raise InvalidParameterError(
+            f"executor backend must be one of {_BACKENDS}, got {backend!r}"
+        )
+    token = _override.set(backend)
+    try:
+        yield
+    finally:
+        _override.reset(token)
+
+
+# --------------------------------------------------------------------------
+# Shared pools: created lazily, keyed by (kind, workers), reused across
+# parallel_map calls.  Only untimed calls use them — see module docstring.
+# --------------------------------------------------------------------------
+
+_pool_lock = threading.Lock()
+_shared_pools: Dict[Tuple[str, int], Executor] = {}
+
+
+def _shared_pool(kind: str, workers: int) -> Executor:
+    key = (kind, workers)
+    with _pool_lock:
+        pool = _shared_pools.get(key)
+        if pool is None:
+            factory = ThreadPoolExecutor if kind == "thread" else ProcessPoolExecutor
+            pool = factory(max_workers=max(workers, 1))
+            _shared_pools[key] = pool
+    return pool
+
+
+def _evict_shared_pool(kind: str, workers: int) -> None:
+    with _pool_lock:
+        pool = _shared_pools.pop((kind, workers), None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
 def _run_item(fn: Callable[[T], U], item: T, index: int) -> U:
@@ -40,14 +148,107 @@ def _run_item(fn: Callable[[T], U], item: T, index: int) -> U:
     return fn(item)
 
 
-def _attempt(
+def _drain(
+    futures: dict,
+    timeout: Optional[float],
+    results: dict,
+    failures: dict,
+) -> bool:
+    """Collect completed futures into ``results``/``failures``; returns
+    True when a timeout fired (pending branches recorded as failures)."""
+    pending = set(futures)
+    timed_out = False
+    while pending:
+        done, pending = wait(pending, timeout=timeout, return_when=FIRST_COMPLETED)
+        if not done:  # timed out with work still in flight
+            # queued branches are cancelled; running ones cannot be
+            # interrupted, but we stop waiting and record the timeout
+            timed_out = True
+            for fut in pending:
+                fut.cancel()
+                i = futures[fut]
+                failures[i] = TimeoutError(f"branch {i} exceeded {timeout:g}s")
+            break
+        for fut in done:
+            i = futures[fut]
+            try:
+                results[i] = fut.result()
+            except Exception as exc:  # noqa: BLE001 - aggregated for the caller
+                failures[i] = exc
+    return timed_out
+
+
+def _attempt_process(
     fn: Callable[[T], U],
     items: List[T],
     indices: Sequence[int],
     workers: int,
     timeout: Optional[float],
 ) -> Tuple[dict, dict]:
+    """One process-pool pass over ``indices``.
+
+    Worker processes cannot see the caller's contextvars, so the fault
+    plan and the armed budget are polled here in the parent, once per
+    branch before dispatch; a hit is recorded as that branch's failure
+    (the same per-item semantics an in-branch raise has on the thread
+    backend, so retries and aggregation compose identically).
+    """
+    from repro.errors import BudgetExceeded
+    from repro.resilience.budget import checkpoint as _budget_checkpoint
+
+    results: dict = {}
+    failures: dict = {}
+    dispatch: List[int] = []
+    for i in indices:
+        if _poll_fault(SITE_EXECUTOR_BRANCH, i) is not None:
+            failures[i] = FaultInjected(f"injected failure in executor branch {i}")
+            continue
+        try:
+            _budget_checkpoint(f"executor.branch[{i}]")
+        except BudgetExceeded as exc:
+            failures[i] = exc
+            continue
+        dispatch.append(i)
+    if not dispatch:
+        return results, failures
+
+    transient = timeout is not None
+    pool = (
+        ProcessPoolExecutor(max_workers=max(workers, 1))
+        if transient
+        else _shared_pool("process", workers)
+    )
+    timed_out = False
+    try:
+        futures = {pool.submit(fn, items[i]): i for i in dispatch}
+        timed_out = _drain(futures, timeout, results, failures)
+    except BrokenExecutor as exc:
+        for i in dispatch:
+            if i not in results and i not in failures:
+                failures[i] = exc
+    finally:
+        if transient:
+            # don't block shutdown on a branch we already declared timed out
+            pool.shutdown(wait=not timed_out, cancel_futures=timed_out)
+    if not transient and any(isinstance(e, BrokenExecutor) for e in failures.values()):
+        # a dead worker poisons the whole ProcessPoolExecutor; evict so
+        # the retry (or the next caller) gets a fresh pool
+        _evict_shared_pool("process", workers)
+    return results, failures
+
+
+def _attempt(
+    fn: Callable[[T], U],
+    items: List[T],
+    indices: Sequence[int],
+    workers: int,
+    timeout: Optional[float],
+    backend: str,
+) -> Tuple[dict, dict]:
     """One pass over ``indices``; returns ``(results, failures)`` by index."""
+    if backend == "process":
+        return _attempt_process(fn, items, indices, workers, timeout)
+
     results: dict = {}
     failures: dict = {}
     ctx = contextvars.copy_context()
@@ -55,7 +256,7 @@ def _attempt(
     def call(i: int) -> U:
         return ctx.copy().run(_run_item, fn, items[i], i)
 
-    if workers <= 1 and timeout is None:
+    if backend == "sync" or (workers <= 1 and timeout is None):
         for i in indices:
             try:
                 results[i] = call(i)
@@ -63,30 +264,20 @@ def _attempt(
                 failures[i] = exc
         return results, failures
 
+    if timeout is None:
+        pool = _shared_pool("thread", workers)
+        futures = {pool.submit(call, i): i for i in indices}
+        _drain(futures, None, results, failures)
+        return results, failures
+
+    # timed call: private pool, because a timed-out branch keeps its
+    # worker occupied and must not poison the shared pool
     pool = ThreadPoolExecutor(max_workers=max(workers, 1))
     timed_out = False
     try:
-        futures: dict = {pool.submit(call, i): i for i in indices}
-        pending = set(futures)
-        while pending:
-            done, pending = wait(pending, timeout=timeout, return_when=FIRST_COMPLETED)
-            if not done:  # timed out with work still in flight
-                # queued branches are cancelled; running ones cannot be
-                # interrupted, but we stop waiting and record the timeout
-                timed_out = True
-                for fut in pending:
-                    fut.cancel()
-                    i = futures[fut]
-                    failures[i] = TimeoutError(f"branch {i} exceeded {timeout:g}s")
-                break
-            for fut in done:
-                i = futures[fut]
-                try:
-                    results[i] = fut.result()
-                except Exception as exc:  # noqa: BLE001 - aggregated
-                    failures[i] = exc
+        futures = {pool.submit(call, i): i for i in indices}
+        timed_out = _drain(futures, timeout, results, failures)
     finally:
-        # don't block shutdown on a branch we already declared timed out
         pool.shutdown(wait=not timed_out, cancel_futures=timed_out)
     return results, failures
 
@@ -100,21 +291,24 @@ def parallel_map(
     timeout: Optional[float] = None,
     on_error: Literal["raise", "aggregate"] = "raise",
 ) -> List[U]:
-    """Map ``fn`` over ``items`` on a thread pool, preserving order.
+    """Map ``fn`` over ``items`` on the active backend, preserving order.
 
     Parameters
     ----------
     max_workers:
-        Defaults to ``os.cpu_count()``.  Falls back to a sequential loop
-        for empty or single-item inputs (unless a timeout is requested).
+        Defaults to ``os.cpu_count()`` (1 when the platform cannot
+        report a count).  The thread backend falls back to a sequential
+        loop for empty or single-item inputs (unless a timeout is
+        requested).
     retries:
         Per-item retry count: a failed item re-runs up to this many
         extra times before counting as failed.
     timeout:
         Per-wait timeout in seconds.  A branch still running once no
         other branch has completed for ``timeout`` seconds is recorded
-        as a ``TimeoutError`` (cooperative: the thread itself cannot be
-        killed, but the caller stops waiting for it).
+        as a ``TimeoutError`` (cooperative: the worker itself cannot be
+        killed, but the caller stops waiting for it).  Ignored by the
+        ``sync`` backend.
     on_error:
         ``"raise"`` re-raises the first failure (after retries), the
         historical behaviour.  ``"aggregate"`` runs every branch to
@@ -129,15 +323,22 @@ def parallel_map(
     items = list(items)
     if not items:
         return []
+    backend = executor_backend()
+    if backend == "process":
+        try:
+            pickle.dumps(fn)
+        except Exception:  # noqa: BLE001 - lambdas/closures can't cross processes
+            backend = "thread"
+    # explicit guard: os.cpu_count() may return None on exotic platforms
     workers = max_workers or os.cpu_count() or 1
-    if len(items) == 1 and timeout is None:
+    if backend == "thread" and len(items) == 1 and timeout is None:
         workers = 1
 
     results: dict = {}
     failed: dict = {}
     todo: List[int] = list(range(len(items)))
     for _ in range(retries + 1):
-        got, bad = _attempt(fn, items, todo, workers, timeout)
+        got, bad = _attempt(fn, items, todo, workers, timeout, backend)
         results.update(got)
         failed = bad
         todo = sorted(bad)

@@ -46,11 +46,19 @@ def all_subtree_costs(
     charges = np.zeros(n, dtype=np.float64)
     if graph.m:
         if lca is None:
-            lca = LCA(tree, ledger=ledger)
+            # memoised per tree instance; builds (and charges) once
+            from repro.kernels.treecache import shared_lca
+
+            lca = shared_lca(tree, ledger=ledger)
         anc = lca.query(graph.u, graph.v, ledger=ledger)
-        np.add.at(charges, graph.u, graph.w)
-        np.add.at(charges, graph.v, graph.w)
-        np.add.at(charges, anc, -2.0 * graph.w)
+        # one weighted bincount over the concatenated charge lists: adds
+        # each (vertex, weight) in the same sequential order as the
+        # former three np.add.at passes (u entries, then v, then lca),
+        # so the per-vertex float accumulation is bit-identical — and
+        # several times faster than np.add.at's unbuffered inner loop
+        idx = np.concatenate([graph.u, graph.v, anc])
+        wts = np.concatenate([graph.w, graph.w, -2.0 * graph.w])
+        charges = np.bincount(idx, weights=wts, minlength=n)
     # subtree sums via the postorder prefix trick
     by_post = charges[tree.order]
     prefix = pscan_exclusive(by_post, ledger=ledger)

@@ -24,17 +24,20 @@ structurally by the underlying range trees.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.graphs.graph import Graph
+from repro.kernels import use_fast_kernels
 from repro.pram.combinators import log2ceil
 from repro.pram.ledger import Ledger, NULL_LEDGER
 from repro.primitives.euler import RootedTree
 from repro.rangesearch.tree2d import RangeTree2D
 
 __all__ = ["CutOracle", "NaiveCutOracle"]
+
+_BatchResult = Tuple[np.ndarray, np.ndarray, np.ndarray]
 
 
 class CutOracle:
@@ -69,7 +72,16 @@ class CutOracle:
         xs = np.concatenate([px, py])
         ys = np.concatenate([py, px])
         ws = np.concatenate([graph.w, graph.w])
-        self.points = RangeTree2D(xs, ys, ws, branching=branching, ledger=ledger)
+        if use_fast_kernels():
+            # ledger-parity fast path (see repro.kernels): identical
+            # answers, charges and counters, flat-array traversal.
+            # Imported lazily — kernels.flat2d needs rangesearch.tree1d,
+            # so a module-level import would cycle through this package.
+            from repro.kernels.flat2d import FlatRangeTree2D
+
+            self.points = FlatRangeTree2D(xs, ys, ws, branching=branching, ledger=ledger)
+        else:
+            self.points = RangeTree2D(xs, ys, ws, branching=branching, ledger=ledger)
         self._nb = tree.n
         self._cost_cache = np.full(tree.n, np.nan)
         # Lemma A.1 preprocessing beyond the 2-D build: postorder mapping
@@ -115,9 +127,241 @@ class CutOracle:
         t = self.tree
         su, pu = int(t.start(u)), int(t.post[u])
         sv, pv = int(t.start(v)), int(t.post[v])
-        return self.points.query(su, pu, 0, sv - 1, ledger=ledger) + self.points.query(
+        pts = self.points
+        if self.batched:
+            # both rectangles share x-span [su, pu]: the flat tree walks
+            # the canonical x-decomposition once for the pair (identical
+            # answers, charges and stats — see query_pair_x)
+            v1, v2 = pts.query_pair_x(
+                su, pu, 0, sv - 1, pv + 1, self._nb - 1, ledger=ledger
+            )
+            return v1 + v2
+        return pts.query(su, pu, 0, sv - 1, ledger=ledger) + pts.query(
             su, pu, pv + 1, self._nb - 1, ledger=ledger
         )
+
+    # ------------------------------------------------------------------
+    # batched evaluation (fast kernels)
+    #
+    # Each *_many method answers an array of queries at once via the flat
+    # tree's query_many and returns ``(values, works, depths)``: values
+    # are bit-identical to the scalar methods, works[i]/depths[i] are
+    # exactly what the scalar call for query i would charge its ledger
+    # (sums over the sequential sub-queries of that scalar call).  No
+    # ledger is charged here — callers replay the reference charge
+    # structure from the per-query arrays.  Stats counters update exactly
+    # as the equivalent scalar calls would.
+    #
+    # Charge parity requires a prefilled cost cache (prefill_costs):
+    # batches evaluate all cost() lookups up front, so an uncached vertex
+    # repeated within a batch charges the miss cost each time where the
+    # scalar sequence would hit the cache from the second call on.  The
+    # 2-respecting driver always prefills before its batched stages.
+    # ------------------------------------------------------------------
+    @property
+    def batched(self) -> bool:
+        """True when the point structure supports batched queries."""
+        return hasattr(self.points, "query_many")
+
+    def _spans(self, us: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        t = self.tree
+        p = t.post[us]
+        return p - (t.size[us] - 1), p
+
+    def cost_many(self, us: np.ndarray) -> _BatchResult:
+        """Batched :meth:`cost`.  Cache misses are deduplicated: each
+        distinct uncached vertex is evaluated (and cached) once with the
+        two-rectangle miss charge on its *first* occurrence; later
+        occurrences charge the (1, 1) cache hit — exactly the scalar
+        call sequence."""
+        us = np.asarray(us, dtype=np.int64)
+        vals = self._cost_cache[us].copy()
+        works = np.ones(us.shape[0], dtype=np.float64)
+        depths = np.ones(us.shape[0], dtype=np.float64)
+        miss = np.isnan(vals)
+        if miss.any():
+            mi = np.flatnonzero(miss)
+            uniq, first, inv = np.unique(us[mi], return_index=True, return_inverse=True)
+            s, p = self._spans(uniq)
+            zero = np.zeros(uniq.shape[0], dtype=np.int64)
+            last = np.full(uniq.shape[0], self._nb - 1, dtype=np.int64)
+            v1, w1, d1 = self.points.query_many(s, p, zero, s - 1)
+            v2, w2, d2 = self.points.query_many(s, p, p + 1, last)
+            v = v1 + v2
+            self._cost_cache[uniq] = v
+            vals[mi] = v[inv]
+            works[mi[first]] = w1 + w2
+            depths[mi[first]] = d1 + d2
+        return vals, works, depths
+
+    def cost_argmin(self) -> Tuple[float, int]:
+        """Minimum prefilled ``w(T_e)`` and the smallest edge (child
+        vertex) attaining it — the 1-respecting minimum.  Requires
+        ``prefill_costs``; charges nothing (the caller replays the
+        reference's per-edge hit charges)."""
+        c = np.where(np.isnan(self._cost_cache), np.inf, self._cost_cache)
+        u = int(np.argmin(c))
+        return float(c[u]), u
+
+    def cross_cost_many(self, us: np.ndarray, vs: np.ndarray) -> _BatchResult:
+        """Batched :meth:`cross_cost` (vertex-disjoint subtree pairs)."""
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        su, pu = self._spans(us)
+        sv, pv = self._spans(vs)
+        return self.points.query_many(sv, pv, su, pu)
+
+    def down_cost_many(self, us: np.ndarray, vs: np.ndarray) -> _BatchResult:
+        """Batched :meth:`down_cost` (u a descendant of v)."""
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        return self._mixed_pair_costs(us, vs, np.ones(us.shape[0], dtype=bool))
+
+    def _mixed_pair_costs(
+        self, a: np.ndarray, b: np.ndarray, down: np.ndarray
+    ) -> _BatchResult:
+        """Rows with ``down[i]`` get ``down_cost(a[i], b[i])``, the rest
+        ``cross_cost(a[i], b[i])`` — all rectangles of the whole batch in
+        ONE ``query_many`` call (its per-row answers and charges do not
+        depend on what else is in the batch, so fusing is parity-neutral
+        and pays the vectorized traversal's fixed cost once)."""
+        n = a.shape[0]
+        vals = np.empty(n, dtype=np.float64)
+        works = np.empty(n, dtype=np.float64)
+        depths = np.empty(n, dtype=np.float64)
+        di = np.flatnonzero(down)
+        ci = np.flatnonzero(~down)
+        sa, pa = self._spans(a)
+        sb, pb = self._spans(b)
+        k = di.shape[0]
+        zero = np.zeros(k, dtype=np.int64)
+        last = np.full(k, self._nb - 1, dtype=np.int64)
+        # down rows contribute their two complement rectangles, cross
+        # rows the single (b-span x a-span) rectangle
+        x1 = np.concatenate([sa[di], sa[di], sb[ci]])
+        x2 = np.concatenate([pa[di], pa[di], pb[ci]])
+        y1 = np.concatenate([zero, pb[di] + 1, sa[ci]])
+        y2 = np.concatenate([sb[di] - 1, last, pa[ci]])
+        v, w, d = self.points.query_many(x1, x2, y1, y2)
+        vals[di] = v[:k] + v[k : 2 * k]
+        works[di] = w[:k] + w[k : 2 * k]
+        depths[di] = d[:k] + d[k : 2 * k]
+        vals[ci] = v[2 * k :]
+        works[ci] = w[2 * k :]
+        depths[ci] = d[2 * k :]
+        return vals, works, depths
+
+    def _ancestor_mask(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """is_ancestor(a[i], b[i]) elementwise."""
+        t = self.tree
+        pa = t.post[a]
+        pb = t.post[b]
+        return (pa - (t.size[a] - 1) <= pb) & (pb <= pa)
+
+    def cut_many(self, us: np.ndarray, vs: np.ndarray) -> _BatchResult:
+        """Batched :meth:`cut` over pairs of tree edges."""
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        n = us.shape[0]
+        vals = np.empty(n, dtype=np.float64)
+        works = np.empty(n, dtype=np.float64)
+        depths = np.empty(n, dtype=np.float64)
+        same = us == vs
+        cu, wu, du = self.cost_many(us)
+        vals[same] = cu[same]
+        works[same] = wu[same]
+        depths[same] = du[same]
+        ns = np.flatnonzero(~same)
+        if ns.shape[0]:
+            cv, wv, dv = self.cost_many(vs[ns])
+            anc_vu = self._ancestor_mask(vs[ns], us[ns])  # e inside T_f
+            anc_uv = self._ancestor_mask(us[ns], vs[ns])  # f inside T_e
+            # three disjoint cases, one fused query batch:
+            #   anc_vu          -> down_cost(u, v)
+            #   anc_uv & ~anc_vu-> down_cost(v, u)
+            #   neither         -> cross_cost(u, v)
+            swap = anc_uv & ~anc_vu
+            a = np.where(swap, vs[ns], us[ns])
+            b = np.where(swap, us[ns], vs[ns])
+            pv, pw, pd = self._mixed_pair_costs(a, b, anc_vu | anc_uv)
+            vals[ns] = cu[ns] + cv - 2.0 * pv
+            works[ns] = wu[ns] + wv + pw
+            depths[ns] = du[ns] + dv + pd
+        return vals, works, depths
+
+    def cross_interested_many(self, us: np.ndarray, vs: np.ndarray) -> _BatchResult:
+        """Batched :meth:`cross_interested`; values are 0.0/1.0."""
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        n = us.shape[0]
+        vals = np.zeros(n, dtype=np.float64)
+        works = np.zeros(n, dtype=np.float64)
+        depths = np.zeros(n, dtype=np.float64)
+        live = (us != vs) & ~self._ancestor_mask(us, vs)
+        li = np.flatnonzero(live)
+        if li.shape[0]:
+            ce, wc, dc = self.cost_many(us[li])
+            anc = self._ancestor_mask(vs[li], us[li])  # f an ancestor edge of e
+            # ancestor rows need down_cost(u, v), the rest cross_cost —
+            # one fused query batch for the whole round
+            qv, mw, md = self._mixed_pair_costs(us[li], vs[li], anc)
+            mass = np.where(anc, ce - qv, qv)
+            vals[li] = (ce < 2.0 * mass).astype(np.float64)
+            works[li] = wc + mw
+            depths[li] = dc + md
+        return vals, works, depths
+
+    def interested_many(
+        self, us: np.ndarray, vs: np.ndarray, cross: np.ndarray
+    ) -> _BatchResult:
+        """Rows with ``cross[i]`` evaluate ``cross_interested(us[i],
+        vs[i])``, the rest ``down_interested(us[i], vs[i])`` — the whole
+        mixed batch in one fused rectangle query (the terminal search's
+        per-round call)."""
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        cross = np.asarray(cross, dtype=bool)
+        n = us.shape[0]
+        vals = np.zeros(n, dtype=np.float64)
+        works = np.zeros(n, dtype=np.float64)
+        depths = np.zeros(n, dtype=np.float64)
+        anc_uv = self._ancestor_mask(us, vs)
+        # cross rows are live when f is NOT inside T_e, down rows when
+        # it is — exactly the two predicates' guards
+        live = (us != vs) & (cross ^ anc_uv)
+        li = np.flatnonzero(live)
+        if li.shape[0]:
+            ce, wc, dc = self.cost_many(us[li])
+            cr = cross[li]
+            anc2 = self._ancestor_mask(vs[li], us[li])  # f ancestor of e
+            # down rows probe down_cost(v, u); cross rows down_cost(u, v)
+            # when f is an ancestor edge, else cross_cost(u, v)
+            a = np.where(cr, us[li], vs[li])
+            b = np.where(cr, vs[li], us[li])
+            qv, mw, md = self._mixed_pair_costs(a, b, ~cr | anc2)
+            mass = np.where(cr & anc2, ce - qv, qv)
+            vals[li] = (ce < 2.0 * mass).astype(np.float64)
+            works[li] = wc + mw
+            depths[li] = dc + md
+        return vals, works, depths
+
+    def down_interested_many(self, us: np.ndarray, vs: np.ndarray) -> _BatchResult:
+        """Batched :meth:`down_interested`; values are 0.0/1.0."""
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        n = us.shape[0]
+        vals = np.zeros(n, dtype=np.float64)
+        works = np.zeros(n, dtype=np.float64)
+        depths = np.zeros(n, dtype=np.float64)
+        live = (us != vs) & self._ancestor_mask(us, vs)
+        li = np.flatnonzero(live)
+        if li.shape[0]:
+            ce, wc, dc = self.cost_many(us[li])
+            dv, dw, dd = self.down_cost_many(vs[li], us[li])
+            vals[li] = (ce < 2.0 * dv).astype(np.float64)
+            works[li] = wc + dw
+            depths[li] = dc + dd
+        return vals, works, depths
 
     # ------------------------------------------------------------------
     # Lemma A.2: the 2-respecting cut value

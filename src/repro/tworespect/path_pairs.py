@@ -30,6 +30,8 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.kernels.monge import matrix_minimum_batched
+from repro.kernels.terminals import find_interest_terminals_batched
 from repro.monge.smawk import matrix_minimum
 from repro.pram.combinators import log2ceil
 from repro.pram.ledger import Ledger, NULL_LEDGER
@@ -53,6 +55,8 @@ def find_interest_terminals(
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Per tree edge e (indexed by child endpoint), the nodes c_e and d_e
     delimiting e's cross- and down-interest paths (Claim 4.13)."""
+    if getattr(oracle, "batched", False):
+        return find_interest_terminals_batched(oracle, cd, ledger=ledger)
     tree = oracle.tree
     n = tree.n
     c_e = np.full(n, -1, dtype=np.int64)
@@ -180,7 +184,12 @@ def path_pair_minimum(
                     # queries (RV94 model depth; see DESIGN.md)
                     ell_log = log2ceil(len(rows) + len(cols)) + 1
                     with ledger.batch(depth=ell_log * oracle.query_depth):
-                        val, a, b = matrix_minimum(rows, cols, lookup, ledger=ledger)
+                        if getattr(oracle, "batched", False):
+                            val, a, b = matrix_minimum_batched(
+                                oracle, rows, cols, ledger=ledger
+                            )
+                        else:
+                            val, a, b = matrix_minimum(rows, cols, lookup, ledger=ledger)
                     if val < best[0]:
                         best = (val, a, b)
     return best

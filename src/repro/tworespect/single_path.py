@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Tuple
 
+from repro.kernels.monge import triangle_minimum_batched
 from repro.monge.partial import triangle_minimum
 from repro.pram.combinators import log2ceil
 from repro.pram.ledger import Ledger, NULL_LEDGER
@@ -43,12 +44,17 @@ def single_path_minimum(
                 # O(log ell) whose entry inspections cost one cut query
                 ell_log = log2ceil(len(labels)) + 1
                 with ledger.batch(depth=ell_log * (ell_log + oracle.query_depth)):
-                    val, a, b = triangle_minimum(
-                        labels,
-                        lambda x, y: oracle.cut(x, y, ledger=ledger),
-                        ledger=ledger,
-                        inverse=True,
-                    )
+                    if getattr(oracle, "batched", False):
+                        val, a, b = triangle_minimum_batched(
+                            oracle, labels, ledger=ledger, inverse=True
+                        )
+                    else:
+                        val, a, b = triangle_minimum(
+                            labels,
+                            lambda x, y: oracle.cut(x, y, ledger=ledger),
+                            ledger=ledger,
+                            inverse=True,
+                        )
                 if val < best[0]:
                     best = (val, a, b)
     return best

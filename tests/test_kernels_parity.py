@@ -1,0 +1,285 @@
+"""Fast-kernel parity: bit-identical answers AND identical ledger charges.
+
+The fast paths (``repro.kernels``) are only admissible because they are
+indistinguishable from the reference instrument: same cut values, same
+witnesses, same structural visit counters, and the same ledger work and
+depth — totals and per-phase.  These tests enforce that contract on
+randomized instances, plus the executor-backend semantics (fault
+injection and budget checkpoints must fire under the process backend,
+whose workers cannot see the caller's contextvars).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    BranchErrors,
+    BudgetExceeded,
+    FaultInjected,
+    InvalidParameterError,
+)
+from repro.graphs import Graph, random_connected_graph
+from repro.kernels import force_kernels, kernels_mode
+from repro.kernels.treecache import shared_lca
+from repro.pram import Ledger, executor_backend, force_executor, parallel_map
+from repro.primitives import all_subtree_costs, postorder
+from repro.rangesearch import CutOracle
+from repro.resilience.budget import Budget, budget_scope
+from repro.resilience.faults import SITE_EXECUTOR_BRANCH, Fault, FaultPlan, inject
+from repro.trees import binarize_parent
+from repro.tworespect.algorithm import two_respecting_min_cut
+
+from tests.conftest import make_graph, make_rooted
+
+
+def _random_instance(rng, n, extra, wfloat):
+    """A random spanning tree plus ``extra`` random non-tree edges."""
+    parent = np.full(n, -1, dtype=np.int64)
+    for v in range(1, n):
+        parent[v] = rng.integers(0, v)
+    eu, ev, ew = [], [], []
+    for v in range(1, n):
+        eu.append(v)
+        ev.append(int(parent[v]))
+        ew.append(float(rng.uniform(0.5, 4)) if wfloat else float(rng.integers(1, 10)))
+    for _ in range(extra):
+        a, b = rng.integers(0, n, 2)
+        if a == b:
+            continue
+        eu.append(int(a))
+        ev.append(int(b))
+        ew.append(float(rng.uniform(0.5, 4)) if wfloat else float(rng.integers(1, 10)))
+    g = Graph(n, np.array(eu), np.array(ev), np.array(ew, dtype=np.float64))
+    return g, parent
+
+
+def _run_both(graph, parent, branching, decomposition):
+    out = {}
+    for mode in ("reference", "fast"):
+        led = Ledger()
+        with force_kernels(mode):
+            res = two_respecting_min_cut(
+                graph,
+                parent,
+                branching=branching,
+                decomposition=decomposition,
+                ledger=led,
+            )
+        out[mode] = (res, led)
+    return out
+
+
+class TestEndToEndParity:
+    """two_respecting_min_cut: fast vs reference on random instances."""
+
+    @pytest.mark.parametrize("branching,decomposition", [(2, "heavy"), (3, "bough"), (5, "heavy")])
+    def test_fixed_configs(self, branching, decomposition):
+        rng = np.random.default_rng(branching * 17)
+        for _ in range(4):
+            n = int(rng.integers(4, 36))
+            g, parent = _random_instance(rng, n, int(rng.integers(0, 3 * n)), True)
+            both = _run_both(g, parent, branching, decomposition)
+            (rr, lr), (rf, lf) = both["reference"], both["fast"]
+            assert rf.value == rr.value  # bit-identical, not approx
+            assert rf.witness_edges == rr.witness_edges
+            assert np.array_equal(rf.side, rr.side)
+            assert rf.stats == rr.stats
+            assert (lf.work, lf.depth) == (lr.work, lr.depth)
+
+    def test_property_fuzz(self):
+        """Randomized property check incl. per-phase ledger records."""
+        rng = np.random.default_rng(99)
+        for _ in range(10):
+            n = int(rng.integers(2, 40))
+            extra = int(rng.integers(0, 4 * n))
+            wfloat = bool(rng.integers(0, 2))
+            b = int(rng.choice([2, 3, 5]))
+            dec = str(rng.choice(["heavy", "bough"]))
+            g, parent = _random_instance(rng, n, extra, wfloat)
+            both = _run_both(g, parent, b, dec)
+            (rr, lr), (rf, lf) = both["reference"], both["fast"]
+            assert rf.value == rr.value
+            assert rf.stats == rr.stats
+            assert (lf.work, lf.depth) == (lr.work, lr.depth)
+            for name, rec in lr.phases.items():
+                fr = lf.phases[name]
+                assert (fr.work, fr.depth) == (rec.work, rec.depth), name
+
+    def test_env_default_is_fast(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNELS", raising=False)
+        assert kernels_mode() == "fast"
+        monkeypatch.setenv("REPRO_KERNELS", "bogus")
+        with pytest.raises(InvalidParameterError):
+            kernels_mode()
+
+
+class TestOracleParity:
+    """Batched oracle answers and charges vs scalar reference calls."""
+
+    def _oracles(self, seed=3, n=40, m=300, branching=3):
+        g = make_graph(n, m, seed)
+        pair = {}
+        for mode in ("reference", "fast"):
+            # fresh tree per mode: the LCA memo is per tree *instance*,
+            # so sharing one tree would make the second build cheaper
+            _, rt = make_rooted(g)
+            led = Ledger()
+            with force_kernels(mode):
+                o = CutOracle(g, rt, branching=branching, ledger=led)
+                o.prefill_costs(ledger=led)
+            pair[mode] = (o, led)
+        return pair, rt
+
+    def test_cut_values_and_charges(self):
+        pair, rt = self._oracles()
+        (oref, lref), (ofast, lfast) = pair["reference"], pair["fast"]
+        assert ofast.batched and not oref.batched
+        assert lfast.work == lref.work and lfast.depth == lref.depth
+        rng = np.random.default_rng(0)
+        for _ in range(60):
+            u, v = (int(x) for x in rng.integers(1, rt.n, 2))
+            la, lb = Ledger(), Ledger()
+            assert ofast.cut(u, v, ledger=la) == oref.cut(u, v, ledger=lb)
+            assert (la.work, la.depth) == (lb.work, lb.depth)
+        assert ofast.total_nodes_visited == oref.total_nodes_visited
+
+    def test_cut_many_matches_scalar_loop(self):
+        pair, rt = self._oracles(seed=5)
+        (oref, _), (ofast, _) = pair["reference"], pair["fast"]
+        rng = np.random.default_rng(1)
+        us = rng.integers(1, rt.n, 80)
+        vs = rng.integers(1, rt.n, 80)
+        vals, works, depths = ofast.cut_many(us, vs)
+        for i in range(len(us)):
+            led = Ledger()
+            assert vals[i] == oref.cut(int(us[i]), int(vs[i]), ledger=led)
+            assert works[i] == led.work
+            assert depths[i] == led.depth
+
+    def test_cost_many_and_argmin(self):
+        pair, rt = self._oracles(seed=8)
+        (oref, _), (ofast, _) = pair["reference"], pair["fast"]
+        us = np.arange(1, rt.n, dtype=np.int64)
+        vals, works, depths = ofast.cost_many(us)
+        for i, u in enumerate(us):
+            led = Ledger()
+            assert vals[i] == oref.cost(int(u), ledger=led)
+            # prefilled cache: every cost() is a (1, 1) hit in both paths
+            assert (works[i], depths[i]) == (led.work, led.depth) == (1.0, 1.0)
+        best_val, best_u = ofast.cost_argmin()
+        scan = [(oref.cost(int(u)), int(u)) for u in us]
+        want = min(scan, key=lambda t: t[0])
+        assert (best_val, best_u) == want
+
+
+class TestSharedTreeStructures:
+    def test_treesums_bit_identical(self):
+        rng = np.random.default_rng(4)
+        for _ in range(8):
+            g = make_graph(int(rng.integers(5, 60)), int(rng.integers(10, 300)), int(rng.integers(1e6)))
+            _, rt = make_rooted(g)
+            la, lb = Ledger(), Ledger()
+            lca = shared_lca(rt)
+            out = all_subtree_costs(g, rt, ledger=la, lca=lca)
+            # reference accumulation replay: three sequential np.add.at
+            anc = lca.query(g.u, g.v)
+            charges = np.zeros(rt.n)
+            np.add.at(charges, g.u, g.w)
+            np.add.at(charges, g.v, g.w)
+            np.add.at(charges, anc, -2.0 * g.w)
+            by_post = charges[rt.order]
+            ref = np.cumsum(by_post)
+            start = rt.post - (rt.size - 1)
+            incl = ref[rt.post]
+            excl = np.where(start > 0, ref[start - 1], 0.0)
+            assert np.array_equal(out, incl - excl)
+            # second call with the memoised LCA charges less than a cold one
+            all_subtree_costs(g, rt, ledger=lb, lca=lca)
+            assert lb.work == la.work or lb.work < la.work
+
+    def test_shared_lca_charges_once(self):
+        g = make_graph(30, 80, 2)
+        _, rt = make_rooted(g)
+        l1, l2 = Ledger(), Ledger()
+        a = shared_lca(rt, ledger=l1)
+        b = shared_lca(rt, ledger=l2)
+        assert a is b
+        assert l1.work > 0.0
+        assert l2.work == 0.0
+        # a fresh tree instance gets (and pays for) its own table
+        rt2 = postorder(binarize_parent(np.array([-1, 0, 0, 1])).parent)
+        l3 = Ledger()
+        c = shared_lca(rt2, ledger=l3)
+        assert c is not a and l3.work > 0.0
+
+
+def _square(x):
+    return x * x
+
+
+class TestExecutorBackends:
+    def test_resolution_order(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        assert executor_backend() == "thread"
+        monkeypatch.setenv("REPRO_EXECUTOR", "process")
+        assert executor_backend() == "process"
+        with force_executor("sync"):
+            assert executor_backend() == "sync"
+        monkeypatch.setenv("REPRO_EXECUTOR", "fibers")
+        with pytest.raises(InvalidParameterError):
+            executor_backend()
+        with pytest.raises(InvalidParameterError):
+            with force_executor("fibers"):
+                pass
+
+    @pytest.mark.parametrize("backend", ["thread", "process", "sync"])
+    def test_map_matches_sequential(self, backend):
+        with force_executor(backend):
+            assert parallel_map(_square, list(range(9))) == [x * x for x in range(9)]
+            assert parallel_map(_square, []) == []
+
+    def test_shared_thread_pool_reused(self):
+        import repro.pram.executor as ex
+
+        with force_executor("thread"):
+            parallel_map(_square, [1, 2, 3], max_workers=3)
+            first = ex._shared_pools.get(("thread", 3))
+            parallel_map(_square, [4, 5, 6], max_workers=3)
+            assert first is not None
+            assert ex._shared_pools.get(("thread", 3)) is first
+
+    def test_process_falls_back_for_lambdas(self):
+        with force_executor("process"):
+            assert parallel_map(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+
+    @pytest.mark.parametrize("backend", ["thread", "process", "sync"])
+    def test_fault_injection_fires(self, backend):
+        with force_executor(backend):
+            plan = FaultPlan([Fault(SITE_EXECUTOR_BRANCH, index=1)])
+            with inject(plan):
+                with pytest.raises(FaultInjected):
+                    parallel_map(_square, [1, 2, 3])
+            assert plan.exhausted
+            # a retry survives the single injected failure
+            plan = FaultPlan([Fault(SITE_EXECUTOR_BRANCH, index=1)])
+            with inject(plan):
+                assert parallel_map(_square, [1, 2, 3], retries=1) == [1, 4, 9]
+
+    def test_budget_checkpoint_fires_under_process(self):
+        led = Ledger()
+        budget = Budget(max_work=5.0, ledger=led).start()
+        led.charge(work=10.0, depth=1.0)  # exhaust before dispatch
+        with force_executor("process"), budget_scope(budget):
+            with pytest.raises(BranchErrors) as err:
+                parallel_map(_square, [1, 2, 3], on_error="aggregate")
+        failures = err.value.failures
+        assert len(failures) == 3
+        assert all(isinstance(e, BudgetExceeded) for _, e in failures)
+
+    def test_budget_ok_under_process(self):
+        led = Ledger()
+        budget = Budget(max_work=1e9, ledger=led).start()
+        with force_executor("process"), budget_scope(budget):
+            assert parallel_map(_square, [2, 3]) == [4, 9]
