@@ -20,6 +20,13 @@ Usage::
 exits non-zero when any experiment's aggregate speedup (sum of reference
 wall seconds / sum of fast wall seconds) falls below X.  Parity failures
 always exit non-zero.
+
+The harness also measures the :mod:`repro.obs` tracing overhead on one
+representative configuration: best-of-N wall seconds with tracing off
+vs. tracing on (span tree + counter registry armed).  The traced run
+must produce the bit-identical cut value and ledger work/depth — the
+observability layer never charges the ledger — and ``--max-trace-overhead
+R`` exits non-zero when traced/untraced exceeds R (CI gates at 1.05).
 """
 
 from __future__ import annotations
@@ -136,11 +143,58 @@ def _time_executors(configs, backends=("thread", "process")):
     return out
 
 
+def _time_trace_overhead(config, reps: int = 3):
+    """Best-of-``reps`` traced vs untraced wall seconds on one config.
+
+    Both variants run the fast kernels on the same prebuilt instance.
+    The traced variant arms a full Tracer (span tree + counter registry)
+    around the solve; parity of value/work/depth across the two variants
+    is part of the result because observability must never perturb the
+    computation.
+    """
+    from repro import obs
+
+    _, label, n, m, seed, branching = config
+    g = random_connected_graph(n, m, rng=seed, max_weight=6)
+    parent = _spanning_parent(g)
+
+    def one(traced: bool):
+        led = Ledger()
+        t0 = time.perf_counter()
+        with force_kernels("fast"):
+            if traced:
+                tracer = obs.Tracer(ledger=led)
+                with tracer.activate():
+                    res = two_respecting_min_cut(g, parent, branching=branching, ledger=led)
+                tracer.finish()
+            else:
+                res = two_respecting_min_cut(g, parent, branching=branching, ledger=led)
+        return time.perf_counter() - t0, (res.value, led.work, led.depth)
+
+    # warm-up once so neither variant pays first-call numpy/JIT costs
+    one(False)
+    untraced = [one(False) for _ in range(reps)]
+    traced = [one(True) for _ in range(reps)]
+    off = min(w for w, _ in untraced)
+    on = min(w for w, _ in traced)
+    parity = untraced[0][1] == traced[0][1]
+    return {
+        "label": label,
+        "reps": reps,
+        "untraced_wall_s": round(off, 4),
+        "traced_wall_s": round(on, 4),
+        "overhead_ratio": round(on / off, 4) if off > 0 else float("inf"),
+        "parity": parity,
+    }
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--small", action="store_true", help="CI-sized sweeps")
     ap.add_argument("--min-speedup", type=float, default=None,
                     help="fail if any experiment's aggregate speedup is below this")
+    ap.add_argument("--max-trace-overhead", type=float, default=None, metavar="R",
+                    help="fail if traced/untraced wall ratio exceeds R (e.g. 1.05)")
     ap.add_argument("--output", type=Path, default=ROOT / "BENCH_wallclock.json")
     ap.add_argument("--skip-executors", action="store_true",
                     help="skip the thread-vs-process dispatch timing")
@@ -206,6 +260,20 @@ def main() -> int:
         "parity_ok": bool(parity_ok),
         "parity_checksum": hasher.hexdigest(),
     }
+    # observability overhead: the densest E8 row is the representative
+    # config (kernel-heavy, so per-site counter guards are exercised most)
+    trace_config = max(
+        (c for c in configs if c[0] == "E8_density"), key=lambda c: c[3]
+    )
+    trace_overhead = _time_trace_overhead(trace_config)
+    report["trace_overhead"] = trace_overhead
+    parity_ok &= trace_overhead["parity"]
+    report["parity_ok"] = bool(parity_ok)
+    print(f"trace overhead [{trace_overhead['label']}]: "
+          f"off {trace_overhead['untraced_wall_s']:.3f}s "
+          f"on {trace_overhead['traced_wall_s']:.3f}s "
+          f"({trace_overhead['overhead_ratio']:.3f}x)")
+
     if not args.skip_executors:
         # time fan-out dispatch of the fast-mode sweep under both real
         # executor backends (branches are pure-Python bound, so the
@@ -219,6 +287,11 @@ def main() -> int:
 
     if not parity_ok:
         print("FAIL: ledger/value parity violated", file=sys.stderr)
+        return 1
+    if (args.max_trace_overhead is not None
+            and trace_overhead["overhead_ratio"] > args.max_trace_overhead):
+        print(f"FAIL: trace overhead {trace_overhead['overhead_ratio']}x "
+              f"> {args.max_trace_overhead}x", file=sys.stderr)
         return 1
     if args.min_speedup is not None:
         for exp, entry in experiments.items():

@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Validate a ``repro --trace`` JSON file against the documented schema.
+
+The schema (``docs/observability.md``) is small enough to check by
+hand — no jsonschema dependency:
+
+* top level: object with ``traceEvents`` (list), ``displayTimeUnit``
+  (``"ms"``), and the ``repro`` sidecar object;
+* every event: Chrome complete-event shape — ``name`` (str), ``cat``
+  (``"repro"``), ``ph`` (``"X"``), numeric non-negative ``ts``/``dur``,
+  int ``pid``/``tid``, ``args`` object with numeric ``work``/``depth``
+  (and an optional ``counters`` object of floats);
+* sidecar: numeric ``work``/``depth``, ``counters`` object, ``phases``
+  list of {name, wall_s, work, depth, count}, ``meta`` object of
+  strings, optional ``schedule_bounds`` of 2-lists with lower <= upper;
+* cross-checks: exactly one root span named ``run``; the sidecar's
+  work equals the root event's ``args.work``; child events nest inside
+  their parent's [ts, ts+dur] window (0.5 us slack for rounding).
+
+Usage::
+
+    python scripts/validate_trace.py TRACE.json
+
+Exits 0 and prints ``ok`` on success; prints every violation and exits
+1 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: rounding slack (microseconds) for nesting checks — ts/dur are
+#: rounded to 3 decimals on export
+_SLACK_US = 0.5
+
+
+def _is_num(x) -> bool:
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def validate(payload: dict) -> list:
+    """Return a list of violation strings (empty = valid)."""
+    errs: list = []
+
+    def need(cond: bool, msg: str) -> bool:
+        if not cond:
+            errs.append(msg)
+        return cond
+
+    if not need(isinstance(payload, dict), "top level must be a JSON object"):
+        return errs
+    events = payload.get("traceEvents")
+    if not need(isinstance(events, list), "traceEvents must be a list"):
+        return errs
+    need(payload.get("displayTimeUnit") == "ms", "displayTimeUnit must be 'ms'")
+    sidecar = payload.get("repro")
+    if not need(isinstance(sidecar, dict), "missing 'repro' sidecar object"):
+        return errs
+
+    need(len(events) >= 1, "traceEvents must contain at least the root span")
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not need(isinstance(ev, dict), f"{where} must be an object"):
+            continue
+        need(isinstance(ev.get("name"), str) and ev.get("name"),
+             f"{where}.name must be a nonempty string")
+        need(ev.get("cat") == "repro", f"{where}.cat must be 'repro'")
+        need(ev.get("ph") == "X", f"{where}.ph must be 'X' (complete event)")
+        for k in ("ts", "dur"):
+            need(_is_num(ev.get(k)) and ev.get(k, -1) >= 0,
+                 f"{where}.{k} must be a non-negative number")
+        for k in ("pid", "tid"):
+            need(isinstance(ev.get(k), int), f"{where}.{k} must be an int")
+        args = ev.get("args")
+        if need(isinstance(args, dict), f"{where}.args must be an object"):
+            for k in ("work", "depth"):
+                need(_is_num(args.get(k)), f"{where}.args.{k} must be a number")
+            if "counters" in args:
+                ctr = args["counters"]
+                if need(isinstance(ctr, dict), f"{where}.args.counters must be an object"):
+                    for name, v in ctr.items():
+                        need(_is_num(v), f"{where}.args.counters[{name!r}] must be a number")
+
+    for k in ("work", "depth"):
+        need(_is_num(sidecar.get(k)), f"repro.{k} must be a number")
+    ctr = sidecar.get("counters")
+    if need(isinstance(ctr, dict), "repro.counters must be an object"):
+        for name, v in ctr.items():
+            need(_is_num(v), f"repro.counters[{name!r}] must be a number")
+    phases = sidecar.get("phases")
+    if need(isinstance(phases, list), "repro.phases must be a list"):
+        for i, p in enumerate(phases):
+            where = f"repro.phases[{i}]"
+            if not need(isinstance(p, dict), f"{where} must be an object"):
+                continue
+            need(isinstance(p.get("name"), str), f"{where}.name must be a string")
+            for k in ("wall_s", "work", "depth"):
+                need(_is_num(p.get(k)), f"{where}.{k} must be a number")
+            need(isinstance(p.get("count"), int) and p.get("count", 0) >= 1,
+                 f"{where}.count must be a positive int")
+    meta = sidecar.get("meta")
+    if need(isinstance(meta, dict), "repro.meta must be an object"):
+        for name, v in meta.items():
+            need(isinstance(v, str), f"repro.meta[{name!r}] must be a string")
+    if "schedule_bounds" in sidecar:
+        sb = sidecar["schedule_bounds"]
+        if need(isinstance(sb, dict), "repro.schedule_bounds must be an object"):
+            for p, pair in sb.items():
+                ok = (isinstance(pair, list) and len(pair) == 2
+                      and all(_is_num(x) for x in pair) and pair[0] <= pair[1])
+                need(ok, f"repro.schedule_bounds[{p!r}] must be [lower, upper]")
+
+    if errs:
+        return errs
+
+    # ---- cross-checks on the span tree ------------------------------------
+    roots = [ev for ev in events if ev["name"] == "run"]
+    need(len(roots) == 1, f"expected exactly one 'run' root span, got {len(roots)}")
+    if roots:
+        root = roots[0]
+        need(abs(sidecar["work"] - root["args"]["work"]) < 1e-9,
+             "repro.work must equal the root span's args.work")
+        t0, t1 = root["ts"], root["ts"] + root["dur"]
+        for i, ev in enumerate(events):
+            inside = (ev["ts"] >= t0 - _SLACK_US
+                      and ev["ts"] + ev["dur"] <= t1 + _SLACK_US)
+            need(inside, f"traceEvents[{i}] ({ev['name']!r}) escapes the root window")
+    return errs
+
+
+def main(argv: list | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print(__doc__.strip().splitlines()[0], file=sys.stderr)
+        print("usage: validate_trace.py TRACE.json", file=sys.stderr)
+        return 2
+    payload = json.loads(Path(argv[0]).read_text())
+    errs = validate(payload)
+    if errs:
+        for e in errs:
+            print(f"INVALID: {e}", file=sys.stderr)
+        return 1
+    n = len(payload["traceEvents"])
+    print(f"ok ({n} spans, work={payload['repro']['work']:g})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,8 +9,18 @@ Public API highlights
 - :func:`repro.resilient_minimum_cut` — the same, behind budgets,
   verified retries, and a graceful-degradation fallback chain.
 - :func:`repro.approximate_minimum_cut` — the Section 3 approximation.
+- :class:`repro.CutResult` / :class:`repro.ApproxResult` — the result
+  values, with :class:`repro.VerificationReport` provenance.
+- :class:`repro.CutPipelineParams` — the pipeline knobs, documented
+  once (:mod:`repro.params`).
+- :class:`repro.RunReport` — per-run observability (phase spans,
+  counters, Chrome-trace export) from ``trace=True`` runs
+  (:mod:`repro.obs`).
 - :class:`repro.Graph` and the generators in :mod:`repro.graphs`.
 - :class:`repro.Ledger` — PRAM work/depth accounting.
+
+All entry points take the graph positionally and everything else
+keyword-only.
 """
 
 from repro._version import __version__
@@ -25,26 +35,41 @@ __all__ = [
     "resilient_minimum_cut",
     "approximate_minimum_cut",
     "two_respecting_min_cut",
+    "CutResult",
+    "ApproxResult",
+    "VerificationReport",
+    "RunReport",
+    "CutPipelineParams",
+    "SkeletonParams",
+    "HierarchyParams",
 ]
+
+#: lazily-resolved re-exports: name -> (module, attribute)
+_LAZY = {
+    "minimum_cut": ("repro.core.mincut", "minimum_cut"),
+    "resilient_minimum_cut": ("repro.resilience.driver", "resilient_minimum_cut"),
+    "approximate_minimum_cut": ("repro.approx.approximate", "approximate_minimum_cut"),
+    "two_respecting_min_cut": ("repro.tworespect.algorithm", "two_respecting_min_cut"),
+    "CutResult": ("repro.results", "CutResult"),
+    "ApproxResult": ("repro.results", "ApproxResult"),
+    "VerificationReport": ("repro.results", "VerificationReport"),
+    "RunReport": ("repro.obs.report", "RunReport"),
+    "CutPipelineParams": ("repro.params", "CutPipelineParams"),
+    "SkeletonParams": ("repro.sparsify.skeleton", "SkeletonParams"),
+    "HierarchyParams": ("repro.sparsify.hierarchy", "HierarchyParams"),
+}
 
 
 def __getattr__(name: str):
     # Lazy re-exports keep `import repro` light and avoid import cycles
     # between the substrate and algorithm layers.
-    if name == "minimum_cut":
-        from repro.core.mincut import minimum_cut
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
 
-        return minimum_cut
-    if name == "resilient_minimum_cut":
-        from repro.resilience.driver import resilient_minimum_cut
+    return getattr(importlib.import_module(target[0]), target[1])
 
-        return resilient_minimum_cut
-    if name == "approximate_minimum_cut":
-        from repro.approx.approximate import approximate_minimum_cut
 
-        return approximate_minimum_cut
-    if name == "two_respecting_min_cut":
-        from repro.tworespect.algorithm import two_respecting_min_cut
-
-        return two_respecting_min_cut
-    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+def __dir__() -> list:
+    return sorted(set(globals()) | set(__all__))

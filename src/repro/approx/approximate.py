@@ -11,14 +11,22 @@ Pipeline (Section 3):
    lambda ~ mincut(G_s^trunc) * 2^s.
 
 Work O(m log n + n log^5 n), depth O(log^3 n).
+
+Like the other entry points, everything after ``graph`` is
+keyword-only.  Positional ``params``/``rng``/``ledger``/``solver`` are
+accepted for one more release behind a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import inspect
+import warnings
 from typing import Callable, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.approx.layers import layer_min_cuts, locate_skeleton_layer
 from repro.errors import GraphFormatError
 from repro.graphs.graph import Graph
@@ -28,6 +36,9 @@ from repro.sparsify.certhierarchy import build_certificate_hierarchy
 from repro.sparsify.hierarchy import HierarchyParams, build_truncated_hierarchy
 
 __all__ = ["approximate_minimum_cut"]
+
+#: the legacy positional order, for the deprecation shim
+_LEGACY_POSITIONAL = ("params", "rng", "ledger", "solver")
 
 
 def _default_solver(ledger: Ledger) -> Callable[[Graph], float]:
@@ -65,15 +76,41 @@ def _default_solver(ledger: Ledger) -> Callable[[Graph], float]:
     return solve
 
 
-def approximate_minimum_cut(
+def approximate_minimum_cut(graph: Graph, *args, **kwargs) -> ApproxResult:
+    # one-release shim: params/rng/ledger/solver used to be positional
+    if args:
+        warnings.warn(
+            "positional params/rng/ledger/solver arguments to "
+            "approximate_minimum_cut are deprecated; pass them as "
+            "keywords (keyword-only in the next release)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if len(args) > len(_LEGACY_POSITIONAL):
+            raise TypeError(
+                f"approximate_minimum_cut takes at most "
+                f"{len(_LEGACY_POSITIONAL)} legacy positional arguments "
+                f"({len(args)} given)"
+            )
+        for name, value in zip(_LEGACY_POSITIONAL, args):
+            if name in kwargs:
+                raise TypeError(
+                    f"approximate_minimum_cut got multiple values for {name!r}"
+                )
+            kwargs[name] = value
+    return _approximate_minimum_cut(graph, **kwargs)
+
+
+def _approximate_minimum_cut(
     graph: Graph,
+    *,
     params: HierarchyParams = HierarchyParams(),
     rng: Optional[np.random.Generator] = None,
     ledger: Ledger = NULL_LEDGER,
     solver: Optional[Callable[[Graph], float]] = None,
-    *,
     epsilon: float = 1.0 / 3.0,
     repeats: int = 1,
+    trace: bool = False,
 ) -> ApproxResult:
     """(1 +- epsilon)-approximate the minimum cut value of ``graph``.
 
@@ -86,10 +123,13 @@ def approximate_minimum_cut(
         already rescaled back.
     params:
         Hierarchy constants; ``HierarchyParams(scale=...)`` shrinks the
-        paper's constants proportionally (DESIGN.md section 5).
+        paper's constants proportionally (DESIGN.md section 5).  This is
+        the same object as :attr:`repro.params.CutPipelineParams.hierarchy`
+        — see :mod:`repro.params` for the one documented home of the
+        pipeline knobs.
     solver:
         Exact min-cut callable used on the certificate layers; defaults
-        to this package's exact algorithm (Stoer–Wagner under n <= 24).
+        to this package's exact algorithm (Stoer–Wagner under n <= 64).
     epsilon:
         Reported bracket half-width.  The sampling constants inside
         ``params`` govern the actual concentration; the paper proves the
@@ -101,12 +141,47 @@ def approximate_minimum_cut(
         hierarchies (logically in parallel — work scales by the constant
         ``repeats``, depth is unchanged) and return the median estimate,
         shrinking the sampling error like 1/sqrt(repeats).
+    trace:
+        Attach a :class:`repro.obs.RunReport` as ``.report`` (see
+        :func:`repro.minimum_cut`).
 
     Returns
     -------
     ApproxResult with the estimate, the [low, high] bracket, the located
     skeleton layer and every layer's measured min-cut.
     """
+    if trace and not obs.tracing_active():
+        if ledger is NULL_LEDGER:
+            ledger = Ledger()
+        tracer = obs.Tracer(ledger=ledger)
+        with tracer.activate():
+            res = _approximate_impl(
+                graph, params, rng, ledger, solver, epsilon, repeats
+            )
+        report = tracer.report(
+            algorithm="approximate_minimum_cut", n=graph.n, m=graph.m
+        )
+        return dataclasses.replace(res, report=report)
+    return _approximate_impl(graph, params, rng, ledger, solver, epsilon, repeats)
+
+
+# the public shim accepts *args for one release; the documented surface
+# is the keyword-only implementation signature
+approximate_minimum_cut.__doc__ = _approximate_minimum_cut.__doc__
+approximate_minimum_cut.__signature__ = inspect.signature(  # type: ignore[attr-defined]
+    _approximate_minimum_cut
+)
+
+
+def _approximate_impl(
+    graph: Graph,
+    params: HierarchyParams,
+    rng: Optional[np.random.Generator],
+    ledger: Ledger,
+    solver: Optional[Callable[[Graph], float]],
+    epsilon: float,
+    repeats: int,
+) -> ApproxResult:
     if graph.n < 2:
         raise GraphFormatError("min cut needs at least 2 vertices")
     k, labels = graph.connected_components()
@@ -118,14 +193,8 @@ def approximate_minimum_cut(
     solver = solver if solver is not None else _default_solver(ledger)
     graph, weight_scale = graph.integerized()
     if weight_scale != 1.0:
-        inner = approximate_minimum_cut(
-            graph,
-            params=params,
-            rng=rng,
-            ledger=ledger,
-            solver=solver,
-            epsilon=epsilon,
-            repeats=repeats,
+        inner = _approximate_impl(
+            graph, params, rng, ledger, solver, epsilon, repeats
         )
         return ApproxResult(
             estimate=inner.estimate / weight_scale,
@@ -140,19 +209,14 @@ def approximate_minimum_cut(
     if repeats > 1:
         runs = []
         with ledger.parallel() as par:
-            for _ in range(repeats):
+            for i in range(repeats):
                 with par.branch():
-                    runs.append(
-                        approximate_minimum_cut(
-                            graph,
-                            params=params,
-                            rng=rng,
-                            ledger=ledger,
-                            solver=solver,
-                            epsilon=epsilon,
-                            repeats=1,
+                    with obs.current_tracer().span(f"repeat[{i}]"):
+                        runs.append(
+                            _approximate_impl(
+                                graph, params, rng, ledger, solver, epsilon, 1
+                            )
                         )
-                    )
         estimates = sorted(r.estimate for r in runs)
         med = estimates[len(estimates) // 2]
         pick = min(runs, key=lambda r: abs(r.estimate - med))
@@ -168,11 +232,11 @@ def approximate_minimum_cut(
             stats=stats,
         )
 
-    with ledger.phase("hierarchy"):
+    with obs.phase("hierarchy", ledger):
         hierarchy = build_truncated_hierarchy(graph, params=params, rng=rng, ledger=ledger)
-    with ledger.phase("certificates"):
+    with obs.phase("certificates", ledger):
         certs = build_certificate_hierarchy(hierarchy, ledger=ledger)
-    with ledger.phase("layer-cuts"):
+    with obs.phase("layer-cuts", ledger):
         _, hi = params.window(graph.n)
         cuts = layer_min_cuts(
             certs, solver, ledger=ledger, stop_below=params.scale
@@ -180,6 +244,9 @@ def approximate_minimum_cut(
         )
     s = locate_skeleton_layer(cuts, graph.n, params)
     estimate = float(cuts.get(s, 0.0)) * (2.0 ** s)
+    reg = obs.counters()
+    if reg.enabled:
+        reg.add("approx.layers_cut", float(len(cuts)))
     return ApproxResult(
         estimate=estimate,
         low=estimate * (1.0 - epsilon),

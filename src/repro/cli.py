@@ -10,7 +10,10 @@ Commands
     One instrumented run on a random graph: value + work/depth profile.
 
 All commands accept ``--seed`` and print machine-greppable ``key value``
-lines.
+lines.  ``--trace OUT.json`` additionally records the run through
+:mod:`repro.obs` and writes a Chrome-trace-viewer compatible file
+(phase spans with wall/work/depth, counter registry, schedule bounds —
+see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -25,7 +28,7 @@ from repro.errors import ReproError
 from repro.graphs.graph import Graph
 from repro.graphs.generators import random_connected_graph
 from repro.graphs.io import read_dimacs, read_edgelist
-from repro.pram.ledger import Ledger
+from repro.pram.trace import TraceLedger
 
 __all__ = ["main"]
 
@@ -42,9 +45,24 @@ def _load(path: str, fmt: str) -> Graph:
     return read_edgelist(path)
 
 
+def _write_trace(res, out: Path) -> None:
+    """Export a traced result's RunReport and print the summary lines."""
+    report = res.report
+    assert report is not None
+    report.write_trace(out)
+    print(f"trace {out}")
+    for p in report.phases(top_level_only=True):
+        print(f"trace.phase.{p.name}.wall_s {p.wall_s:.6f}")
+        print(f"trace.phase.{p.name}.work {p.work}")
+    print(f"trace.spans {sum(1 for _ in report.span.walk())}")
+
+
 def _cmd_cut(args: argparse.Namespace) -> int:
     graph = _load(args.file, args.format)
-    ledger = Ledger()
+    # a TraceLedger also records the series-parallel shape, so --trace
+    # reports carry schedule bounds on top of the span timeline
+    ledger = TraceLedger()
+    trace = args.trace is not None
     if args.deadline is not None or args.max_attempts is not None:
         from repro.resilience import resilient_minimum_cut
 
@@ -55,6 +73,7 @@ def _cmd_cut(args: argparse.Namespace) -> int:
             epsilon=args.epsilon,
             seed=args.seed,
             ledger=ledger,
+            trace=trace,
         )
     else:
         from repro.core.mincut import minimum_cut
@@ -64,6 +83,7 @@ def _cmd_cut(args: argparse.Namespace) -> int:
             epsilon=args.epsilon,
             rng=np.random.default_rng(args.seed),
             ledger=ledger,
+            trace=trace,
         )
     print(f"value {res.value}")
     small = res.side if res.side.sum() * 2 <= graph.n else ~res.side
@@ -74,6 +94,8 @@ def _cmd_cut(args: argparse.Namespace) -> int:
         print(f"attempts {res.attempts}")
         print(f"fallback {res.fallback_used or 'none'}")
         print(f"verified {int(res.verification.ok if res.verification else 0)}")
+    if trace:
+        _write_trace(res, args.trace)
     return 0
 
 
@@ -82,12 +104,13 @@ def _cmd_approx(args: argparse.Namespace) -> int:
     from repro.sparsify.hierarchy import HierarchyParams
 
     graph = _load(args.file, args.format)
-    ledger = Ledger()
+    ledger = TraceLedger()
     res = approximate_minimum_cut(
         graph,
         params=HierarchyParams(scale=args.scale),
         rng=np.random.default_rng(args.seed),
         ledger=ledger,
+        trace=args.trace is not None,
     )
     print(f"estimate {res.estimate}")
     print(f"low {res.low}")
@@ -95,6 +118,8 @@ def _cmd_approx(args: argparse.Namespace) -> int:
     print(f"layer {res.skeleton_layer}")
     print(f"work {ledger.work}")
     print(f"depth {ledger.depth}")
+    if args.trace is not None:
+        _write_trace(res, args.trace)
     return 0
 
 
@@ -104,8 +129,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     graph = random_connected_graph(
         args.n, args.m, rng=args.seed, max_weight=args.max_weight
     )
-    ledger = Ledger()
-    res = minimum_cut(graph, rng=np.random.default_rng(args.seed), ledger=ledger)
+    ledger = TraceLedger()
+    res = minimum_cut(
+        graph,
+        rng=np.random.default_rng(args.seed),
+        ledger=ledger,
+        trace=args.trace is not None,
+    )
     print(f"n {graph.n}")
     print(f"m {graph.m}")
     print(f"value {res.value}")
@@ -114,6 +144,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     for name, rec in sorted(ledger.phases.items()):
         print(f"phase.{name}.work {rec.work}")
         print(f"phase.{name}.depth {rec.depth}")
+    if args.trace is not None:
+        _write_trace(res, args.trace)
     return 0
 
 
@@ -123,6 +155,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="Work-optimal parallel minimum cuts (SPAA 2021 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_trace(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace", type=Path, default=None, metavar="OUT.json",
+                       help="record phase spans + counters and write a "
+                            "Chrome-trace-viewer JSON file")
 
     p_cut = sub.add_parser("cut", help="exact minimum cut of a graph file")
     p_cut.add_argument("file")
@@ -136,6 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cut.add_argument("--max-attempts", type=int, default=None, metavar="N",
                        help="exact-pipeline attempts before falling back "
                             "(implies the resilient driver; default 3)")
+    add_trace(p_cut)
     p_cut.set_defaults(func=_cmd_cut)
 
     p_apx = sub.add_parser("approx", help="(1 +- eps) approximation")
@@ -144,6 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_apx.add_argument("--scale", type=float, default=0.02,
                        help="hierarchy constant scale (1.0 = paper constants)")
     p_apx.add_argument("--seed", type=int, default=0)
+    add_trace(p_apx)
     p_apx.set_defaults(func=_cmd_approx)
 
     p_bench = sub.add_parser("bench", help="instrumented run on a random graph")
@@ -151,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("m", type=int)
     p_bench.add_argument("--max-weight", type=int, default=8)
     p_bench.add_argument("--seed", type=int, default=0)
+    add_trace(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
     return parser
 

@@ -11,19 +11,26 @@ always an upper bound on the minimum cut and equals it w.h.p. (and in
 ``thorough`` mode — testing *every* distinct packed tree — the failure
 probability at benchmark scale is unobservably small; see DESIGN.md
 section 5).
+
+The pipeline knobs are documented once in
+:class:`repro.params.CutPipelineParams`; ``trace=True`` runs attach a
+:class:`repro.obs.RunReport` (phase spans + counters) to the result.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from typing import Literal, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.errors import GraphFormatError, InvalidParameterError
 from repro.graphs.graph import Graph
 from repro.graphs.validate import ensure_finite_weights
 from repro.packing.karger import pack_trees
+from repro.params import CutPipelineParams
 from repro.pram.ledger import Ledger, NULL_LEDGER
 from repro.resilience.budget import checkpoint as _checkpoint
 from repro.results import CutResult
@@ -57,8 +64,10 @@ def minimum_cut(
     skeleton_params: SkeletonParams = SkeletonParams(),
     hierarchy_params: Optional[HierarchyParams] = None,
     packing_iterations: Optional[int] = None,
+    pipeline: Optional[CutPipelineParams] = None,
     rng: Optional[np.random.Generator] = None,
     ledger: Ledger = NULL_LEDGER,
+    trace: bool = False,
 ) -> CutResult:
     """Minimum cut of a weighted undirected graph, w.h.p. exact.
 
@@ -67,30 +76,59 @@ def minimum_cut(
     graph:
         The input.  Disconnected inputs return value 0 with a component
         as the side mask.
-    epsilon:
-        The Section 4.3 work/query tradeoff knob: range trees of degree
-        ``~n^epsilon`` give O(m/eps + n^{1+2eps} log n / eps^2 + n log n)
-        work for the cut-finding step.  ``None`` = degree-2 trees
-        (the general Theorem 4.1 configuration).
+    epsilon, max_trees, decomposition, skeleton_params, hierarchy_params,
+    packing_iterations:
+        The pipeline knobs; see :class:`repro.params.CutPipelineParams`
+        for the single documented reference.
     approx_value:
         A known O(1)-approximation of the min cut; skips the Section 3
         stage (used, e.g., when called *from* that stage on certificate
         layers whose expected cut is known — Claim 3.20).
-    max_trees:
-        How many candidate trees the cut-finding step tests.  ``"auto"``
-        (default) samples ``ceil(3 log2 n)`` distinct trees proportional
-        to packing multiplicity — the paper's O(log n) schedule.  An int
-        samples that many; ``None`` = thorough mode, every distinct
-        packed tree (O(log^2 n) worst case).
-    decomposition:
-        Path decomposition flavour for the 2-respecting search.
+    pipeline:
+        The bundled spelling of the knobs above (mutually exclusive with
+        passing a non-default individual knob).
     rng:
         Seeded generator; the algorithm is deterministic given it.
+    trace:
+        Record a :class:`repro.obs.RunReport` (phase spans, counter
+        registry, Chrome-trace export) and attach it as ``.report``.
+        When no ``ledger`` is supplied a private one is allocated so the
+        report still carries real work/depth deltas.  Tracing never
+        charges the ledger — accounting is bit-identical either way.
 
     Returns
     -------
     CutResult — value, side mask, witness tree edges, stage statistics.
     """
+    params = CutPipelineParams.resolve(
+        pipeline,
+        epsilon=epsilon,
+        max_trees=max_trees,
+        decomposition=decomposition,
+        skeleton=skeleton_params,
+        hierarchy=hierarchy_params,
+        packing_iterations=packing_iterations,
+    )
+    if trace and not obs.tracing_active():
+        if ledger is NULL_LEDGER:
+            ledger = Ledger()
+        tracer = obs.Tracer(ledger=ledger)
+        with tracer.activate():
+            res = _minimum_cut_impl(graph, params, approx_value, rng, ledger)
+        report = tracer.report(
+            algorithm="minimum_cut", n=graph.n, m=graph.m
+        )
+        return dataclasses.replace(res, report=report)
+    return _minimum_cut_impl(graph, params, approx_value, rng, ledger)
+
+
+def _minimum_cut_impl(
+    graph: Graph,
+    params: CutPipelineParams,
+    approx_value: Optional[float],
+    rng: Optional[np.random.Generator],
+    ledger: Ledger,
+) -> CutResult:
     if graph.n < 2:
         raise GraphFormatError("min cut needs at least 2 vertices")
     ensure_finite_weights(graph)
@@ -109,32 +147,33 @@ def minimum_cut(
     if approx_value is None:
         from repro.approx.approximate import approximate_minimum_cut
 
-        params = hierarchy_params if hierarchy_params is not None else HierarchyParams()
-        with ledger.phase("approximate"):
+        hier = params.hierarchy if params.hierarchy is not None else HierarchyParams()
+        with obs.phase("approximate", ledger):
             approx = approximate_minimum_cut(
-                graph, params=params, rng=rng, ledger=ledger
+                graph, params=hier, rng=rng, ledger=ledger
             )
         approx_value = max(approx.estimate, 1e-12)
     lambda_under = float(approx_value) / 2.0  # Section 4.2's underestimate
 
     # --- stage 2: skeleton + tree packing (Theorem 4.18) -------------------
+    max_trees = params.max_trees
     if max_trees == "auto":
         max_trees = int(math.ceil(3 * math.log2(max(graph.n, 2))))
-    with ledger.phase("packing"):
+    with obs.phase("packing", ledger):
         packing = pack_trees(
             graph,
             lambda_under,
-            skeleton_params=skeleton_params,
-            packing_iterations=packing_iterations,
+            skeleton_params=params.skeleton,
+            packing_iterations=params.packing_iterations,
             max_trees=max_trees,
             rng=rng,
             ledger=ledger,
         )
 
     # --- stage 3: per-tree 2-respecting min-cut (Theorem 4.2) --------------
-    branching = branching_for_epsilon(graph.n, epsilon)
+    branching = branching_for_epsilon(graph.n, params.epsilon)
     best: Optional[CutResult] = None
-    with ledger.phase("two-respecting"):
+    with obs.phase("two-respecting", ledger):
         with ledger.parallel() as par:
             for parent in packing.tree_parents:
                 _checkpoint("mincut.tree")
@@ -143,12 +182,15 @@ def minimum_cut(
                         graph,
                         parent,
                         branching=branching,
-                        decomposition=decomposition,
+                        decomposition=params.decomposition,
                         ledger=ledger,
                     )
                     if best is None or res.value < best.value:
                         best = res
     assert best is not None  # packing always yields >= 1 tree
+    reg = obs.counters()
+    if reg.enabled:
+        reg.add("mincut.trees_tested", float(packing.num_trees))
     stats = dict(best.stats)
     stats.update(
         {

@@ -35,6 +35,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro.obs.counters import counters
 from repro.pram.combinators import log2ceil
 from repro.pram.ledger import Ledger, NULL_LEDGER
 from repro.primitives.sort import parallel_argsort
@@ -689,6 +690,11 @@ class FlatRangeTree2D:
         y1 = np.asarray(y1, dtype=np.int64)
         y2 = np.asarray(y2, dtype=np.int64)
         q = x1.shape[0]
+        reg = counters()
+        if reg.enabled:
+            # observability only — never part of the parity contract
+            reg.add("kernels.batch_calls")
+            reg.add("kernels.batch_entries", float(q))
         if 0 < q <= _SCALAR_BATCH_CUTOFF:
             # tiny batches: the vectorized rounds' fixed cost exceeds a
             # scalar loop; answers/charges/stats are identical either way

@@ -25,6 +25,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.counters import counters
 from repro.pram.combinators import log2ceil
 from repro.pram.ledger import Ledger, NULL_LEDGER
 from repro.rangesearch.cutqueries import CutOracle
@@ -74,6 +75,10 @@ class _BatchedCutLookup:
         vs = np.fromiter((b for _, b in todo), dtype=np.int64, count=len(todo))
         vals, works, depths = self.oracle.cut_many(us, vs)
         self.ledger.charge(work=float(works.sum()), depth=float(depths.sum()))
+        reg = counters()
+        if reg.enabled:
+            reg.add("kernels.smawk_prefetches")
+            reg.add("kernels.smawk_prefetched_entries", float(len(todo)))
         for key, val in zip(todo, vals.tolist()):
             self.cache[key] = val
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Sequence, Tuple
 
+from repro.obs.counters import counters
 from repro.pram.combinators import log2ceil
 from repro.pram.ledger import Ledger, NULL_LEDGER
 
@@ -74,6 +75,10 @@ def smawk_row_minima(
     _smawk(list(rows), list(cols), counting, result)
     n = len(rows) + len(cols)
     ledger.charge(work=float(max(n, 1)), depth=float(log2ceil(max(n, 2)) + 1))
+    reg = counters()
+    if reg.enabled:
+        reg.add("smawk.calls")
+        reg.add("smawk.evals", float(counting.count))
     return result
 
 

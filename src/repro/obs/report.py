@@ -1,0 +1,210 @@
+"""The :class:`RunReport`: one run's observability record, exportable
+as a Chrome-trace-viewer JSON file.
+
+A report freezes what the :class:`~repro.obs.span.Tracer` saw:
+
+* the root :class:`~repro.obs.span.Span` (``"run"``) and its tree,
+* the final counter registry snapshot,
+* the run's ledger totals (the root span's work/depth deltas — by
+  construction these equal the bound ledger's totals for a
+  fresh-per-run ledger), and
+* optional schedule bounds, when the run charged a
+  :class:`~repro.pram.trace.TraceLedger`.
+
+Trace-file format (``docs/observability.md`` documents the schema)::
+
+    {
+      "traceEvents": [ {"name", "cat", "ph": "X", "ts", "dur",
+                        "pid", "tid", "args": {...}}, ... ],
+      "displayTimeUnit": "ms",
+      "repro": { "work", "depth", "counters", "meta", ... }
+    }
+
+Each span becomes one complete ("ph": "X") event with microsecond
+``ts``/``dur`` and its ledger/counter deltas under ``args`` — load the
+file in ``chrome://tracing`` / Perfetto to see the phase timeline.
+Consumers that only want numbers read the ``repro`` sidecar object
+(Chrome ignores unknown top-level keys).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from types import MappingProxyType
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.obs.span import Span
+from repro.pram.ledger import Ledger
+
+__all__ = ["RunReport", "PhaseBreakdown"]
+
+#: Chrome trace events use microseconds
+_US = 1e6
+
+
+@dataclass(frozen=True)
+class PhaseBreakdown:
+    """Aggregate of every span sharing one name (phases re-enter)."""
+
+    name: str
+    wall_s: float
+    work: float
+    depth: float
+    count: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PhaseBreakdown({self.name!r}, wall={self.wall_s:.4f}s, "
+            f"work={self.work:g}, x{self.count})"
+        )
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Everything one run reported through the observability layer."""
+
+    span: Span
+    counters: Mapping[str, float]
+    #: ledger totals over the whole run (root span deltas)
+    work: float
+    depth: float
+    #: optional (lower, upper) makespan bounds per processor count, from
+    #: a TraceLedger-backed run
+    schedule_bounds: Mapping[int, Tuple[float, float]] = field(
+        default_factory=dict
+    )
+    meta: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "counters", MappingProxyType(dict(self.counters)))
+        object.__setattr__(
+            self, "schedule_bounds", MappingProxyType(dict(self.schedule_bounds))
+        )
+        object.__setattr__(self, "meta", MappingProxyType(dict(self.meta)))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tracer_root(
+        cls,
+        root: Span,
+        counters: Mapping[str, float],
+        *,
+        ledger: Optional[Ledger] = None,
+        meta: Optional[Mapping[str, object]] = None,
+        processors: Tuple[int, ...] = (2, 4, 16, 64),
+    ) -> "RunReport":
+        bounds: Dict[int, Tuple[float, float]] = {}
+        from repro.pram.trace import TraceLedger
+
+        if isinstance(ledger, TraceLedger):
+            bounds = {p: ledger.bounds(p) for p in processors}
+        return cls(
+            span=root,
+            counters=counters,
+            work=root.work,
+            depth=root.depth,
+            schedule_bounds=bounds,
+            meta=meta or {},
+        )
+
+    # ------------------------------------------------------------------
+    # summarising
+    # ------------------------------------------------------------------
+    def phases(self, top_level_only: bool = False) -> List[PhaseBreakdown]:
+        """Per-name aggregates, ordered by first appearance.
+
+        ``top_level_only`` restricts to direct children of the root —
+        the coarse pipeline stages whose ledger deltas partition the
+        run's totals.
+        """
+        spans = self.span.children if top_level_only else list(self.span.walk())[1:]
+        order: List[str] = []
+        acc: Dict[str, List[float]] = {}
+        for s in spans:
+            if s.name not in acc:
+                order.append(s.name)
+                acc[s.name] = [0.0, 0.0, 0.0, 0]
+            a = acc[s.name]
+            a[0] += s.wall_s
+            a[1] += s.work
+            a[2] += s.depth
+            a[3] += 1
+        return [
+            PhaseBreakdown(name, *acc[name][:3], count=int(acc[name][3]))
+            for name in order
+        ]
+
+    def unattributed_work(self) -> float:
+        """Run work not inside any top-level phase span."""
+        return self.span.self_work()
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def trace_events(self) -> List[dict]:
+        """One Chrome complete-event per span (preorder)."""
+        events = []
+        for s in self.span.walk():
+            end = s.wall_end if s.wall_end is not None else s.wall_start
+            args: Dict[str, object] = {
+                "work": s.work,
+                "depth": s.depth,
+            }
+            if s.counters:
+                args["counters"] = dict(sorted(s.counters.items()))
+            events.append(
+                {
+                    "name": s.name,
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": round(s.wall_start * _US, 3),
+                    "dur": round((end - s.wall_start) * _US, 3),
+                    "pid": 1,
+                    "tid": 1,
+                    "args": args,
+                }
+            )
+        return events
+
+    def to_chrome_trace(self) -> dict:
+        """The full trace-file payload (see module docstring)."""
+        sidecar: Dict[str, object] = {
+            "work": self.work,
+            "depth": self.depth,
+            "counters": dict(sorted(self.counters.items())),
+            "phases": [
+                {
+                    "name": p.name,
+                    "wall_s": round(p.wall_s, 6),
+                    "work": p.work,
+                    "depth": p.depth,
+                    "count": p.count,
+                }
+                for p in self.phases()
+            ],
+            "meta": {k: str(v) for k, v in self.meta.items()},
+        }
+        if self.schedule_bounds:
+            sidecar["schedule_bounds"] = {
+                str(p): [lo, hi] for p, (lo, hi) in self.schedule_bounds.items()
+            }
+        return {
+            "traceEvents": self.trace_events(),
+            "displayTimeUnit": "ms",
+            "repro": sidecar,
+        }
+
+    def write_trace(self, path: str | Path) -> Path:
+        """Serialise :meth:`to_chrome_trace` to ``path`` as JSON."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_chrome_trace(), indent=1) + "\n")
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RunReport(wall={self.span.wall_s:.4f}s, work={self.work:g}, "
+            f"depth={self.depth:g}, spans={sum(1 for _ in self.span.walk())}, "
+            f"counters={len(self.counters)})"
+        )

@@ -1,0 +1,99 @@
+"""The shared pipeline knobs, documented once.
+
+Historically the three entry points (:func:`repro.minimum_cut`,
+:func:`repro.resilient_minimum_cut`,
+:func:`repro.approximate_minimum_cut`) each grew their own copies of
+the tree/skeleton/hierarchy parameters with diverging names and
+defaults.  This module is now the single home:
+
+* :class:`SkeletonParams` — skeleton sampling constants (Section 4.2),
+  re-exported from :mod:`repro.sparsify.skeleton`;
+* :class:`HierarchyParams` — the Section 3 hierarchy constants,
+  re-exported from :mod:`repro.sparsify.hierarchy`;
+* :class:`CutPipelineParams` — everything the exact pipeline accepts,
+  bundled so configurations travel as one value.
+
+Every entry point still accepts the individual keyword arguments (all
+keyword-only); ``minimum_cut`` and ``resilient_minimum_cut``
+additionally accept ``pipeline=CutPipelineParams(...)`` as the bundled
+spelling.  Passing both the bundle and a conflicting individual knob
+raises :class:`repro.errors.InvalidParameterError` — there is exactly
+one source of truth per run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Literal, Optional
+
+from repro.errors import InvalidParameterError
+from repro.sparsify.hierarchy import HierarchyParams
+from repro.sparsify.skeleton import SkeletonParams
+
+__all__ = ["CutPipelineParams", "SkeletonParams", "HierarchyParams"]
+
+
+@dataclass(frozen=True)
+class CutPipelineParams:
+    """Every knob of the exact pipeline, as one frozen value.
+
+    Attributes
+    ----------
+    epsilon:
+        The Section 4.3 work/query tradeoff: range trees of degree
+        ``~n^epsilon`` give O(m/eps + n^{1+2eps} log n / eps^2 +
+        n log n) work for the cut-finding step.  ``None`` = degree-2
+        trees (the general Theorem 4.1 configuration).
+    max_trees:
+        How many candidate trees the cut-finding step tests.  ``"auto"``
+        samples ``ceil(3 log2 n)`` distinct trees proportional to
+        packing multiplicity — the paper's O(log n) schedule.  An int
+        samples that many; ``None`` = thorough mode, every distinct
+        packed tree (O(log^2 n) worst case).
+    decomposition:
+        Path decomposition flavour for the 2-respecting search; both
+        ``"heavy"`` and ``"bough"`` satisfy Property 4.3.
+    skeleton:
+        :class:`SkeletonParams` — skeleton sampling / certification
+        constants (Theorem 4.18).  The resilient driver escalates
+        ``skeleton.sample_constant`` geometrically across retries.
+    hierarchy:
+        :class:`HierarchyParams` for the Section 3 approximation stage;
+        ``None`` uses that stage's defaults.
+    packing_iterations:
+        Override for the greedy packing's iteration count (``None`` =
+        the Theorem 4.18 schedule).
+    """
+
+    epsilon: Optional[float] = None
+    max_trees: "int | None | Literal['auto']" = "auto"
+    decomposition: Literal["heavy", "bough"] = "heavy"
+    skeleton: SkeletonParams = field(default_factory=SkeletonParams)
+    hierarchy: Optional[HierarchyParams] = None
+    packing_iterations: Optional[int] = None
+
+    @classmethod
+    def resolve(
+        cls,
+        pipeline: Optional["CutPipelineParams"],
+        **individual: object,
+    ) -> "CutPipelineParams":
+        """Merge the bundled and individual spellings of the knobs.
+
+        ``individual`` maps field names to the entry point's received
+        keyword values.  With no ``pipeline`` the individual values are
+        bundled as-is; with one, any individual knob that differs from
+        its field default conflicts with the bundle and raises.
+        """
+        if pipeline is None:
+            return cls(**individual)  # type: ignore[arg-type]
+        defaults = cls()
+        for f in fields(cls):
+            if f.name not in individual:
+                continue
+            if individual[f.name] != getattr(defaults, f.name):
+                raise InvalidParameterError(
+                    f"pass {f.name!r} either inside pipeline= or as a "
+                    "keyword, not both"
+                )
+        return pipeline

@@ -70,6 +70,7 @@ from typing import (
 )
 
 from repro.errors import BranchErrors, FaultInjected, InvalidParameterError
+from repro.obs.counters import counters
 from repro.resilience.faults import SITE_EXECUTOR_BRANCH, poll_indexed as _poll_fault
 
 __all__ = ["parallel_map", "executor_backend", "force_executor"]
@@ -334,10 +335,16 @@ def parallel_map(
     if backend == "thread" and len(items) == 1 and timeout is None:
         workers = 1
 
+    reg = counters()
+    if reg.enabled:
+        reg.add("executor.dispatches")
+        reg.add("executor.items", float(len(items)))
     results: dict = {}
     failed: dict = {}
     todo: List[int] = list(range(len(items)))
-    for _ in range(retries + 1):
+    for round_no in range(retries + 1):
+        if round_no and reg.enabled:
+            reg.add("executor.retries", float(len(todo)))
         got, bad = _attempt(fn, items, todo, workers, timeout, backend)
         results.update(got)
         failed = bad

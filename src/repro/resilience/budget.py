@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
 
 from repro.errors import BudgetExceeded, InvalidParameterError
+from repro.obs.counters import counters
 from repro.pram.ledger import Ledger
 from repro.resilience.faults import SITE_BUDGET_BLOWOUT, poll as _poll_fault
 
@@ -143,9 +144,11 @@ def budget_scope(budget: Optional[Budget]) -> Iterator[Optional[Budget]]:
 def checkpoint(site: str = "") -> None:
     """Cooperative cancellation point.
 
-    Called from the pipeline's loops; near-free when no budget or fault
-    plan is armed (two contextvar reads, no ledger charges ever).
+    Called from the pipeline's loops; near-free when no budget, fault
+    plan, or counter registry is armed (three contextvar reads, no
+    ledger charges ever).
     """
+    counters().add("resilience.checkpoints")
     fault = _poll_fault(SITE_BUDGET_BLOWOUT)
     if fault is not None:
         raise BudgetExceeded(

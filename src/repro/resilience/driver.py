@@ -17,7 +17,10 @@ Strategy (``exact`` → ``exact escalated`` → ``stoer_wagner``):
 
 The returned :class:`repro.results.CutResult` carries provenance —
 ``attempts``, ``fallback_used``, ``verification`` — so callers can see
-how the answer was produced and alert on degraded service.
+how the answer was produced and alert on degraded service.  With
+``trace=True`` the attached :class:`repro.obs.RunReport` additionally
+shows every attempt (and its verification) as a span, with
+``resilience.*`` counters.
 """
 
 from __future__ import annotations
@@ -28,10 +31,12 @@ from typing import Callable, Literal, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.baselines.stoer_wagner import stoer_wagner
 from repro.errors import BudgetExceeded, InvalidParameterError
 from repro.graphs.graph import Graph
 from repro.graphs.validate import ensure_finite_weights
+from repro.params import CutPipelineParams
 from repro.pram.ledger import Ledger, NULL_LEDGER
 from repro.resilience.budget import Budget, budget_scope
 from repro.resilience.faults import SITE_CORRUPT_VALUE, poll as _poll_fault
@@ -81,8 +86,10 @@ def resilient_minimum_cut(
     decomposition: Literal["heavy", "bough"] = "heavy",
     skeleton_params: SkeletonParams = SkeletonParams(),
     hierarchy_params: Optional[HierarchyParams] = None,
+    pipeline: Optional[CutPipelineParams] = None,
     ledger: Ledger = NULL_LEDGER,
     clock: Callable[[], float] = time.monotonic,
+    trace: bool = False,
 ) -> CutResult:
     """Exact minimum cut with budgets, verified retries, and fallback.
 
@@ -104,21 +111,67 @@ def resilient_minimum_cut(
         Below this size verification includes the exact Stoer–Wagner
         comparison (0 disables it).
     epsilon, max_trees, decomposition, skeleton_params, hierarchy_params:
-        Forwarded to :func:`repro.core.mincut.minimum_cut` (skeleton
-        constants escalate on retries).
+        The pipeline knobs forwarded to
+        :func:`repro.core.mincut.minimum_cut`; see
+        :class:`repro.params.CutPipelineParams` for the documented
+        reference.  Skeleton constants escalate on retries.
+    pipeline:
+        The bundled spelling of those knobs (mutually exclusive with
+        passing a non-default individual knob).
     clock:
         Monotonic-seconds source, injectable for deterministic tests.
+    trace:
+        Attach a :class:`repro.obs.RunReport` as ``.report``, with one
+        span per attempt / verification / fallback stage.
 
     Returns
     -------
     CutResult with provenance: ``attempts`` (exact attempts consumed),
     ``fallback_used`` (None or ``"stoer_wagner"``), ``verification``
-    (the final :class:`VerificationReport`).
+    (the final :class:`repro.results.VerificationReport`).
     """
-    from repro.core.mincut import minimum_cut
-
     if max_attempts < 1:
         raise InvalidParameterError("max_attempts must be >= 1")
+    params = CutPipelineParams.resolve(
+        pipeline,
+        epsilon=epsilon,
+        max_trees=max_trees,
+        decomposition=decomposition,
+        skeleton=skeleton_params,
+        hierarchy=hierarchy_params,
+    )
+    if trace and not obs.tracing_active():
+        if ledger is NULL_LEDGER:
+            ledger = Ledger()
+        tracer = obs.Tracer(ledger=ledger)
+        with tracer.activate():
+            res = _resilient_impl(
+                graph, params, deadline, max_work, max_attempts, seed,
+                spot_check_max_n, ledger, clock,
+            )
+        report = tracer.report(
+            algorithm="resilient_minimum_cut", n=graph.n, m=graph.m
+        )
+        return dataclasses.replace(res, report=report)
+    return _resilient_impl(
+        graph, params, deadline, max_work, max_attempts, seed,
+        spot_check_max_n, ledger, clock,
+    )
+
+
+def _resilient_impl(
+    graph: Graph,
+    params: CutPipelineParams,
+    deadline: Optional[float],
+    max_work: Optional[float],
+    max_attempts: int,
+    seed: Optional[int],
+    spot_check_max_n: int,
+    ledger: Ledger,
+    clock: Callable[[], float],
+) -> CutResult:
+    from repro.core.mincut import minimum_cut
+
     ensure_finite_weights(graph)
 
     work_ledger = ledger
@@ -136,6 +189,8 @@ def resilient_minimum_cut(
     attempt_seeds = seed_stream.spawn(max_attempts)
     attempts_made = 0
     suspects: list[float] = []
+    tracer = obs.current_tracer()
+    reg = obs.counters()
 
     for attempt in range(max_attempts):
         if overall.exhausted_reason() is not None:
@@ -151,33 +206,37 @@ def resilient_minimum_cut(
             ledger=work_ledger if slice_work is not None else None,
             clock=clock,
         )
-        params = escalated_params(skeleton_params, attempt)
-        trees = max_trees if attempt == 0 else None  # retries scan thoroughly
+        attempt_params = dataclasses.replace(
+            params,
+            skeleton=escalated_params(params.skeleton, attempt),
+            # retries scan thoroughly
+            max_trees=params.max_trees if attempt == 0 else None,
+        )
         attempts_made += 1
+        reg.add("resilience.attempts")
         try:
-            with budget_scope(attempt_budget):
-                res = minimum_cut(
-                    graph,
-                    epsilon=epsilon,
-                    max_trees=trees,
-                    decomposition=decomposition,
-                    skeleton_params=params,
-                    hierarchy_params=hierarchy_params,
-                    rng=np.random.default_rng(attempt_seeds[attempt]),
-                    ledger=ledger if ledger is not NULL_LEDGER else work_ledger,
-                )
+            with tracer.span(f"attempt[{attempt}]"):
+                with budget_scope(attempt_budget):
+                    res = minimum_cut(
+                        graph,
+                        pipeline=attempt_params,
+                        rng=np.random.default_rng(attempt_seeds[attempt]),
+                        ledger=ledger if ledger is not NULL_LEDGER else work_ledger,
+                    )
         except BudgetExceeded:
             # slice (or overall) budget blown: next attempt gets a bigger
             # slice, unless the overall budget is gone — then fall back
+            reg.add("resilience.budget_exceeded")
             continue
 
         fault = _poll_fault(SITE_CORRUPT_VALUE)
         if fault is not None:
             res = dataclasses.replace(res, value=res.value * fault.scale + 1.0)
 
-        report = verify_cut(
-            graph, res, spot_check_max_n=spot_check_max_n, ledger=ledger
-        )
+        with tracer.span("verify"):
+            report = verify_cut(
+                graph, res, spot_check_max_n=spot_check_max_n, ledger=ledger
+            )
         if report.ok:
             stats = dict(res.stats)
             stats["resilience_suspect_values"] = float(len(suspects))
@@ -189,12 +248,15 @@ def resilient_minimum_cut(
                 verification=report,
             )
         suspects.append(res.value)
+        reg.add("resilience.suspect_results")
 
     # ---- graceful degradation: deterministic sequential baseline ----------
-    fallback = stoer_wagner(graph)
-    report = verify_cut(
-        graph, fallback, spot_check_max_n=0, ledger=ledger
-    )
+    reg.add("resilience.fallbacks")
+    with tracer.span("fallback:stoer_wagner"):
+        fallback = stoer_wagner(graph)
+        report = verify_cut(
+            graph, fallback, spot_check_max_n=0, ledger=ledger
+        )
     reason = overall.exhausted_reason()
     stats = dict(fallback.stats)
     stats["resilience_suspect_values"] = float(len(suspects))

@@ -26,46 +26,18 @@ retries with a fresh seed and escalated constants.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.pram.ledger import Ledger, NULL_LEDGER
-from repro.results import CutResult
+from repro.results import CutResult, VerificationReport
 
 __all__ = ["VerificationReport", "verify_cut", "one_respecting_upper_bound"]
 
 #: absolute slack for floating-point cut comparisons
 _ATOL = 1e-6
-
-
-@dataclass(frozen=True)
-class VerificationReport:
-    """Outcome of :func:`verify_cut`.
-
-    ``checks`` lists ``(name, passed)`` in execution order; ``ok`` is
-    their conjunction.  ``detail`` explains the first failure.
-    """
-
-    ok: bool
-    checks: Tuple[Tuple[str, bool], ...] = ()
-    detail: str = ""
-    #: tightest cheap upper bound the checks computed (min degree /
-    #: 1-respecting / Stoer-Wagner value), for diagnostics
-    upper_bound: float = math.inf
-
-    def passed(self, name: str) -> Optional[bool]:
-        """Result of one named check, or None if it did not run."""
-        for n, p in self.checks:
-            if n == name:
-                return p
-        return None
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        ran = " ".join(f"{n}={'ok' if p else 'FAIL'}" for n, p in self.checks)
-        return f"VerificationReport(ok={self.ok}, {ran})"
 
 
 def one_respecting_upper_bound(

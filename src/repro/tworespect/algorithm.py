@@ -22,6 +22,7 @@ from typing import Literal, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.errors import GraphFormatError
 from repro.graphs.graph import Graph
 from repro.pram.ledger import Ledger, NULL_LEDGER
@@ -78,17 +79,17 @@ def two_respecting_min_cut(
         raise GraphFormatError("need at least two vertices")
 
     _checkpoint("two_respecting.start")
-    with ledger.phase("binarize+postorder"):
+    with obs.phase("binarize+postorder", ledger):
         bt = binarize_parent(tree_parent, ledger=ledger)
         rt = postorder(bt.parent, ledger=ledger)
-    with ledger.phase("oracle-build"):
+    with obs.phase("oracle-build", ledger):
         oracle = CutOracle(graph, rt, branching=branching, ledger=ledger)
         oracle.prefill_costs(ledger=ledger)
 
     # --- 1-respecting cuts: every tree edge alone -------------------------
     _checkpoint("two_respecting.one_respecting")
     best: Tuple[float, int, int] = (float("inf"), -1, -1)
-    with ledger.phase("one-respecting"):
+    with obs.phase("one-respecting", ledger):
         if getattr(oracle, "batched", False):
             # fast kernels: the cache is prefilled, so every branch of the
             # reference loop is a (1, 1) hit charge and the scan reduces
@@ -112,25 +113,25 @@ def two_respecting_min_cut(
 
     # --- same-path pairs ---------------------------------------------------
     _checkpoint("two_respecting.single_path")
-    with ledger.phase("decompose"):
+    with obs.phase("decompose", ledger):
         dec_fn = heavy_path_decomposition if decomposition == "heavy" else bough_decomposition
         dec = dec_fn(rt, ledger=ledger)
         rootpaths = RootPaths.build(rt, dec, ledger=ledger)
-    with ledger.phase("single-path"):
+    with obs.phase("single-path", ledger):
         val, a, b = single_path_minimum(oracle, dec, ledger=ledger)
         if val < best[0]:
             best = (val, a, b)
 
     # --- distinct-path pairs -------------------------------------------------
     _checkpoint("two_respecting.path_pairs")
-    with ledger.phase("centroid"):
+    with obs.phase("centroid", ledger):
         cd = centroid_decomposition(rt, ledger=ledger)
-    with ledger.phase("interest-terminals"):
+    with obs.phase("interest-terminals", ledger):
         c_e, d_e = find_interest_terminals(oracle, cd, ledger=ledger)
-    with ledger.phase("interest-tuples"):
+    with obs.phase("interest-tuples", ledger):
         tuples = collect_interest_tuples(rootpaths, c_e, d_e, ledger=ledger)
         pairs = group_interested_pairs(tuples, ledger=ledger)
-    with ledger.phase("path-pairs"):
+    with obs.phase("path-pairs", ledger):
         val, a, b = path_pair_minimum(oracle, dec, pairs, ledger=ledger)
         if val < best[0]:
             best = (val, a, b)
@@ -140,6 +141,13 @@ def two_respecting_min_cut(
     # normalise: a cut side must be a proper subset of the *real* vertices
     if side.all() or not side.any():  # pragma: no cover - defensive
         raise GraphFormatError("degenerate 2-respecting side mask")
+    reg = obs.counters()
+    if reg.enabled:
+        reg.add("tworespect.trees")
+        reg.add("oracle.nodes_visited", float(oracle.total_nodes_visited))
+        reg.add("oracle.queries", float(oracle.points.stats.queries))
+        reg.add("tworespect.interest_tuples", float(len(tuples)))
+        reg.add("tworespect.interested_pairs", float(len(pairs)))
     return CutResult(
         value=float(value),
         side=side,
