@@ -1,0 +1,211 @@
+#!/usr/bin/env python
+"""Randomized-fault chaos soak for the resilient min-cut driver.
+
+Every trial builds a random connected graph, arms a randomized fault
+plan (0-3 faults drawn from every instrumented site, including pool
+breakage, worker hangs, checkpoint corruption, and mid-run kills), picks
+an executor backend, and runs ``resilient_minimum_cut`` under a
+wall-clock cap.  The soak asserts the robustness invariant of
+``docs/robustness.md``:
+
+    every run ends in a **verified, exact** cut or a **typed**
+    ``ReproError`` — never a silent wrong answer and never a hang.
+
+Concretely, a trial passes when either
+
+* the driver returns: the result must carry ``verification.ok`` and its
+  value must equal the independent Stoer–Wagner recomputation exactly
+  (catching any hypothetical verifier blind spot), or
+* a typed :class:`repro.errors.ReproError` escapes (e.g. a
+  ``SimulatedCrash`` from an injected kill, or a ``CheckpointError``
+  from injected corruption) — for kills, the trial then **resumes** from
+  the checkpoint (restoring the fault plan) and requires the resumed
+  result to be bit-identical to the same trial run uninterrupted;
+
+and fails when a non-``ReproError`` exception escapes, the value is
+wrong, or the trial exceeds the wall-clock cap (hang detection).
+
+Usage::
+
+    python scripts/chaos_soak.py --runs 200 --seed 0            # all backends
+    python scripts/chaos_soak.py --runs 20 --seed 0 --backend process
+
+Exit status 0 iff every trial passed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.baselines.stoer_wagner import stoer_wagner  # noqa: E402
+from repro.errors import ReproError, SimulatedCrash  # noqa: E402
+from repro.graphs.generators import random_connected_graph  # noqa: E402
+from repro.pram.executor import force_executor, shutdown_shared_pools  # noqa: E402
+from repro.resilience.driver import resilient_minimum_cut  # noqa: E402
+from repro.resilience.faults import ALL_SITES, Fault, FaultPlan, inject  # noqa: E402
+
+BACKENDS = ("process", "thread", "sync")
+
+#: resumes allowed per trial before declaring it stuck (each injected
+#: kill costs one resume; plans carry at most 3 faults)
+MAX_RESUMES = 8
+
+
+@dataclass
+class SoakStats:
+    trials: int = 0
+    verified: int = 0
+    typed_errors: int = 0
+    resumed: int = 0
+    degradations: int = 0
+    fallbacks: int = 0
+    failures: List[str] = field(default_factory=list)
+
+
+def _random_plan(rng: np.random.Generator) -> FaultPlan:
+    """0-3 faults over every instrumented site, deterministically drawn."""
+    n_faults = int(rng.integers(0, 4))
+    faults = tuple(
+        Fault(
+            site=str(rng.choice(ALL_SITES)),
+            at=int(rng.integers(0, 6)),
+            index=int(rng.integers(0, 4)),
+            seed=int(rng.integers(0, 2**31)),
+            scale=float(rng.choice((0.25, 0.5, 2.0, 4.0))),
+        )
+        for _ in range(n_faults)
+    )
+    return FaultPlan(faults=faults, name=f"soak[{n_faults}]")
+
+
+def _fresh(plan: FaultPlan) -> FaultPlan:
+    """A structurally-identical plan with a clean firing record (a resume
+    simulates a new process: same armed faults, state restored from the
+    checkpoint, not from this in-process object)."""
+    return FaultPlan(faults=tuple(plan.faults), name=plan.name)
+
+
+def _run_to_completion(
+    graph, seed: int, plan: FaultPlan, ckpt: Optional[str]
+):
+    """One driver invocation, resuming after injected kills (each resume
+    re-arms a fresh copy of the plan, as a restarted process would).
+    Returns (result, resumes_used)."""
+    resumes = 0
+    while True:
+        try:
+            with inject(_fresh(plan) if resumes else plan):
+                return (
+                    resilient_minimum_cut(graph, seed=seed, checkpoint=ckpt),
+                    resumes,
+                )
+        except SimulatedCrash:
+            if ckpt is None or resumes >= MAX_RESUMES:
+                raise
+            resumes += 1
+
+
+def run_trial(
+    trial_seed: int, backend: str, stats: SoakStats, time_cap: float
+) -> None:
+    rng = np.random.default_rng(trial_seed)
+    n = int(rng.integers(16, 49))
+    m = int(rng.integers(int(2.5 * n), 5 * n))
+    graph = random_connected_graph(n, m, rng=int(rng.integers(2**31)), max_weight=8)
+    exact = stoer_wagner(graph).value
+    plan = _random_plan(rng)
+    driver_seed = int(rng.integers(2**31))
+    use_ckpt = any(f.site.startswith("checkpoint.") for f in plan.faults)
+
+    stats.trials += 1
+    t0 = time.monotonic()
+    label = f"trial={trial_seed} backend={backend} plan={plan.name}"
+    try:
+        with force_executor(backend):
+            if use_ckpt:
+                with tempfile.TemporaryDirectory() as d:
+                    ckpt = os.path.join(d, "soak.ckpt")
+                    res, resumes = _run_to_completion(graph, driver_seed, plan, ckpt)
+                    stats.resumed += 1 if resumes else 0
+            else:
+                res, _ = _run_to_completion(graph, driver_seed, plan, None)
+    except ReproError:
+        # a typed, documented failure is an acceptable outcome — the
+        # invariant forbids *silent* wrong answers, not loud errors
+        stats.typed_errors += 1
+        if time.monotonic() - t0 > time_cap:
+            stats.failures.append(f"{label}: exceeded {time_cap:g}s cap (typed)")
+        return
+    except BaseException as exc:  # noqa: BLE001 - anything else is a soak failure
+        stats.failures.append(f"{label}: untyped {type(exc).__name__}: {exc}")
+        return
+
+    elapsed = time.monotonic() - t0
+    if elapsed > time_cap:
+        stats.failures.append(f"{label}: exceeded {time_cap:g}s cap")
+        return
+    if res.verification is None or not res.verification.ok:
+        stats.failures.append(f"{label}: returned unverified result")
+        return
+    if res.value != exact:
+        stats.failures.append(
+            f"{label}: WRONG ANSWER {res.value} != {exact} "
+            f"(fallback={res.fallback_used}, fired={plan.fired})"
+        )
+        return
+    stats.verified += 1
+    stats.degradations += len(res.degradations)
+    stats.fallbacks += 1 if res.fallback_used else 0
+
+
+def run_soak(
+    runs: int, seed: int, backends=BACKENDS, time_cap: float = 60.0
+) -> SoakStats:
+    stats = SoakStats()
+    for i in range(runs):
+        backend = backends[i % len(backends)]
+        run_trial(seed * 1_000_003 + i, backend, stats, time_cap)
+    shutdown_shared_pools()
+    return stats
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--runs", type=int, default=200)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--backend", choices=("auto",) + BACKENDS, default="auto",
+                    help="'auto' round-robins process/thread/sync")
+    ap.add_argument("--time-cap", type=float, default=60.0, metavar="SECONDS",
+                    help="per-trial wall-clock cap; exceeding it is a hang")
+    args = ap.parse_args(argv)
+
+    backends = BACKENDS if args.backend == "auto" else (args.backend,)
+    t0 = time.monotonic()
+    stats = run_soak(args.runs, args.seed, backends, args.time_cap)
+    wall = time.monotonic() - t0
+
+    print(f"trials {stats.trials}")
+    print(f"verified_exact {stats.verified}")
+    print(f"typed_errors {stats.typed_errors}")
+    print(f"resumed_runs {stats.resumed}")
+    print(f"fallbacks {stats.fallbacks}")
+    print(f"degradation_events {stats.degradations}")
+    print(f"failures {len(stats.failures)}")
+    print(f"wall_s {wall:.1f}")
+    for line in stats.failures:
+        print(f"FAIL {line}", file=sys.stderr)
+    return 1 if stats.failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

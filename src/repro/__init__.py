@@ -38,6 +38,8 @@ __all__ = [
     "CutResult",
     "ApproxResult",
     "VerificationReport",
+    "DegradationEvent",
+    "Supervisor",
     "RunReport",
     "CutPipelineParams",
     "SkeletonParams",
@@ -53,6 +55,8 @@ _LAZY = {
     "CutResult": ("repro.results", "CutResult"),
     "ApproxResult": ("repro.results", "ApproxResult"),
     "VerificationReport": ("repro.results", "VerificationReport"),
+    "DegradationEvent": ("repro.results", "DegradationEvent"),
+    "Supervisor": ("repro.resilience.supervisor", "Supervisor"),
     "RunReport": ("repro.obs.report", "RunReport"),
     "CutPipelineParams": ("repro.params", "CutPipelineParams"),
     "SkeletonParams": ("repro.sparsify.skeleton", "SkeletonParams"),

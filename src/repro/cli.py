@@ -63,7 +63,12 @@ def _cmd_cut(args: argparse.Namespace) -> int:
     # reports carry schedule bounds on top of the span timeline
     ledger = TraceLedger()
     trace = args.trace is not None
-    if args.deadline is not None or args.max_attempts is not None:
+    resilient = (
+        args.deadline is not None
+        or args.max_attempts is not None
+        or args.checkpoint is not None
+    )
+    if resilient:
         from repro.resilience import resilient_minimum_cut
 
         res = resilient_minimum_cut(
@@ -72,6 +77,8 @@ def _cmd_cut(args: argparse.Namespace) -> int:
             max_attempts=args.max_attempts if args.max_attempts is not None else 3,
             epsilon=args.epsilon,
             seed=args.seed,
+            checkpoint=args.checkpoint,
+            resume=not args.no_resume,
             ledger=ledger,
             trace=trace,
         )
@@ -90,10 +97,11 @@ def _cmd_cut(args: argparse.Namespace) -> int:
     print(f"side {' '.join(str(int(v)) for v in np.flatnonzero(small))}")
     print(f"work {ledger.work}")
     print(f"depth {ledger.depth}")
-    if args.deadline is not None or args.max_attempts is not None:
+    if resilient:
         print(f"attempts {res.attempts}")
         print(f"fallback {res.fallback_used or 'none'}")
         print(f"verified {int(res.verification.ok if res.verification else 0)}")
+        print(f"degradations {len(res.degradations)}")
     if trace:
         _write_trace(res, args.trace)
     return 0
@@ -173,6 +181,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_cut.add_argument("--max-attempts", type=int, default=None, metavar="N",
                        help="exact-pipeline attempts before falling back "
                             "(implies the resilient driver; default 3)")
+    p_cut.add_argument("--checkpoint", type=Path, default=None, metavar="PATH",
+                       help="persist completed-phase artifacts to PATH "
+                            "(implies the resilient driver); a killed run "
+                            "re-invoked with the same arguments resumes "
+                            "mid-pipeline bit-identically")
+    p_cut.add_argument("--no-resume", action="store_true",
+                       help="ignore an existing checkpoint file at "
+                            "--checkpoint and start fresh")
     add_trace(p_cut)
     p_cut.set_defaults(func=_cmd_cut)
 

@@ -41,6 +41,35 @@ from repro.tworespect.algorithm import two_respecting_min_cut
 __all__ = ["minimum_cut", "branching_for_epsilon"]
 
 
+def _restore_rng(rng: np.random.Generator, payload: dict) -> None:
+    """Rewind ``rng`` to the state snapshotted when ``payload`` was saved,
+    so a resumed pipeline consumes exactly the draws an uninterrupted one
+    would (the bit-identical-resume contract)."""
+    state = payload.get("rng_state")
+    if state is not None:
+        rng.bit_generator.state = state
+
+
+def _cut_to_payload(res: CutResult) -> dict:
+    """A picklable snapshot of a stage-3 candidate (``CutResult.stats``
+    is a MappingProxyType, which pickle refuses)."""
+    return {
+        "value": res.value,
+        "side": np.asarray(res.side, dtype=bool),
+        "witness_edges": res.witness_edges,
+        "stats": dict(res.stats),
+    }
+
+
+def _cut_from_payload(payload: dict) -> CutResult:
+    return CutResult(
+        value=payload["value"],
+        side=payload["side"],
+        witness_edges=payload["witness_edges"],
+        stats=payload["stats"],
+    )
+
+
 def branching_for_epsilon(n: int, epsilon: Optional[float]) -> int:
     """Range-tree degree ``max(2, round(n^epsilon))`` (Section 4.3).
 
@@ -128,7 +157,19 @@ def _minimum_cut_impl(
     approx_value: Optional[float],
     rng: Optional[np.random.Generator],
     ledger: Ledger,
+    hooks=None,
 ) -> CutResult:
+    """The staged pipeline body.
+
+    ``hooks`` (duck-typed; see
+    :class:`repro.resilience.checkpointing.PipelineHooks`) persists and
+    restores completed-stage artifacts for checkpoint/resume.  Each
+    ``save_stage`` snapshots the generator state alongside the payload,
+    and each restored stage rewinds ``rng`` to that snapshot, so a
+    resumed run consumes exactly the randomness an uninterrupted one
+    would — the resumed result is bit-identical.  ``hooks=None`` (every
+    direct call) is zero-overhead.
+    """
     if graph.n < 2:
         raise GraphFormatError("min cut needs at least 2 vertices")
     ensure_finite_weights(graph)
@@ -145,37 +186,72 @@ def _minimum_cut_impl(
 
     # --- stage 1: O(1)-approximation (Theorem 3.1) -------------------------
     if approx_value is None:
-        from repro.approx.approximate import approximate_minimum_cut
+        loaded = hooks.load_stage("approx") if hooks is not None else None
+        if loaded is not None:
+            approx_value = loaded["approx_value"]
+            _restore_rng(rng, loaded)
+        else:
+            from repro.approx.approximate import approximate_minimum_cut
 
-        hier = params.hierarchy if params.hierarchy is not None else HierarchyParams()
-        with obs.phase("approximate", ledger):
-            approx = approximate_minimum_cut(
-                graph, params=hier, rng=rng, ledger=ledger
-            )
-        approx_value = max(approx.estimate, 1e-12)
+            hier = params.hierarchy if params.hierarchy is not None else HierarchyParams()
+            with obs.phase("approximate", ledger):
+                approx = approximate_minimum_cut(
+                    graph, params=hier, rng=rng, ledger=ledger
+                )
+            approx_value = max(approx.estimate, 1e-12)
+            if hooks is not None:
+                hooks.save_stage("approx", {"approx_value": approx_value}, rng=rng)
     lambda_under = float(approx_value) / 2.0  # Section 4.2's underestimate
 
     # --- stage 2: skeleton + tree packing (Theorem 4.18) -------------------
     max_trees = params.max_trees
     if max_trees == "auto":
         max_trees = int(math.ceil(3 * math.log2(max(graph.n, 2))))
-    with obs.phase("packing", ledger):
-        packing = pack_trees(
-            graph,
-            lambda_under,
-            skeleton_params=params.skeleton,
-            packing_iterations=params.packing_iterations,
-            max_trees=max_trees,
-            rng=rng,
-            ledger=ledger,
-        )
+    loaded = hooks.load_stage("packing") if hooks is not None else None
+    if loaded is not None:
+        tree_parents = loaded["tree_parents"]
+        packing_stats = loaded["stats"]
+        _restore_rng(rng, loaded)
+    else:
+        with obs.phase("packing", ledger):
+            packing = pack_trees(
+                graph,
+                lambda_under,
+                skeleton_params=params.skeleton,
+                packing_iterations=params.packing_iterations,
+                max_trees=max_trees,
+                rng=rng,
+                ledger=ledger,
+            )
+        tree_parents = packing.tree_parents
+        packing_stats = {
+            "num_trees": float(packing.num_trees),
+            "skeleton_edges": float(packing.skeleton.skeleton.m),
+            "skeleton_p": float(packing.skeleton.p),
+            "packing_iterations": float(packing.packing.iterations),
+        }
+        if hooks is not None:
+            hooks.save_stage(
+                "packing",
+                {"tree_parents": list(tree_parents), "stats": packing_stats},
+                rng=rng,
+            )
 
     # --- stage 3: per-tree 2-respecting min-cut (Theorem 4.2) --------------
     branching = branching_for_epsilon(graph.n, params.epsilon)
     best: Optional[CutResult] = None
+    trees_done = 0
+    loaded = hooks.load_stage("trees") if hooks is not None else None
+    if loaded is not None:
+        trees_done = loaded["done"]
+        if loaded["best"] is not None:
+            best = _cut_from_payload(loaded["best"])
+        _restore_rng(rng, loaded)
     with obs.phase("two-respecting", ledger):
         with ledger.parallel() as par:
-            for parent in packing.tree_parents:
+            for i, parent in enumerate(tree_parents):
+                if i < trees_done:
+                    continue  # already searched before the checkpoint
                 _checkpoint("mincut.tree")
                 with par.branch():
                     res = two_respecting_min_cut(
@@ -187,18 +263,21 @@ def _minimum_cut_impl(
                     )
                     if best is None or res.value < best.value:
                         best = res
+                if hooks is not None:
+                    hooks.save_stage(
+                        "trees",
+                        {"done": i + 1, "best": _cut_to_payload(best)},
+                        rng=rng,
+                    )
     assert best is not None  # packing always yields >= 1 tree
     reg = obs.counters()
     if reg.enabled:
-        reg.add("mincut.trees_tested", float(packing.num_trees))
+        reg.add("mincut.trees_tested", packing_stats["num_trees"])
     stats = dict(best.stats)
+    stats.update(packing_stats)
     stats.update(
         {
-            "num_trees": float(packing.num_trees),
-            "skeleton_edges": float(packing.skeleton.skeleton.m),
-            "skeleton_p": float(packing.skeleton.p),
             "lambda_underestimate": float(lambda_under),
-            "packing_iterations": float(packing.packing.iterations),
             "branching": float(branching),
         }
     )

@@ -42,6 +42,20 @@ class FaultInjected(ReproError):
     plan fires an error-type fault (e.g. inside an executor branch)."""
 
 
+class CheckpointError(ReproError):
+    """Raised by :mod:`repro.resilience.checkpointing` when a checkpoint
+    file cannot be used: unreadable bytes, unknown format version, a
+    content-hash mismatch (corruption), or a fingerprint that does not
+    match the graph/seed/parameters of the resuming run."""
+
+
+class SimulatedCrash(ReproError):
+    """Raised by the ``checkpoint.kill`` fault site immediately after a
+    checkpoint save, simulating an abrupt process death at a persisted
+    point.  Used by the kill/resume tests and ``scripts/chaos_soak.py``
+    to prove that a resumed run reproduces the uninterrupted result."""
+
+
 class BranchErrors(ReproError):
     """Aggregate of every failure collected by a hardened
     :func:`repro.pram.executor.parallel_map` run.

@@ -12,7 +12,12 @@ from repro.pram.combinators import (
     preduce,
     pscan_exclusive,
 )
-from repro.pram.executor import executor_backend, force_executor, parallel_map
+from repro.pram.executor import (
+    executor_backend,
+    force_executor,
+    parallel_map,
+    shutdown_shared_pools,
+)
 from repro.pram.ledger import NULL_LEDGER, Ledger, ParallelFrame, PhaseRecord
 from repro.pram.trace import SPNode, TraceLedger, schedule_bounds
 from repro.pram.scheduler import (
@@ -37,6 +42,7 @@ __all__ = [
     "parallel_map",
     "executor_backend",
     "force_executor",
+    "shutdown_shared_pools",
     "BrentProjection",
     "brent_time",
     "parallelism",

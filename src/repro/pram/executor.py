@@ -38,7 +38,18 @@ the caller are visible inside branches.  Shared pools are reserved for
 untimed calls: a call with a ``timeout`` gets a private pool, because a
 timed-out branch keeps its worker occupied and must not poison the
 shared pool for later callers.  A broken shared process pool (a worker
-died) is evicted so the next attempt starts fresh.
+died) is evicted so the next attempt starts fresh, and any
+``BaseException`` escaping a shared-pool dispatch (``KeyboardInterrupt``
+included) evicts the pool on the way out — an interrupted run cannot
+leak a poisoned pool into the next call.
+
+When a :class:`repro.resilience.supervisor.Supervisor` is armed
+(:func:`~repro.resilience.supervisor.supervised_scope`), every dispatch
+round is routed through its health model: a backend with recent broken
+pools or timeouts is skipped down the ``process → thread → sync``
+degradation chain (with exponential backoff and recovery probes), and
+each downgrade is recorded as a typed
+:class:`~repro.results.DegradationEvent` plus ``supervisor.*`` counters.
 """
 
 from __future__ import annotations
@@ -71,9 +82,21 @@ from typing import (
 
 from repro.errors import BranchErrors, FaultInjected, InvalidParameterError
 from repro.obs.counters import counters
-from repro.resilience.faults import SITE_EXECUTOR_BRANCH, poll_indexed as _poll_fault
+from repro.resilience.faults import (
+    SITE_EXECUTOR_BRANCH,
+    SITE_POOL_BREAK,
+    SITE_WORKER_HANG,
+    poll as _poll_site,
+    poll_indexed as _poll_fault,
+)
+from repro.resilience.supervisor import Supervisor, active_supervisor
 
-__all__ = ["parallel_map", "executor_backend", "force_executor"]
+__all__ = [
+    "parallel_map",
+    "executor_backend",
+    "force_executor",
+    "shutdown_shared_pools",
+]
 
 T = TypeVar("T")
 U = TypeVar("U")
@@ -143,6 +166,19 @@ def _evict_shared_pool(kind: str, workers: int) -> None:
         pool.shutdown(wait=False, cancel_futures=True)
 
 
+def shutdown_shared_pools() -> None:
+    """Shut down and forget every lazily-created shared pool.
+
+    For harness teardown and end-of-run cleanup; the next
+    :func:`parallel_map` call lazily recreates what it needs.
+    """
+    with _pool_lock:
+        pools = list(_shared_pools.values())
+        _shared_pools.clear()
+    for pool in pools:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
 def _run_item(fn: Callable[[T], U], item: T, index: int) -> U:
     if _poll_fault(SITE_EXECUTOR_BRANCH, index) is not None:
         raise FaultInjected(f"injected failure in executor branch {index}")
@@ -204,6 +240,11 @@ def _attempt_process(
         if _poll_fault(SITE_EXECUTOR_BRANCH, i) is not None:
             failures[i] = FaultInjected(f"injected failure in executor branch {i}")
             continue
+        if _poll_fault(SITE_WORKER_HANG, i) is not None:
+            failures[i] = TimeoutError(
+                f"injected worker hang in branch {i} (heartbeat stall)"
+            )
+            continue
         try:
             _budget_checkpoint(f"executor.branch[{i}]")
         except BudgetExceeded as exc:
@@ -211,6 +252,17 @@ def _attempt_process(
             continue
         dispatch.append(i)
     if not dispatch:
+        return results, failures
+
+    if _poll_site(SITE_POOL_BREAK) is not None:
+        # injected pool breakage: every branch of this round dies with
+        # the pool, which is evicted — the same shape a real worker
+        # death has, so retry/degradation paths are exercised exactly
+        _evict_shared_pool("process", workers)
+        for i in dispatch:
+            failures[i] = BrokenExecutor(
+                "injected process pool breakage (fault site executor.pool_break)"
+            )
         return results, failures
 
     transient = timeout is not None
@@ -227,6 +279,13 @@ def _attempt_process(
         for i in dispatch:
             if i not in results and i not in failures:
                 failures[i] = exc
+    except BaseException:
+        # KeyboardInterrupt & friends: the pool may hold in-flight
+        # branches; evict so the interrupted run cannot leak a poisoned
+        # shared pool into the next call
+        if not transient:
+            _evict_shared_pool("process", workers)
+        raise
     finally:
         if transient:
             # don't block shutdown on a branch we already declared timed out
@@ -252,13 +311,21 @@ def _attempt(
 
     results: dict = {}
     failures: dict = {}
+    live: List[int] = []
+    for i in indices:
+        if _poll_fault(SITE_WORKER_HANG, i) is not None:
+            failures[i] = TimeoutError(
+                f"injected worker hang in branch {i} (heartbeat stall)"
+            )
+        else:
+            live.append(i)
     ctx = contextvars.copy_context()
 
     def call(i: int) -> U:
         return ctx.copy().run(_run_item, fn, items[i], i)
 
     if backend == "sync" or (workers <= 1 and timeout is None):
-        for i in indices:
+        for i in live:
             try:
                 results[i] = call(i)
             except Exception as exc:  # noqa: BLE001 - aggregated for the caller
@@ -267,8 +334,14 @@ def _attempt(
 
     if timeout is None:
         pool = _shared_pool("thread", workers)
-        futures = {pool.submit(call, i): i for i in indices}
-        _drain(futures, None, results, failures)
+        try:
+            futures = {pool.submit(call, i): i for i in live}
+            _drain(futures, None, results, failures)
+        except BaseException:
+            # KeyboardInterrupt mid-drain: branches may still be running
+            # on the shared pool — evict it so the next call starts fresh
+            _evict_shared_pool("thread", workers)
+            raise
         return results, failures
 
     # timed call: private pool, because a timed-out branch keeps its
@@ -276,11 +349,38 @@ def _attempt(
     pool = ThreadPoolExecutor(max_workers=max(workers, 1))
     timed_out = False
     try:
-        futures = {pool.submit(call, i): i for i in indices}
+        futures = {pool.submit(call, i): i for i in live}
         timed_out = _drain(futures, timeout, results, failures)
     finally:
         pool.shutdown(wait=not timed_out, cancel_futures=timed_out)
     return results, failures
+
+
+def _route(requested: str, supervisor: Optional[Supervisor], fn: Callable) -> str:
+    """Resolve the backend for one dispatch round: supervisor health
+    first, then the process backend's picklability requirement."""
+    backend = supervisor.select(requested) if supervisor is not None else requested
+    if backend == "process":
+        try:
+            pickle.dumps(fn)
+        except Exception:  # noqa: BLE001 - lambdas/closures can't cross processes
+            backend = "thread"
+    return backend
+
+
+def _report_health(supervisor: Supervisor, backend: str, failures: dict) -> None:
+    """Classify one round's failures into backend-health signals.
+
+    Broken pools and timeouts are substrate failures and enter backoff;
+    branch-level application errors (including injected branch faults)
+    say nothing about the backend and are ignored here.
+    """
+    if any(isinstance(e, BrokenExecutor) for e in failures.values()):
+        supervisor.record_failure(backend, "broken_pool")
+    elif any(isinstance(e, TimeoutError) for e in failures.values()):
+        supervisor.record_failure(backend, "timeout")
+    elif not failures:
+        supervisor.record_success(backend)
 
 
 def parallel_map(
@@ -316,6 +416,14 @@ def parallel_map(
         completion and raises a single :class:`BranchErrors` carrying
         *all* failures — so one bad branch cannot hide the others'
         outcomes or poison the pool.
+
+    Notes
+    -----
+    With a :class:`~repro.resilience.supervisor.Supervisor` armed in the
+    calling context, the backend is re-resolved through its health model
+    before **every** dispatch round: a round whose pool broke (or timed
+    out) records a backend failure, and the retry round runs on the next
+    healthy stage of the degradation chain.
     """
     if retries < 0:
         raise InvalidParameterError("retries must be >= 0")
@@ -324,12 +432,9 @@ def parallel_map(
     items = list(items)
     if not items:
         return []
-    backend = executor_backend()
-    if backend == "process":
-        try:
-            pickle.dumps(fn)
-        except Exception:  # noqa: BLE001 - lambdas/closures can't cross processes
-            backend = "thread"
+    requested = executor_backend()
+    supervisor = active_supervisor()
+    backend = _route(requested, supervisor, fn)
     # explicit guard: os.cpu_count() may return None on exotic platforms
     workers = max_workers or os.cpu_count() or 1
     if backend == "thread" and len(items) == 1 and timeout is None:
@@ -349,8 +454,14 @@ def parallel_map(
         results.update(got)
         failed = bad
         todo = sorted(bad)
+        if supervisor is not None:
+            _report_health(supervisor, backend, bad)
         if not todo:
             break
+        if supervisor is not None:
+            # the next round dispatches on whatever the health model now
+            # considers the best backend at or below the requested one
+            backend = _route(requested, supervisor, fn)
 
     if failed:
         ordered = sorted(failed.items())

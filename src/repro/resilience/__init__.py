@@ -1,12 +1,17 @@
 """Resilient execution layer: budgets, verified retries, fallback chain,
-and deterministic fault injection.
+health-aware execution supervision, checkpoint/resume, and deterministic
+fault injection.
 
-See ``docs/robustness.md`` for the budget/retry/fallback contract.
+See ``docs/robustness.md`` for the budget/retry/fallback contract, the
+``process → thread → sync`` degradation chain, and the checkpoint file
+format.
 
 Only the leaf modules (:mod:`~repro.resilience.budget`,
-:mod:`~repro.resilience.faults`) load eagerly — they are imported by the
-PRAM substrate's checkpoint/fault hooks, so anything heavier here would
-be an import cycle.  The driver and verifier re-export lazily.
+:mod:`~repro.resilience.faults`, :mod:`~repro.resilience.supervisor`)
+load eagerly — they are imported by the PRAM substrate's
+checkpoint/fault/routing hooks, so anything heavier here would be an
+import cycle.  The driver, verifier, and checkpoint store re-export
+lazily.
 """
 
 from repro.resilience.budget import Budget, active_budget, budget_scope, checkpoint
@@ -16,6 +21,13 @@ from repro.resilience.faults import (
     FaultPlan,
     canonical_plans,
     inject,
+)
+from repro.resilience.supervisor import (
+    DEGRADATION_CHAIN,
+    DegradationEvent,
+    Supervisor,
+    active_supervisor,
+    supervised_scope,
 )
 
 __all__ = [
@@ -30,6 +42,14 @@ __all__ = [
     "ALL_SITES",
     "canonical_plans",
     "inject",
+    "Supervisor",
+    "DegradationEvent",
+    "DEGRADATION_CHAIN",
+    "supervised_scope",
+    "active_supervisor",
+    "DriverCheckpoint",
+    "PipelineHooks",
+    "run_fingerprint",
     "VerificationReport",
     "verify_cut",
     "one_respecting_upper_bound",
@@ -38,6 +58,9 @@ __all__ = [
 _LAZY = {
     "resilient_minimum_cut": "repro.resilience.driver",
     "escalated_params": "repro.resilience.driver",
+    "DriverCheckpoint": "repro.resilience.checkpointing",
+    "PipelineHooks": "repro.resilience.checkpointing",
+    "run_fingerprint": "repro.resilience.checkpointing",
     "VerificationReport": "repro.resilience.verify",
     "verify_cut": "repro.resilience.verify",
     "one_respecting_upper_bound": "repro.resilience.verify",

@@ -1,0 +1,274 @@
+"""Phase-level checkpoint/resume for the resilient driver.
+
+``resilient_minimum_cut(..., checkpoint=PATH)`` persists completed-phase
+artifacts after every pipeline stage — the Section 3 approximation
+value, the packed candidate trees (plus skeleton/packing statistics),
+each finished per-tree 2-respecting search, and every completed
+attempt's outcome — so a run killed mid-pipeline resumes from the last
+persisted point and produces a **bit-identical** result to an
+uninterrupted run with the same seed.  Two ingredients make that exact
+rather than best-effort:
+
+* every stage snapshot carries the NumPy generator state taken *after*
+  the stage ran; restoring a stage rewinds the generator to it, so the
+  resumed pipeline consumes exactly the draws the uninterrupted one
+  would (see :func:`repro.core.mincut._minimum_cut_impl`);
+* the file records a fingerprint of the graph, seed, and pipeline
+  parameters; resuming against different inputs is refused with a typed
+  :class:`repro.errors.CheckpointError` instead of silently producing a
+  chimera result.
+
+File format (versioned, hash-verified)
+--------------------------------------
+The file is a pickle of ``{"version", "sha256", "payload"}`` where
+``payload`` holds the pickled driver state and ``sha256`` is its
+content hash.  Loads verify the version and the hash before unpickling
+the payload; any mismatch — truncation, bit rot, or the
+``checkpoint.corrupt`` fault site — raises
+:class:`~repro.errors.CheckpointError`.  Writes are atomic
+(temp file + ``os.replace``), so a kill during a save leaves the
+previous consistent snapshot in place.  The file is deleted when the
+driver returns a result (the run no longer needs resuming).
+
+Fault sites
+-----------
+``checkpoint.corrupt`` flips bytes of the payload after hashing, so the
+next load detects corruption; ``checkpoint.kill`` raises
+:class:`~repro.errors.SimulatedCrash` right after a successful save —
+the deterministic stand-in for ``kill -9`` used by the kill/resume
+tests and ``scripts/chaos_soak.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import CheckpointError, SimulatedCrash
+from repro.obs.counters import counters
+from repro.resilience.faults import (
+    SITE_CHECKPOINT_CORRUPT,
+    SITE_CHECKPOINT_KILL,
+    active_plan as _active_plan,
+    poll as _poll_fault,
+)
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "PipelineHooks",
+    "DriverCheckpoint",
+    "run_fingerprint",
+]
+
+#: bump on any incompatible change to the persisted state layout
+CHECKPOINT_VERSION = 1
+
+
+class PipelineHooks:
+    """Stage-persistence interface consumed by the core pipeline.
+
+    The base class is a no-op; the pipeline treats ``hooks=None`` and an
+    instance of this base identically.  :class:`DriverCheckpoint` hands
+    the pipeline a live implementation via :meth:`DriverCheckpoint.stage_hooks`.
+    """
+
+    def load_stage(self, name: str) -> Optional[dict]:
+        """The persisted payload of stage ``name``, or None."""
+        return None
+
+    def save_stage(
+        self, name: str, payload: dict, rng: Optional[np.random.Generator] = None
+    ) -> None:
+        """Persist ``payload`` as stage ``name``'s completed artifact."""
+
+
+def run_fingerprint(
+    graph,
+    seed: Optional[int],
+    params,
+    max_attempts: int,
+    spot_check_max_n: int,
+) -> str:
+    """Content hash binding a checkpoint to one (graph, seed, parameters)
+    run — resuming anything else is refused."""
+    h = hashlib.sha256()
+    h.update(np.int64(graph.n).tobytes())
+    h.update(np.int64(graph.m).tobytes())
+    h.update(np.ascontiguousarray(graph.u).tobytes())
+    h.update(np.ascontiguousarray(graph.v).tobytes())
+    h.update(np.ascontiguousarray(graph.w).tobytes())
+    h.update(repr(seed).encode())
+    h.update(repr(params).encode())
+    h.update(repr((max_attempts, spot_check_max_n)).encode())
+    return h.hexdigest()
+
+
+def _corrupt(raw: bytes, seed: int) -> bytes:
+    """Deterministically flip a few payload bytes (the ``checkpoint.corrupt``
+    fault): enough to break the content hash, reproducible under ``seed``."""
+    data = bytearray(raw)
+    rng = np.random.default_rng(seed)
+    for pos in rng.integers(0, len(data), size=min(8, len(data))):
+        data[int(pos)] ^= 0xFF
+    return bytes(data)
+
+
+def _read_state(path: Path) -> dict:
+    """Load, verify (version + content hash), and unpickle a checkpoint."""
+    try:
+        blob = pickle.loads(path.read_bytes())
+    except Exception as exc:  # noqa: BLE001 - any parse failure is corruption
+        raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
+    if not isinstance(blob, dict) or "version" not in blob:
+        raise CheckpointError(f"{path} is not a repro checkpoint file")
+    if blob["version"] != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has format version {blob['version']!r}; "
+            f"this build reads version {CHECKPOINT_VERSION}"
+        )
+    raw = blob.get("payload", b"")
+    digest = hashlib.sha256(raw).hexdigest()
+    if digest != blob.get("sha256"):
+        raise CheckpointError(
+            f"checkpoint {path} failed content-hash verification (corrupt)"
+        )
+    try:
+        return pickle.loads(raw)
+    except Exception as exc:  # noqa: BLE001 - hash passed but payload bad
+        raise CheckpointError(f"undecodable checkpoint payload in {path}: {exc}") from exc
+
+
+class DriverCheckpoint:
+    """The resilient driver's persisted progress: attempt outcomes plus
+    the in-flight attempt's completed pipeline stages."""
+
+    def __init__(self, path: Union[str, Path], fingerprint: str) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.resumed = False
+        self.state: dict = {
+            "outcomes": [],  # [["suspect", value] | ["budget", reason], ...]
+            "pipeline": {"attempt": -1, "stages": {}},
+        }
+
+    @classmethod
+    def open(
+        cls, path: Union[str, Path], fingerprint: str, resume: bool = True
+    ) -> "DriverCheckpoint":
+        """Open a checkpoint: load an existing file when ``resume`` (raising
+        :class:`CheckpointError` on corruption or fingerprint mismatch),
+        otherwise start fresh (an existing file is overwritten on the
+        first save)."""
+        inst = cls(path, fingerprint)
+        if resume and inst.path.exists():
+            payload = _read_state(inst.path)
+            if payload.get("fingerprint") != fingerprint:
+                raise CheckpointError(
+                    f"checkpoint {inst.path} was written by a different run "
+                    "(graph/seed/parameter fingerprint mismatch)"
+                )
+            inst.state = payload["state"]
+            inst.resumed = True
+            counters().add("checkpoint.resumes")
+            # restore the armed fault plan's firing record as-of the last
+            # save, so an injected-fault run resumes with exactly the
+            # faults (and hit counters) the crashed run had left — polls
+            # re-executed after the save replay identically
+            plan = _active_plan()
+            snap = inst.state.get("fault_plan")
+            if plan is not None and snap is not None:
+                plan._hits.clear()
+                plan._hits.update(snap["hits"])
+                plan._spent[:] = list(snap["spent"])
+                plan.fired[:] = [tuple(t) for t in snap["fired"]]
+        return inst
+
+    # -- driver-level records ----------------------------------------------
+    @property
+    def outcomes(self) -> List[Tuple[str, Optional[float]]]:
+        """Completed attempts' outcomes, oldest first."""
+        return [tuple(o) for o in self.state["outcomes"]]
+
+    def record_outcome(self, kind: str, value: Optional[float] = None) -> None:
+        """Persist one finished attempt (``"suspect"`` or ``"budget"``) and
+        clear the in-flight pipeline stages."""
+        self.state["outcomes"].append([kind, value])
+        self.state["pipeline"] = {"attempt": -1, "stages": {}}
+        self._save()
+
+    def stage_hooks(self, attempt: int) -> "_StageHooks":
+        """Hooks persisting attempt ``attempt``'s pipeline stages.  Stale
+        state from a different attempt is discarded."""
+        if self.state["pipeline"]["attempt"] != attempt:
+            self.state["pipeline"] = {"attempt": attempt, "stages": {}}
+        return _StageHooks(self)
+
+    def finalize(self) -> None:
+        """Delete the checkpoint — the run produced its result."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+        counters().add("checkpoint.finalized")
+
+    # -- persistence --------------------------------------------------------
+    def _save(self) -> None:
+        # poll the checkpoint fault sites *before* snapshotting the plan,
+        # so the persisted firing record already counts them: a resumed
+        # run (which restores that record) will not re-fire a kill that
+        # already crashed the previous process
+        corrupt = _poll_fault(SITE_CHECKPOINT_CORRUPT)
+        kill = _poll_fault(SITE_CHECKPOINT_KILL)
+        plan = _active_plan()
+        if plan is not None:
+            self.state["fault_plan"] = {
+                "hits": dict(plan._hits),
+                "spent": list(plan._spent),
+                "fired": list(plan.fired),
+            }
+        raw = pickle.dumps(
+            {"fingerprint": self.fingerprint, "state": self.state},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        digest = hashlib.sha256(raw).hexdigest()
+        if corrupt is not None:
+            raw = _corrupt(raw, corrupt.seed)
+        blob = pickle.dumps(
+            {"version": CHECKPOINT_VERSION, "sha256": digest, "payload": raw},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_bytes(blob)
+        os.replace(tmp, self.path)
+        counters().add("checkpoint.saves")
+        if kill is not None:
+            raise SimulatedCrash(
+                f"simulated process death after checkpoint save ({self.path})"
+            )
+
+
+class _StageHooks(PipelineHooks):
+    """Live hooks bound to one :class:`DriverCheckpoint`'s in-flight attempt."""
+
+    def __init__(self, store: DriverCheckpoint) -> None:
+        self.store = store
+
+    def load_stage(self, name: str) -> Optional[dict]:
+        payload = self.store.state["pipeline"]["stages"].get(name)
+        if payload is not None:
+            counters().add("checkpoint.stage_loads")
+        return payload
+
+    def save_stage(
+        self, name: str, payload: dict, rng: Optional[np.random.Generator] = None
+    ) -> None:
+        payload = dict(payload)
+        if rng is not None:
+            payload["rng_state"] = rng.bit_generator.state
+        self.store.state["pipeline"]["stages"][name] = payload
+        self.store._save()

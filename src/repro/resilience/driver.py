@@ -1,11 +1,13 @@
 """The resilient exact-min-cut driver: verified retries, seed
-escalation, and the graceful-degradation fallback chain.
+escalation, health-aware execution, checkpoint/resume, and the
+graceful-degradation fallback chain.
 
 Strategy (``exact`` → ``exact escalated`` → ``stoer_wagner``):
 
 1. run the exact pipeline under a per-attempt slice of the overall
-   budget (slices grow geometrically — exponential backoff — so early
-   unlucky attempts cannot starve later, escalated ones);
+   budget (each slice is a geometric share of the budget **still
+   remaining**, so a fast failed attempt donates its unused time and
+   work to the escalated attempts that follow);
 2. cross-check the candidate against the cheap certificates of
    :mod:`repro.resilience.verify`; a suspect answer (w.h.p. failure or
    injected fault) triggers a retry with a **fresh seed** (spawned from
@@ -15,19 +17,33 @@ Strategy (``exact`` → ``exact escalated`` → ``stoer_wagner``):
    deterministic O(n^3) :func:`repro.baselines.stoer_wagner.stoer_wagner`
    baseline.
 
+The whole run executes under a
+:class:`repro.resilience.supervisor.Supervisor` — every
+:func:`repro.pram.executor.parallel_map` round consults it, so broken
+pools and worker hangs degrade the backend chain ``process → thread →
+sync`` with seeded backoff instead of failing the run; the collected
+:class:`repro.results.DegradationEvent` records are returned on
+:attr:`repro.results.CutResult.degradations`.
+
+``checkpoint=PATH`` persists completed-phase artifacts (see
+:mod:`repro.resilience.checkpointing`); a killed run re-invoked with the
+same arguments resumes mid-pipeline and returns a **bit-identical**
+result to an uninterrupted run.
+
 The returned :class:`repro.results.CutResult` carries provenance —
-``attempts``, ``fallback_used``, ``verification`` — so callers can see
-how the answer was produced and alert on degraded service.  With
-``trace=True`` the attached :class:`repro.obs.RunReport` additionally
-shows every attempt (and its verification) as a span, with
-``resilience.*`` counters.
+``attempts``, ``fallback_used``, ``verification``, ``degradations`` —
+so callers can see how the answer was produced and alert on degraded
+service.  With ``trace=True`` the attached
+:class:`repro.obs.RunReport` additionally shows every attempt (and its
+verification) as a span, with ``resilience.*`` counters.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Callable, Literal, Optional
+from pathlib import Path
+from typing import Callable, Literal, Optional, Union
 
 import numpy as np
 
@@ -37,9 +53,16 @@ from repro.errors import BudgetExceeded, InvalidParameterError
 from repro.graphs.graph import Graph
 from repro.graphs.validate import ensure_finite_weights
 from repro.params import CutPipelineParams
+from repro.pram.executor import parallel_map
 from repro.pram.ledger import Ledger, NULL_LEDGER
 from repro.resilience.budget import Budget, budget_scope
+from repro.resilience.checkpointing import DriverCheckpoint, run_fingerprint
 from repro.resilience.faults import SITE_CORRUPT_VALUE, poll as _poll_fault
+from repro.resilience.supervisor import (
+    Supervisor,
+    active_supervisor,
+    supervised_scope,
+)
 from repro.resilience.verify import verify_cut
 from repro.results import CutResult
 from repro.sparsify.hierarchy import HierarchyParams
@@ -64,13 +87,47 @@ def escalated_params(base: SkeletonParams, attempt: int) -> SkeletonParams:
     )
 
 
-def _attempt_slice(total: Optional[float], attempt: int, max_attempts: int) -> Optional[float]:
-    """Geometric slice of ``total`` for ``attempt`` (slices double and sum
-    to the whole: total * 2^k / (2^A - 1))."""
-    if total is None:
+def _probe_unit(i: int) -> int:
+    """Executor health-probe payload (module-level so the process backend
+    can pickle it)."""
+    return i
+
+
+def _probe_executors() -> None:
+    """Dispatch a trivial round through :func:`repro.pram.executor.parallel_map`
+    before committing an attempt to the substrate.
+
+    The probe exercises the real executor path (pool creation, dispatch,
+    collection) under the armed supervisor: a broken pool or hung worker
+    is detected *here*, recorded into the backend health model, and the
+    retry round — like all later dispatches — runs on the next healthy
+    stage of the degradation chain.  Failures are swallowed: the probe's
+    only product is health state.
+    """
+    try:
+        parallel_map(_probe_unit, (0, 1), retries=1, on_error="aggregate")
+    except Exception:  # noqa: BLE001 - health already recorded by the hook
+        pass
+
+
+def _attempt_slice(
+    remaining: Optional[float], attempt: int, max_attempts: int
+) -> Optional[float]:
+    """Attempt ``attempt``'s geometric share of the budget **still
+    remaining**: ``remaining * 2^a / (2^A - 2^a)`` — i.e. weight ``2^a``
+    against the weights of every attempt not yet run.
+
+    Computed from the live remainder rather than the original total, so
+    an attempt that fails quickly (e.g. an injected fault on its first
+    phase) donates its unused slice to the escalated attempts after it;
+    the final attempt's share is the whole remainder.
+    """
+    if remaining is None:
         return None
-    denom = _ESCALATION**max_attempts - 1.0
-    return total * _ESCALATION**attempt / denom
+    denom = _ESCALATION**max_attempts - _ESCALATION**attempt
+    if denom <= 0:  # attempt == max_attempts (defensive): take it all
+        return max(remaining, 1e-9)
+    return max(remaining, 1e-9) * _ESCALATION**attempt / denom
 
 
 def resilient_minimum_cut(
@@ -87,6 +144,9 @@ def resilient_minimum_cut(
     skeleton_params: SkeletonParams = SkeletonParams(),
     hierarchy_params: Optional[HierarchyParams] = None,
     pipeline: Optional[CutPipelineParams] = None,
+    checkpoint: Optional[Union[str, Path]] = None,
+    resume: bool = True,
+    supervisor: Optional[Supervisor] = None,
     ledger: Ledger = NULL_LEDGER,
     clock: Callable[[], float] = time.monotonic,
     trace: bool = False,
@@ -118,6 +178,23 @@ def resilient_minimum_cut(
     pipeline:
         The bundled spelling of those knobs (mutually exclusive with
         passing a non-default individual knob).
+    checkpoint:
+        Path of a checkpoint file to persist completed-phase artifacts
+        to (see :mod:`repro.resilience.checkpointing`).  A run killed
+        mid-pipeline and re-invoked with the same graph/seed/parameters
+        resumes from the last persisted phase and returns a result
+        bit-identical to an uninterrupted run.  The file is deleted on
+        success.
+    resume:
+        When False an existing checkpoint file at ``checkpoint`` is
+        ignored and overwritten (fresh run).  Resuming a corrupt file or
+        one written by a different run raises
+        :class:`repro.errors.CheckpointError`.
+    supervisor:
+        The health supervisor to route executor backends through.  None
+        reuses the ambient :func:`~repro.resilience.supervisor.active_supervisor`
+        if one is armed, else arms a fresh
+        ``Supervisor(seed=seed or 0, clock=clock)`` for this run.
     clock:
         Monotonic-seconds source, injectable for deterministic tests.
     trace:
@@ -128,7 +205,8 @@ def resilient_minimum_cut(
     -------
     CutResult with provenance: ``attempts`` (exact attempts consumed),
     ``fallback_used`` (None or ``"stoer_wagner"``), ``verification``
-    (the final :class:`repro.results.VerificationReport`).
+    (the final :class:`repro.results.VerificationReport`), and
+    ``degradations`` (typed backend-downgrade events).
     """
     if max_attempts < 1:
         raise InvalidParameterError("max_attempts must be >= 1")
@@ -147,7 +225,7 @@ def resilient_minimum_cut(
         with tracer.activate():
             res = _resilient_impl(
                 graph, params, deadline, max_work, max_attempts, seed,
-                spot_check_max_n, ledger, clock,
+                spot_check_max_n, checkpoint, resume, supervisor, ledger, clock,
             )
         report = tracer.report(
             algorithm="resilient_minimum_cut", n=graph.n, m=graph.m
@@ -155,7 +233,7 @@ def resilient_minimum_cut(
         return dataclasses.replace(res, report=report)
     return _resilient_impl(
         graph, params, deadline, max_work, max_attempts, seed,
-        spot_check_max_n, ledger, clock,
+        spot_check_max_n, checkpoint, resume, supervisor, ledger, clock,
     )
 
 
@@ -167,10 +245,13 @@ def _resilient_impl(
     max_attempts: int,
     seed: Optional[int],
     spot_check_max_n: int,
+    checkpoint: Optional[Union[str, Path]],
+    resume: bool,
+    supervisor: Optional[Supervisor],
     ledger: Ledger,
     clock: Callable[[], float],
 ) -> CutResult:
-    from repro.core.mincut import minimum_cut
+    from repro.core.mincut import _minimum_cut_impl
 
     ensure_finite_weights(graph)
 
@@ -185,86 +266,131 @@ def _resilient_impl(
         clock=clock,
     ).start()
 
+    if supervisor is None:
+        supervisor = active_supervisor() or Supervisor(
+            seed=0 if seed is None else int(seed), clock=clock
+        )
+    event_mark = len(supervisor.events)
+
+    store: Optional[DriverCheckpoint] = None
+    if checkpoint is not None:
+        fingerprint = run_fingerprint(
+            graph, seed, params, max_attempts, spot_check_max_n
+        )
+        store = DriverCheckpoint.open(checkpoint, fingerprint, resume=resume)
+
     seed_stream = np.random.SeedSequence(seed)
     attempt_seeds = seed_stream.spawn(max_attempts)
     attempts_made = 0
     suspects: list[float] = []
+    first_attempt = 0
+    if store is not None:
+        # replay the outcomes of attempts completed before the kill, so
+        # the resumed run's provenance (attempts, suspect list) matches
+        # an uninterrupted run's exactly without re-executing them
+        for kind, value in store.outcomes:
+            attempts_made += 1
+            if kind == "suspect":
+                suspects.append(value)
+        first_attempt = min(attempts_made, max_attempts)
     tracer = obs.current_tracer()
     reg = obs.counters()
 
-    for attempt in range(max_attempts):
-        if overall.exhausted_reason() is not None:
-            break
-        slice_deadline = _attempt_slice(deadline, attempt, max_attempts)
-        remaining = overall.remaining_time()
-        if slice_deadline is not None and remaining is not None:
-            slice_deadline = min(max(remaining, 1e-9), slice_deadline)
-        slice_work = _attempt_slice(max_work, attempt, max_attempts)
-        attempt_budget = Budget(
-            deadline=slice_deadline,
-            max_work=slice_work,
-            ledger=work_ledger if slice_work is not None else None,
-            clock=clock,
-        )
-        attempt_params = dataclasses.replace(
-            params,
-            skeleton=escalated_params(params.skeleton, attempt),
-            # retries scan thoroughly
-            max_trees=params.max_trees if attempt == 0 else None,
-        )
-        attempts_made += 1
-        reg.add("resilience.attempts")
-        try:
-            with tracer.span(f"attempt[{attempt}]"):
-                with budget_scope(attempt_budget):
-                    res = minimum_cut(
-                        graph,
-                        pipeline=attempt_params,
-                        rng=np.random.default_rng(attempt_seeds[attempt]),
-                        ledger=ledger if ledger is not NULL_LEDGER else work_ledger,
-                    )
-        except BudgetExceeded:
-            # slice (or overall) budget blown: next attempt gets a bigger
-            # slice, unless the overall budget is gone — then fall back
-            reg.add("resilience.budget_exceeded")
-            continue
+    with supervised_scope(supervisor):
+        for attempt in range(first_attempt, max_attempts):
+            if overall.exhausted_reason() is not None:
+                break
+            _probe_executors()
+            # satellite (a): slice from what is actually left, so a fast
+            # failed attempt donates its unused budget to later attempts
+            remaining = overall.remaining_time()
+            slice_deadline = _attempt_slice(remaining, attempt, max_attempts)
+            remaining_work = None
+            if max_work is not None:
+                remaining_work = max(max_work - overall.work_spent(), 1e-9)
+            slice_work = _attempt_slice(remaining_work, attempt, max_attempts)
+            attempt_budget = Budget(
+                deadline=slice_deadline,
+                max_work=slice_work,
+                ledger=work_ledger if slice_work is not None else None,
+                clock=clock,
+            )
+            attempt_params = dataclasses.replace(
+                params,
+                skeleton=escalated_params(params.skeleton, attempt),
+                # retries scan thoroughly
+                max_trees=params.max_trees if attempt == 0 else None,
+            )
+            attempts_made += 1
+            reg.add("resilience.attempts")
+            hooks = store.stage_hooks(attempt) if store is not None else None
+            try:
+                with tracer.span(f"attempt[{attempt}]"):
+                    with budget_scope(attempt_budget):
+                        res = _minimum_cut_impl(
+                            graph,
+                            attempt_params,
+                            None,
+                            np.random.default_rng(attempt_seeds[attempt]),
+                            ledger if ledger is not NULL_LEDGER else work_ledger,
+                            hooks=hooks,
+                        )
+            except BudgetExceeded:
+                # slice (or overall) budget blown: next attempt gets a bigger
+                # slice, unless the overall budget is gone — then fall back
+                reg.add("resilience.budget_exceeded")
+                if store is not None:
+                    store.record_outcome("budget")
+                continue
 
-        fault = _poll_fault(SITE_CORRUPT_VALUE)
-        if fault is not None:
-            res = dataclasses.replace(res, value=res.value * fault.scale + 1.0)
+            fault = _poll_fault(SITE_CORRUPT_VALUE)
+            if fault is not None:
+                res = dataclasses.replace(res, value=res.value * fault.scale + 1.0)
 
-        with tracer.span("verify"):
+            with tracer.span("verify"):
+                report = verify_cut(
+                    graph, res, spot_check_max_n=spot_check_max_n, ledger=ledger
+                )
+            if report.ok:
+                degradations = supervisor.events_since(event_mark)
+                stats = dict(res.stats)
+                stats["resilience_suspect_values"] = float(len(suspects))
+                stats["resilience_degradations"] = float(len(degradations))
+                if store is not None:
+                    store.finalize()
+                return dataclasses.replace(
+                    res,
+                    stats=stats,
+                    attempts=attempts_made,
+                    fallback_used=None,
+                    verification=report,
+                    degradations=degradations,
+                )
+            suspects.append(res.value)
+            reg.add("resilience.suspect_results")
+            if store is not None:
+                store.record_outcome("suspect", res.value)
+
+        # ---- graceful degradation: deterministic sequential baseline ------
+        reg.add("resilience.fallbacks")
+        with tracer.span("fallback:stoer_wagner"):
+            fallback = stoer_wagner(graph)
             report = verify_cut(
-                graph, res, spot_check_max_n=spot_check_max_n, ledger=ledger
+                graph, fallback, spot_check_max_n=0, ledger=ledger
             )
-        if report.ok:
-            stats = dict(res.stats)
-            stats["resilience_suspect_values"] = float(len(suspects))
-            return dataclasses.replace(
-                res,
-                stats=stats,
-                attempts=attempts_made,
-                fallback_used=None,
-                verification=report,
-            )
-        suspects.append(res.value)
-        reg.add("resilience.suspect_results")
-
-    # ---- graceful degradation: deterministic sequential baseline ----------
-    reg.add("resilience.fallbacks")
-    with tracer.span("fallback:stoer_wagner"):
-        fallback = stoer_wagner(graph)
-        report = verify_cut(
-            graph, fallback, spot_check_max_n=0, ledger=ledger
-        )
     reason = overall.exhausted_reason()
+    degradations = supervisor.events_since(event_mark)
     stats = dict(fallback.stats)
     stats["resilience_suspect_values"] = float(len(suspects))
     stats["resilience_budget_exhausted"] = 1.0 if reason is not None else 0.0
+    stats["resilience_degradations"] = float(len(degradations))
+    if store is not None:
+        store.finalize()
     return dataclasses.replace(
         fallback,
         stats=stats,
         attempts=attempts_made,
         fallback_used="stoer_wagner",
         verification=report,
+        degradations=degradations,
     )

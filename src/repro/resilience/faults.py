@@ -30,9 +30,29 @@ Sites instrumented in the pipeline
     :func:`repro.resilience.driver.resilient_minimum_cut` perturbs the
     candidate value before verification — a deterministic stand-in for a
     w.h.p. failure of the randomized pipeline.
+``executor.pool_break``
+    :func:`repro.pram.executor.parallel_map` loses its shared process
+    pool mid-dispatch (every in-flight branch fails with
+    ``BrokenExecutor``, the pool is evicted) — the supervisor's
+    degradation chain takes over.
+``executor.worker_hang``
+    The branch whose item index equals ``Fault.index`` is recorded as a
+    ``TimeoutError`` (a hung worker detected by heartbeat stall) without
+    consuming wall clock, so hang handling is deterministic to test.
+``checkpoint.corrupt``
+    :mod:`repro.resilience.checkpointing` flips bytes of the payload it
+    is about to persist, so the next load fails the content-hash check
+    with a typed :class:`repro.errors.CheckpointError`.
+``checkpoint.kill``
+    Raises :class:`repro.errors.SimulatedCrash` immediately *after* a
+    successful checkpoint save — an abrupt process death at a persisted
+    point, used by the kill/resume determinism tests.
 
 Activation is scoped (:func:`inject` context manager, contextvar-backed)
-so concurrent un-faulted callers are unaffected.
+so concurrent un-faulted callers are unaffected.  Site names are
+validated against the :data:`ALL_SITES` registry at plan construction —
+a typo'd site raises :class:`repro.errors.InvalidParameterError` instead
+of silently never firing.
 """
 
 from __future__ import annotations
@@ -42,12 +62,18 @@ from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.errors import InvalidParameterError
+
 __all__ = [
     "SITE_DROP_TREE",
     "SITE_CORRUPT_SKELETON",
     "SITE_EXECUTOR_BRANCH",
     "SITE_BUDGET_BLOWOUT",
     "SITE_CORRUPT_VALUE",
+    "SITE_POOL_BREAK",
+    "SITE_WORKER_HANG",
+    "SITE_CHECKPOINT_CORRUPT",
+    "SITE_CHECKPOINT_KILL",
     "ALL_SITES",
     "Fault",
     "FaultPlan",
@@ -62,13 +88,22 @@ SITE_CORRUPT_SKELETON = "skeleton.corrupt"
 SITE_EXECUTOR_BRANCH = "executor.branch"
 SITE_BUDGET_BLOWOUT = "budget.blowout"
 SITE_CORRUPT_VALUE = "driver.corrupt_value"
+SITE_POOL_BREAK = "executor.pool_break"
+SITE_WORKER_HANG = "executor.worker_hang"
+SITE_CHECKPOINT_CORRUPT = "checkpoint.corrupt"
+SITE_CHECKPOINT_KILL = "checkpoint.kill"
 
+#: The known-site registry.  Plan construction validates against it.
 ALL_SITES: Tuple[str, ...] = (
     SITE_DROP_TREE,
     SITE_CORRUPT_SKELETON,
     SITE_EXECUTOR_BRANCH,
     SITE_BUDGET_BLOWOUT,
     SITE_CORRUPT_VALUE,
+    SITE_POOL_BREAK,
+    SITE_WORKER_HANG,
+    SITE_CHECKPOINT_CORRUPT,
+    SITE_CHECKPOINT_KILL,
 )
 
 
@@ -98,9 +133,11 @@ class Fault:
 
     def __post_init__(self) -> None:
         if self.site not in ALL_SITES:
-            raise ValueError(f"unknown fault site {self.site!r}; known: {ALL_SITES}")
+            raise InvalidParameterError(
+                f"unknown fault site {self.site!r}; known sites: {ALL_SITES}"
+            )
         if self.at < 0:
-            raise ValueError("fault trigger index must be >= 0")
+            raise InvalidParameterError("fault trigger index must be >= 0")
 
 
 @dataclass
@@ -116,6 +153,18 @@ class FaultPlan:
     _hits: Dict[str, int] = field(default_factory=dict, repr=False)
     _spent: List[int] = field(default_factory=list, repr=False)
     fired: List[Tuple[str, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        # defense in depth: Fault validates its own site, but a plan can
+        # be handed duck-typed descriptors — reject unknown sites here
+        # too, so a typo'd site fails loudly instead of never firing
+        for f in self.faults:
+            site = getattr(f, "site", None)
+            if site not in ALL_SITES:
+                raise InvalidParameterError(
+                    f"fault plan {self.name or '<unnamed>'!r} arms unknown "
+                    f"site {site!r}; known sites: {ALL_SITES}"
+                )
 
     def poll(self, site: str) -> Optional[Fault]:
         """Record one hit of ``site``; return the fault to apply, if any."""
@@ -206,5 +255,17 @@ def canonical_plans(seed: int = 0) -> Dict[str, FaultPlan]:
         ),
         "corrupt_value": FaultPlan(
             [Fault(SITE_CORRUPT_VALUE, seed=seed)], name="corrupt_value"
+        ),
+        "pool_break": FaultPlan(
+            [Fault(SITE_POOL_BREAK, seed=seed)], name="pool_break"
+        ),
+        "worker_hang": FaultPlan(
+            [Fault(SITE_WORKER_HANG, index=0, seed=seed)], name="worker_hang"
+        ),
+        "checkpoint_corrupt": FaultPlan(
+            [Fault(SITE_CHECKPOINT_CORRUPT, seed=seed)], name="checkpoint_corrupt"
+        ),
+        "checkpoint_kill": FaultPlan(
+            [Fault(SITE_CHECKPOINT_KILL, seed=seed)], name="checkpoint_kill"
         ),
     }

@@ -1,0 +1,233 @@
+"""Health-aware execution supervision: the backend degradation chain.
+
+PR 2 gave :func:`repro.pram.executor.parallel_map` three real backends
+(``process``/``thread``/``sync``); PR 1 made the *algorithmic* pipeline
+resilient.  What was missing is a health model for the execution
+substrate itself: a broken process pool used to be evicted and then
+retried on the same backend forever.  A :class:`Supervisor` closes that
+gap:
+
+* it records backend failures (broken pools, timeouts, injected faults)
+  per backend, applying **exponential backoff with deterministic seeded
+  jitter** — two supervisors built with the same seed block and recover
+  on identical schedules, so faulted runs stay reproducible;
+* :meth:`Supervisor.select` routes a requested backend to the first
+  healthy stage of the degradation chain ``process → thread → sync``
+  (the final stage is always eligible — an in-line loop cannot break),
+  emitting a typed :class:`repro.results.DegradationEvent` and
+  ``supervisor.*`` counters whenever it downgrades;
+* once a backend's backoff expires the next selection is a **recovery
+  probe**: one attempt is allowed through, a success resets the health
+  record (``supervisor.recoveries``), a failure re-enters backoff with
+  a doubled delay.
+
+:func:`repro.pram.executor.parallel_map` consults the ambient supervisor
+(:func:`active_supervisor`) before every dispatch round, and
+:func:`repro.resilience.driver.resilient_minimum_cut` arms one for the
+whole run (:func:`supervised_scope`) and surfaces the collected events
+as :attr:`repro.results.CutResult.degradations`.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.obs.counters import counters
+from repro.results import DegradationEvent
+
+__all__ = [
+    "BackendHealth",
+    "Supervisor",
+    "DegradationEvent",
+    "supervised_scope",
+    "active_supervisor",
+]
+
+#: the degradation chain, most capable first; the last stage never
+#: degrades further (a sequential in-line loop cannot break)
+DEGRADATION_CHAIN: Tuple[str, ...] = ("process", "thread", "sync")
+
+
+@dataclass
+class BackendHealth:
+    """Mutable health record of one executor backend.
+
+    ``consecutive`` counts failures since the last success and drives
+    the exponential backoff; ``failures`` is the lifetime total.
+    ``blocked_until`` is a supervisor-clock timestamp; while it lies in
+    the future :meth:`Supervisor.select` skips the backend.  ``probing``
+    marks the one attempt allowed through after a backoff expires.
+    """
+
+    failures: int = 0
+    consecutive: int = 0
+    blocked_until: float = 0.0
+    probing: bool = False
+    last_reason: str = ""
+
+
+class Supervisor:
+    """Per-backend health model with backoff, probes, and degradation.
+
+    Parameters
+    ----------
+    chain:
+        The ordered degradation chain; selection walks it left-to-right
+        starting at the requested backend.  The final element is always
+        eligible.
+    base_backoff:
+        Seconds a backend is blocked after its first consecutive
+        failure; doubles per further consecutive failure.
+    max_backoff:
+        Cap on the un-jittered backoff.
+    jitter:
+        Uniform multiplicative jitter fraction: the applied backoff is
+        ``backoff * (1 + jitter * u)`` with ``u ~ U[0, 1)`` drawn from a
+        ``random.Random(seed)`` stream — deterministic given ``seed``.
+    seed:
+        Seed of the jitter stream.
+    clock:
+        Monotonic-seconds source, injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        *,
+        chain: Tuple[str, ...] = DEGRADATION_CHAIN,
+        base_backoff: float = 0.25,
+        max_backoff: float = 30.0,
+        jitter: float = 0.25,
+        seed: int = 0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not chain:
+            raise InvalidParameterError("supervisor chain must not be empty")
+        if base_backoff <= 0 or max_backoff <= 0:
+            raise InvalidParameterError("backoff bounds must be positive seconds")
+        if jitter < 0:
+            raise InvalidParameterError("jitter fraction must be >= 0")
+        self.chain = tuple(chain)
+        self.base_backoff = float(base_backoff)
+        self.max_backoff = float(max_backoff)
+        self.jitter = float(jitter)
+        self.clock = clock
+        self._rng = random.Random(seed)
+        self.health: Dict[str, BackendHealth] = {b: BackendHealth() for b in self.chain}
+        self.events: List[DegradationEvent] = []
+
+    # -- selection ----------------------------------------------------------
+    def healthy(self, backend: str) -> bool:
+        """True when ``backend`` is eligible for dispatch right now."""
+        h = self.health.get(backend)
+        if h is None:
+            return True  # unsupervised backend: nothing known against it
+        return h.blocked_until <= self.clock() or backend == self.chain[-1]
+
+    def select(self, requested: str) -> str:
+        """The first healthy backend at or below ``requested`` in the chain.
+
+        Emits a :class:`DegradationEvent` (and the
+        ``supervisor.degradations`` counter) when the answer differs
+        from ``requested``; marks an expired-backoff selection as a
+        recovery probe (``supervisor.probes``).
+        """
+        if requested not in self.chain:
+            return requested  # not part of the supervised chain
+        now = self.clock()
+        start = self.chain.index(requested)
+        for backend in self.chain[start:]:
+            h = self.health[backend]
+            if h.blocked_until > now and backend != self.chain[-1]:
+                continue
+            if h.consecutive > 0 and not h.probing and h.blocked_until <= now:
+                # backoff expired: let exactly this attempt probe recovery
+                h.probing = True
+                counters().add("supervisor.probes")
+            if backend != requested:
+                blocked = self.health[requested]
+                event = DegradationEvent(
+                    backend_from=requested,
+                    backend_to=backend,
+                    reason=blocked.last_reason or "backoff",
+                    at=now,
+                    detail=f"{requested} blocked for "
+                    f"{max(blocked.blocked_until - now, 0.0):.3g}s more",
+                )
+                self.events.append(event)
+                counters().add("supervisor.degradations")
+            return backend
+        return self.chain[-1]  # unreachable: the last stage always matches
+
+    # -- health reporting ---------------------------------------------------
+    def record_failure(self, backend: str, reason: str, detail: str = "") -> None:
+        """Record a backend-level failure and enter (or extend) backoff.
+
+        ``reason`` is a short slug (``"broken_pool"``, ``"timeout"``,
+        ``"injected"``).  The final chain stage records the failure but
+        is never blocked — there is nothing to degrade to.
+        """
+        h = self.health.get(backend)
+        if h is None:
+            return
+        h.failures += 1
+        h.consecutive += 1
+        h.probing = False
+        h.last_reason = reason
+        counters().add("supervisor.failures")
+        if backend == self.chain[-1]:
+            return
+        backoff = min(self.max_backoff, self.base_backoff * 2.0 ** (h.consecutive - 1))
+        backoff *= 1.0 + self.jitter * self._rng.random()
+        h.blocked_until = self.clock() + backoff
+
+    def record_success(self, backend: str) -> None:
+        """Record a healthy dispatch; a successful probe fully recovers
+        the backend (``supervisor.recoveries``)."""
+        h = self.health.get(backend)
+        if h is None:
+            return
+        if h.probing:
+            counters().add("supervisor.recoveries")
+        h.consecutive = 0
+        h.probing = False
+        h.blocked_until = 0.0
+
+    def events_since(self, mark: int) -> Tuple[DegradationEvent, ...]:
+        """Degradation events recorded after position ``mark`` (from
+        ``len(supervisor.events)`` taken earlier)."""
+        return tuple(self.events[mark:])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sick = [b for b in self.chain if not self.healthy(b)]
+        return f"Supervisor(chain={self.chain}, blocked={sick or 'none'})"
+
+
+_active: ContextVar[Optional[Supervisor]] = ContextVar(
+    "repro_supervisor", default=None
+)
+
+
+def active_supervisor() -> Optional[Supervisor]:
+    """The supervisor armed in the current context, if any."""
+    return _active.get()
+
+
+@contextmanager
+def supervised_scope(supervisor: Optional[Supervisor]) -> Iterator[Optional[Supervisor]]:
+    """Arm ``supervisor`` for the duration of the block (``None`` disarms).
+
+    Scoped through a contextvar, so concurrent unsupervised callers are
+    unaffected and worker threads (which run in a copy of the caller's
+    context) see the same supervisor.
+    """
+    token = _active.set(supervisor)
+    try:
+        yield supervisor
+    finally:
+        _active.reset(token)

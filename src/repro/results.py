@@ -23,7 +23,36 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.report import RunReport
 
-__all__ = ["CutResult", "ApproxResult", "VerificationReport"]
+__all__ = ["CutResult", "ApproxResult", "VerificationReport", "DegradationEvent"]
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One health-driven executor-backend degradation, recorded by
+    :class:`repro.resilience.supervisor.Supervisor` and carried on
+    :attr:`CutResult.degradations`.
+
+    Attributes
+    ----------
+    backend_from:
+        The backend the caller asked for (e.g. ``"process"``).
+    backend_to:
+        The healthy backend the supervisor routed to instead (further
+        down the ``process → thread → sync`` chain).
+    reason:
+        Why ``backend_from`` was unhealthy: ``"broken_pool"``,
+        ``"timeout"``, or the generic ``"backoff"``.
+    at:
+        Supervisor-clock timestamp (monotonic seconds) of the decision.
+    detail:
+        Free-form context (best effort).
+    """
+
+    backend_from: str
+    backend_to: str
+    reason: str
+    at: float
+    detail: str = ""
 
 
 @dataclass(frozen=True)
@@ -87,6 +116,10 @@ class CutResult:
         The :class:`VerificationReport` of the returned answer, when the
         resilient driver verified it; ``None`` for unverified (direct)
         runs.
+    degradations:
+        Typed :class:`DegradationEvent` records of every health-driven
+        executor-backend downgrade the supervisor performed during the
+        run; empty for direct runs and healthy resilient runs.
     report:
         The :class:`repro.obs.RunReport` of a ``trace=True`` run
         (phase spans, counters, trace export); ``None`` otherwise.
@@ -99,6 +132,7 @@ class CutResult:
     attempts: int = 1
     fallback_used: Optional[str] = None
     verification: Optional[VerificationReport] = None
+    degradations: Tuple[DegradationEvent, ...] = ()
     report: Optional["RunReport"] = None
 
     def __post_init__(self) -> None:

@@ -29,6 +29,8 @@ PUBLIC_API = [
     "CutResult",
     "ApproxResult",
     "VerificationReport",
+    "DegradationEvent",
+    "Supervisor",
     "RunReport",
     "CutPipelineParams",
     "SkeletonParams",

@@ -150,8 +150,18 @@ class TestFaultPlan:
         assert plan.fired == [(SITE_BUDGET_BLOWOUT, 1)]
 
     def test_unknown_site_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(InvalidParameterError):
             Fault("no.such.site")
+
+    def test_unknown_site_rejected_at_plan_construction(self):
+        # a duck-typed descriptor bypasses Fault.__post_init__; the plan
+        # itself must still reject it instead of silently never firing
+        class Duck:
+            site = "typo.site"
+            at = 0
+
+        with pytest.raises(InvalidParameterError):
+            FaultPlan([Duck()])
 
     def test_reset(self):
         plan = FaultPlan([Fault(SITE_BUDGET_BLOWOUT)])
