@@ -27,6 +27,14 @@ vs. tracing on (span tree + counter registry armed).  The traced run
 must produce the bit-identical cut value and ledger work/depth — the
 observability layer never charges the ledger — and ``--max-trace-overhead
 R`` exits non-zero when traced/untraced exceeds R (CI gates at 1.05).
+
+``--batch [N]`` (default 8 when given) additionally benchmarks the
+staged :class:`repro.engine.CutEngine`: one cold ``min_cut()`` vs a
+cold ``min_cut_batch`` of N queries on the same representative
+configuration.  The batch pays preprocessing (validate / approximate /
+sparsify / pack / index) once, so its amortized per-query wall must
+stay under ``--max-batch-ratio`` (default 3.0) times the single cold
+query, and every batch query must report the cold query's cut value.
 """
 
 from __future__ import annotations
@@ -188,6 +196,55 @@ def _time_trace_overhead(config, reps: int = 3):
     }
 
 
+def _time_engine_batch(config, batch: int = 8, reps: int = 3):
+    """Best-of-``reps`` cold-single vs cold-batch engine wall seconds.
+
+    Both variants start from an empty artifact cache.  The batch variant
+    runs preprocessing once and fans ``batch`` independent query seeds
+    through the cached :class:`~repro.engine.artifacts.PackedForest`, so
+    ``amortized_ratio`` — (batch wall / batch) / single-query wall — is
+    the amortization the engine buys; parity requires every batch query
+    to land on the cold query's cut value.
+    """
+    from repro.engine import CutEngine
+
+    _, label, n, m, seed, _branching = config
+    g = random_connected_graph(n, m, rng=seed, max_weight=6)
+
+    def cold_single():
+        t0 = time.perf_counter()
+        res = CutEngine(g, seed=seed).min_cut()
+        return time.perf_counter() - t0, res.value
+
+    def cold_batch():
+        t0 = time.perf_counter()
+        results = CutEngine(g, seed=seed).min_cut_batch(range(batch))
+        return time.perf_counter() - t0, [r.value for r in results]
+
+    # warm-up once so neither variant pays first-call import/numpy costs
+    cold_single()
+    singles = [cold_single() for _ in range(reps)]
+    batches = [cold_batch() for _ in range(reps)]
+    cold_wall = min(w for w, _ in singles)
+    batch_wall = min(w for w, _ in batches)
+    value = singles[0][1]
+    parity = all(v == value for _, vals in batches for v in vals)
+    amortized = batch_wall / batch
+    return {
+        "label": label,
+        "batch": batch,
+        "reps": reps,
+        "value": value,
+        "cold_wall_s": round(cold_wall, 4),
+        "batch_wall_s": round(batch_wall, 4),
+        "amortized_wall_s": round(amortized, 4),
+        "amortized_ratio": (
+            round(amortized / cold_wall, 4) if cold_wall > 0 else float("inf")
+        ),
+        "parity": parity,
+    }
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--small", action="store_true", help="CI-sized sweeps")
@@ -198,6 +255,12 @@ def main() -> int:
     ap.add_argument("--output", type=Path, default=ROOT / "BENCH_wallclock.json")
     ap.add_argument("--skip-executors", action="store_true",
                     help="skip the thread-vs-process dispatch timing")
+    ap.add_argument("--batch", type=int, nargs="?", const=8, default=0, metavar="N",
+                    help="benchmark a CutEngine batch of N queries (default 8) "
+                         "against a single cold query")
+    ap.add_argument("--max-batch-ratio", type=float, default=3.0, metavar="R",
+                    help="with --batch: fail if the amortized per-query wall "
+                         "exceeds R x a single cold query (default 3.0)")
     args = ap.parse_args()
 
     configs = _configs(args.small)
@@ -282,6 +345,19 @@ def main() -> int:
         report["executor_backends"] = _time_executors(exec_configs)
         print(f"executor dispatch: {report['executor_backends']}")
 
+    engine_batch = None
+    if args.batch:
+        # same representative row as the trace-overhead probe: the engine
+        # amortization story only matters where preprocessing is heavy
+        engine_batch = _time_engine_batch(trace_config, batch=args.batch)
+        report["engine_batch"] = engine_batch
+        parity_ok &= engine_batch["parity"]
+        report["parity_ok"] = bool(parity_ok)
+        print(f"engine batch [{engine_batch['label']}]: "
+              f"cold {engine_batch['cold_wall_s']:.3f}s "
+              f"batch/{engine_batch['batch']} {engine_batch['batch_wall_s']:.3f}s "
+              f"(amortized {engine_batch['amortized_ratio']:.3f}x)")
+
     args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.output}")
 
@@ -292,6 +368,12 @@ def main() -> int:
             and trace_overhead["overhead_ratio"] > args.max_trace_overhead):
         print(f"FAIL: trace overhead {trace_overhead['overhead_ratio']}x "
               f"> {args.max_trace_overhead}x", file=sys.stderr)
+        return 1
+    if (engine_batch is not None
+            and engine_batch["amortized_ratio"] > args.max_batch_ratio):
+        print(f"FAIL: engine batch amortized ratio "
+              f"{engine_batch['amortized_ratio']}x > {args.max_batch_ratio}x",
+              file=sys.stderr)
         return 1
     if args.min_speedup is not None:
         for exp, entry in experiments.items():

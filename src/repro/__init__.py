@@ -9,6 +9,10 @@ Public API highlights
 - :func:`repro.resilient_minimum_cut` — the same, behind budgets,
   verified retries, and a graceful-degradation fallback chain.
 - :func:`repro.approximate_minimum_cut` — the Section 3 approximation.
+- :class:`repro.CutEngine` — the staged/cached spelling of the exact
+  pipeline for repeated queries over one graph (``min_cut()``,
+  ``min_cut_batch(seeds)``, ``requery(weights)``), with artifacts in a
+  :class:`repro.ArtifactCache` (:mod:`repro.engine`).
 - :class:`repro.CutResult` / :class:`repro.ApproxResult` — the result
   values, with :class:`repro.VerificationReport` provenance.
 - :class:`repro.CutPipelineParams` — the pipeline knobs, documented
@@ -35,6 +39,8 @@ __all__ = [
     "resilient_minimum_cut",
     "approximate_minimum_cut",
     "two_respecting_min_cut",
+    "CutEngine",
+    "ArtifactCache",
     "CutResult",
     "ApproxResult",
     "VerificationReport",
@@ -52,6 +58,8 @@ _LAZY = {
     "resilient_minimum_cut": ("repro.resilience.driver", "resilient_minimum_cut"),
     "approximate_minimum_cut": ("repro.approx.approximate", "approximate_minimum_cut"),
     "two_respecting_min_cut": ("repro.tworespect.algorithm", "two_respecting_min_cut"),
+    "CutEngine": ("repro.engine.service", "CutEngine"),
+    "ArtifactCache": ("repro.engine.cache", "ArtifactCache"),
     "CutResult": ("repro.results", "CutResult"),
     "ApproxResult": ("repro.results", "ApproxResult"),
     "VerificationReport": ("repro.results", "VerificationReport"),

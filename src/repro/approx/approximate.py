@@ -13,15 +13,13 @@ Pipeline (Section 3):
 Work O(m log n + n log^5 n), depth O(log^3 n).
 
 Like the other entry points, everything after ``graph`` is
-keyword-only.  Positional ``params``/``rng``/``ledger``/``solver`` are
-accepted for one more release behind a :class:`DeprecationWarning`.
+keyword-only (the one-release positional-argument deprecation shim has
+been removed).
 """
 
 from __future__ import annotations
 
 import dataclasses
-import inspect
-import warnings
 from typing import Callable, Optional
 
 import numpy as np
@@ -36,9 +34,6 @@ from repro.sparsify.certhierarchy import build_certificate_hierarchy
 from repro.sparsify.hierarchy import HierarchyParams, build_truncated_hierarchy
 
 __all__ = ["approximate_minimum_cut"]
-
-#: the legacy positional order, for the deprecation shim
-_LEGACY_POSITIONAL = ("params", "rng", "ledger", "solver")
 
 
 def _default_solver(ledger: Ledger) -> Callable[[Graph], float]:
@@ -76,32 +71,7 @@ def _default_solver(ledger: Ledger) -> Callable[[Graph], float]:
     return solve
 
 
-def approximate_minimum_cut(graph: Graph, *args, **kwargs) -> ApproxResult:
-    # one-release shim: params/rng/ledger/solver used to be positional
-    if args:
-        warnings.warn(
-            "positional params/rng/ledger/solver arguments to "
-            "approximate_minimum_cut are deprecated; pass them as "
-            "keywords (keyword-only in the next release)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if len(args) > len(_LEGACY_POSITIONAL):
-            raise TypeError(
-                f"approximate_minimum_cut takes at most "
-                f"{len(_LEGACY_POSITIONAL)} legacy positional arguments "
-                f"({len(args)} given)"
-            )
-        for name, value in zip(_LEGACY_POSITIONAL, args):
-            if name in kwargs:
-                raise TypeError(
-                    f"approximate_minimum_cut got multiple values for {name!r}"
-                )
-            kwargs[name] = value
-    return _approximate_minimum_cut(graph, **kwargs)
-
-
-def _approximate_minimum_cut(
+def approximate_minimum_cut(
     graph: Graph,
     *,
     params: HierarchyParams = HierarchyParams(),
@@ -163,14 +133,6 @@ def _approximate_minimum_cut(
         )
         return dataclasses.replace(res, report=report)
     return _approximate_impl(graph, params, rng, ledger, solver, epsilon, repeats)
-
-
-# the public shim accepts *args for one release; the documented surface
-# is the keyword-only implementation signature
-approximate_minimum_cut.__doc__ = _approximate_minimum_cut.__doc__
-approximate_minimum_cut.__signature__ = inspect.signature(  # type: ignore[attr-defined]
-    _approximate_minimum_cut
-)
 
 
 def _approximate_impl(

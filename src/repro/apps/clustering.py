@@ -60,12 +60,22 @@ def min_cut_clusters(
 
     Returns a list of vertex-id arrays (disjoint, covering, each sorted
     ascending), ordered by smallest member.  Deterministic given ``rng``.
+
+    Each induced subgraph is solved through a
+    :class:`repro.engine.CutEngine` threading the shared ``rng`` (and
+    one shared :class:`repro.engine.ArtifactCache` across the whole
+    recursion), so the clustering is bit-identical to the historical
+    direct :func:`repro.minimum_cut` recursion (pinned in
+    ``tests/test_apps.py``) while repeated runs over the same subgraphs
+    stay warm.
     """
-    from repro.core.mincut import minimum_cut
+    from repro.engine.cache import ArtifactCache
+    from repro.engine.service import CutEngine
 
     if graph.n == 0:
         return []
     rng = rng if rng is not None else np.random.default_rng()
+    cache = ArtifactCache()
 
     def split(vertices: np.ndarray) -> List[np.ndarray]:
         if vertices.shape[0] < 2 * params.min_size:
@@ -77,7 +87,7 @@ def min_cut_clusters(
             for c in range(k):
                 parts.extend(split(vertices[labels == c]))
             return parts
-        res = minimum_cut(sub, rng=rng, ledger=ledger)
+        res = CutEngine(sub, rng=rng, ledger=ledger, cache=cache).min_cut()
         smaller = min(int(res.side.sum()), sub.n - int(res.side.sum()))
         if smaller < params.min_size:
             return [vertices]

@@ -5,6 +5,16 @@ that disconnects this network, and who falls off?"; ``reinforce``
 iterates: find the weakest cut, upgrade its links, repeat — reporting
 how the survivable capacity climbs (the capacity-planning loop of
 ``examples/network_reliability.py`` as a tested API).
+
+Both are now backed by :class:`repro.engine.CutEngine`.
+``weakest_partition`` (and ``reinforce``'s default mode) run the engine
+one-shot — bit-identical to the historical direct
+:func:`repro.minimum_cut` calls (pinned in ``tests/test_apps.py``).
+``reinforce(requery=True)`` additionally reuses the engine's packed
+trees across rounds via :meth:`~repro.engine.CutEngine.requery`: only
+the cheap 2-respecting search re-runs per round until the climbing cut
+value exhausts the packing's coverage, at which point the engine
+rebases and re-packs.
 """
 
 from __future__ import annotations
@@ -29,21 +39,25 @@ class ReliabilityReport:
     crossing_edges: np.ndarray  # edge indices in the round's graph
 
 
+def _report(graph: Graph, value: float, side: np.ndarray) -> ReliabilityReport:
+    small = side if side.sum() * 2 <= graph.n else ~side
+    return ReliabilityReport(
+        cut_value=value,
+        isolated=np.flatnonzero(small),
+        crossing_edges=graph.cut_edges(side),
+    )
+
+
 def weakest_partition(
     graph: Graph,
     rng: Optional[np.random.Generator] = None,
     ledger: Ledger = NULL_LEDGER,
 ) -> ReliabilityReport:
     """The minimum cut phrased as a reliability report."""
-    from repro.core.mincut import minimum_cut
+    from repro.engine.service import CutEngine
 
-    res = minimum_cut(graph, rng=rng, ledger=ledger)
-    side = res.side if res.side.sum() * 2 <= graph.n else ~res.side
-    return ReliabilityReport(
-        cut_value=res.value,
-        isolated=np.flatnonzero(side),
-        crossing_edges=graph.cut_edges(res.side),
-    )
+    res = CutEngine(graph, rng=rng, ledger=ledger).min_cut()
+    return _report(graph, res.value, res.side)
 
 
 def reinforce(
@@ -52,18 +66,44 @@ def reinforce(
     factor: float = 2.0,
     rng: Optional[np.random.Generator] = None,
     ledger: Ledger = NULL_LEDGER,
+    requery: bool = False,
 ) -> List[ReliabilityReport]:
     """Iteratively upgrade the weakest cut's links by ``factor``.
 
     Returns the per-round reports; ``reports[i].cut_value`` is
     non-decreasing in i (upgrading a cut cannot lower any other cut).
+
+    ``requery=False`` (the default) preprocesses each round's graph
+    afresh — bit-identical to the historical loop.  ``requery=True``
+    binds one :class:`repro.engine.CutEngine` and answers later rounds
+    through :meth:`~repro.engine.CutEngine.requery` over the same
+    packed trees (re-running only the per-query search), trading the
+    per-round packing cost for the engine's coverage guarantee; both
+    modes report valid cuts w.h.p. and the same monotone trajectory.
+    All round reports index ``crossing_edges`` into the *initial*
+    graph's edge order in this mode (the topology never changes).
     """
+    from repro.engine.service import CutEngine
+
     if rounds < 1:
         raise ValueError("rounds must be >= 1")
     if factor <= 1.0:
         raise ValueError("factor must exceed 1")
     rng = rng if rng is not None else np.random.default_rng()
     reports: List[ReliabilityReport] = []
+
+    if requery:
+        engine = CutEngine(graph, rng=rng, ledger=ledger)
+        w = np.array(graph.w, dtype=np.float64, copy=True)
+        for round_no in range(rounds):
+            res = engine.min_cut() if round_no == 0 else engine.requery(w)
+            # cut_edges only reads topology + side, so indices stay
+            # valid against the initial edge order across all rounds
+            rep = _report(graph, res.value, res.side)
+            reports.append(rep)
+            w[rep.crossing_edges] *= factor
+        return reports
+
     current = graph
     for _ in range(rounds):
         rep = weakest_partition(current, rng=rng, ledger=ledger)

@@ -8,6 +8,10 @@ Commands
     The Section 3 (1 +- eps) approximation.
 ``bench N M``
     One instrumented run on a random graph: value + work/depth profile.
+``engine FILE``
+    The staged :class:`repro.engine.CutEngine`: preprocess once, then
+    answer ``--batch N`` independent queries (and optionally a second
+    warm query) with per-stage cache statistics.
 
 All commands accept ``--seed`` and print machine-greppable ``key value``
 lines.  ``--trace OUT.json`` additionally records the run through
@@ -157,6 +161,43 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_engine(args: argparse.Namespace) -> int:
+    from repro.engine.service import CutEngine
+    from repro.obs import CounterRegistry, counting_scope
+
+    graph = _load(args.file, args.format)
+    ledger = TraceLedger()
+    engine = CutEngine(
+        graph, seed=args.seed, epsilon=args.epsilon, ledger=ledger
+    )
+    registry = CounterRegistry()
+    with counting_scope(registry):
+        res = engine.min_cut(trace=args.trace is not None)
+        cold_work = ledger.work
+        if args.batch > 0:
+            batch = engine.min_cut_batch(range(args.seed, args.seed + args.batch))
+        else:
+            batch = []
+    print(f"value {res.value}")
+    small = res.side if res.side.sum() * 2 <= graph.n else ~res.side
+    print(f"side {' '.join(str(int(v)) for v in np.flatnonzero(small))}")
+    print(f"cold.work {cold_work}")
+    print(f"work {ledger.work}")
+    print(f"depth {ledger.depth}")
+    if batch:
+        print(f"batch.queries {len(batch)}")
+        print(f"batch.values {' '.join(str(b.value) for b in batch)}")
+        # warm batch work beyond the cold query is pure search fan-out
+        print(f"batch.extra_work {ledger.work - cold_work}")
+    print(f"cache.entries {len(engine.cache)}")
+    print(f"cache.hits {engine.cache.stats['hits']}")
+    print(f"cache.misses {engine.cache.stats['misses']}")
+    print(f"engine.stage_runs {registry.get('engine.stage_runs')}")
+    if args.trace is not None:
+        _write_trace(res, args.trace)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -208,6 +249,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--seed", type=int, default=0)
     add_trace(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_eng = sub.add_parser(
+        "engine",
+        help="staged engine: preprocess once, answer batched queries",
+    )
+    p_eng.add_argument("file")
+    p_eng.add_argument("--format", choices=("auto", "edgelist", "dimacs"), default="auto")
+    p_eng.add_argument("--epsilon", type=float, default=None,
+                       help="Section 4.3 range-tree degree exponent")
+    p_eng.add_argument("--seed", type=int, default=0)
+    p_eng.add_argument("--batch", type=int, default=0, metavar="N",
+                       help="after the cold query, answer N independent "
+                            "warm queries (seeds seed..seed+N-1) through "
+                            "the cached artifacts")
+    add_trace(p_eng)
+    p_eng.set_defaults(func=_cmd_engine)
     return parser
 
 

@@ -12,75 +12,32 @@ always an upper bound on the minimum cut and equals it w.h.p. (and in
 probability at benchmark scale is unobservably small; see DESIGN.md
 section 5).
 
-The pipeline knobs are documented once in
-:class:`repro.params.CutPipelineParams`; ``trace=True`` runs attach a
-:class:`repro.obs.RunReport` (phase spans + counters) to the result.
+This module is now a thin wrapper: the staged pipeline body lives in
+:mod:`repro.engine.stages` (one definition shared with the resilient
+driver and :class:`repro.engine.CutEngine`, so engine-mediated results
+are bit-identical by construction).  The pipeline knobs are documented
+once in :class:`repro.params.CutPipelineParams`; ``trace=True`` runs
+attach a :class:`repro.obs.RunReport` (phase spans + counters) to the
+result.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import math
 from typing import Literal, Optional
 
 import numpy as np
 
 from repro import obs
-from repro.errors import GraphFormatError, InvalidParameterError
+from repro.engine.stages import branching_for_epsilon, run_pipeline
 from repro.graphs.graph import Graph
-from repro.graphs.validate import ensure_finite_weights
-from repro.packing.karger import pack_trees
 from repro.params import CutPipelineParams
 from repro.pram.ledger import Ledger, NULL_LEDGER
-from repro.resilience.budget import checkpoint as _checkpoint
 from repro.results import CutResult
 from repro.sparsify.hierarchy import HierarchyParams
 from repro.sparsify.skeleton import SkeletonParams
-from repro.tworespect.algorithm import two_respecting_min_cut
 
 __all__ = ["minimum_cut", "branching_for_epsilon"]
-
-
-def _restore_rng(rng: np.random.Generator, payload: dict) -> None:
-    """Rewind ``rng`` to the state snapshotted when ``payload`` was saved,
-    so a resumed pipeline consumes exactly the draws an uninterrupted one
-    would (the bit-identical-resume contract)."""
-    state = payload.get("rng_state")
-    if state is not None:
-        rng.bit_generator.state = state
-
-
-def _cut_to_payload(res: CutResult) -> dict:
-    """A picklable snapshot of a stage-3 candidate (``CutResult.stats``
-    is a MappingProxyType, which pickle refuses)."""
-    return {
-        "value": res.value,
-        "side": np.asarray(res.side, dtype=bool),
-        "witness_edges": res.witness_edges,
-        "stats": dict(res.stats),
-    }
-
-
-def _cut_from_payload(payload: dict) -> CutResult:
-    return CutResult(
-        value=payload["value"],
-        side=payload["side"],
-        witness_edges=payload["witness_edges"],
-        stats=payload["stats"],
-    )
-
-
-def branching_for_epsilon(n: int, epsilon: Optional[float]) -> int:
-    """Range-tree degree ``max(2, round(n^epsilon))`` (Section 4.3).
-
-    ``epsilon=None`` (or any value driving the degree to 2) selects the
-    general-graph structure of Lemma 4.9.
-    """
-    if epsilon is not None and epsilon <= 0:
-        raise InvalidParameterError("epsilon must be positive")
-    if epsilon is None or n < 2:
-        return 2
-    return max(2, int(round(n**epsilon)))
 
 
 def minimum_cut(
@@ -128,6 +85,11 @@ def minimum_cut(
     Returns
     -------
     CutResult — value, side mask, witness tree edges, stage statistics.
+
+    See also
+    --------
+    repro.engine.CutEngine : the staged/cached spelling of the same
+        pipeline, for repeated queries over one graph.
     """
     params = CutPipelineParams.resolve(
         pipeline,
@@ -159,131 +121,8 @@ def _minimum_cut_impl(
     ledger: Ledger,
     hooks=None,
 ) -> CutResult:
-    """The staged pipeline body.
-
-    ``hooks`` (duck-typed; see
-    :class:`repro.resilience.checkpointing.PipelineHooks`) persists and
-    restores completed-stage artifacts for checkpoint/resume.  Each
-    ``save_stage`` snapshots the generator state alongside the payload,
-    and each restored stage rewinds ``rng`` to that snapshot, so a
-    resumed run consumes exactly the randomness an uninterrupted one
-    would — the resumed result is bit-identical.  ``hooks=None`` (every
-    direct call) is zero-overhead.
-    """
-    if graph.n < 2:
-        raise GraphFormatError("min cut needs at least 2 vertices")
-    ensure_finite_weights(graph)
-    k, labels = graph.connected_components()
-    if k > 1:
-        return CutResult(value=0.0, side=labels == labels[0], stats={"num_trees": 0.0})
-    if graph.n == 2:
-        return CutResult(
-            value=graph.total_weight,
-            side=np.array([True, False]),
-            stats={"num_trees": 0.0},
-        )
-    rng = rng if rng is not None else np.random.default_rng()
-
-    # --- stage 1: O(1)-approximation (Theorem 3.1) -------------------------
-    if approx_value is None:
-        loaded = hooks.load_stage("approx") if hooks is not None else None
-        if loaded is not None:
-            approx_value = loaded["approx_value"]
-            _restore_rng(rng, loaded)
-        else:
-            from repro.approx.approximate import approximate_minimum_cut
-
-            hier = params.hierarchy if params.hierarchy is not None else HierarchyParams()
-            with obs.phase("approximate", ledger):
-                approx = approximate_minimum_cut(
-                    graph, params=hier, rng=rng, ledger=ledger
-                )
-            approx_value = max(approx.estimate, 1e-12)
-            if hooks is not None:
-                hooks.save_stage("approx", {"approx_value": approx_value}, rng=rng)
-    lambda_under = float(approx_value) / 2.0  # Section 4.2's underestimate
-
-    # --- stage 2: skeleton + tree packing (Theorem 4.18) -------------------
-    max_trees = params.max_trees
-    if max_trees == "auto":
-        max_trees = int(math.ceil(3 * math.log2(max(graph.n, 2))))
-    loaded = hooks.load_stage("packing") if hooks is not None else None
-    if loaded is not None:
-        tree_parents = loaded["tree_parents"]
-        packing_stats = loaded["stats"]
-        _restore_rng(rng, loaded)
-    else:
-        with obs.phase("packing", ledger):
-            packing = pack_trees(
-                graph,
-                lambda_under,
-                skeleton_params=params.skeleton,
-                packing_iterations=params.packing_iterations,
-                max_trees=max_trees,
-                rng=rng,
-                ledger=ledger,
-            )
-        tree_parents = packing.tree_parents
-        packing_stats = {
-            "num_trees": float(packing.num_trees),
-            "skeleton_edges": float(packing.skeleton.skeleton.m),
-            "skeleton_p": float(packing.skeleton.p),
-            "packing_iterations": float(packing.packing.iterations),
-        }
-        if hooks is not None:
-            hooks.save_stage(
-                "packing",
-                {"tree_parents": list(tree_parents), "stats": packing_stats},
-                rng=rng,
-            )
-
-    # --- stage 3: per-tree 2-respecting min-cut (Theorem 4.2) --------------
-    branching = branching_for_epsilon(graph.n, params.epsilon)
-    best: Optional[CutResult] = None
-    trees_done = 0
-    loaded = hooks.load_stage("trees") if hooks is not None else None
-    if loaded is not None:
-        trees_done = loaded["done"]
-        if loaded["best"] is not None:
-            best = _cut_from_payload(loaded["best"])
-        _restore_rng(rng, loaded)
-    with obs.phase("two-respecting", ledger):
-        with ledger.parallel() as par:
-            for i, parent in enumerate(tree_parents):
-                if i < trees_done:
-                    continue  # already searched before the checkpoint
-                _checkpoint("mincut.tree")
-                with par.branch():
-                    res = two_respecting_min_cut(
-                        graph,
-                        parent,
-                        branching=branching,
-                        decomposition=params.decomposition,
-                        ledger=ledger,
-                    )
-                    if best is None or res.value < best.value:
-                        best = res
-                if hooks is not None:
-                    hooks.save_stage(
-                        "trees",
-                        {"done": i + 1, "best": _cut_to_payload(best)},
-                        rng=rng,
-                    )
-    assert best is not None  # packing always yields >= 1 tree
-    reg = obs.counters()
-    if reg.enabled:
-        reg.add("mincut.trees_tested", packing_stats["num_trees"])
-    stats = dict(best.stats)
-    stats.update(packing_stats)
-    stats.update(
-        {
-            "lambda_underestimate": float(lambda_under),
-            "branching": float(branching),
-        }
-    )
-    return CutResult(
-        value=best.value,
-        side=best.side,
-        witness_edges=best.witness_edges,
-        stats=stats,
-    )
+    """The staged pipeline body — see
+    :func:`repro.engine.stages.run_pipeline` (this alias is the
+    resilient driver's entry, kept here so the driver depends on the
+    core module, not the engine package layout)."""
+    return run_pipeline(graph, params, approx_value, rng, ledger, hooks=hooks)

@@ -1,0 +1,41 @@
+"""The staged cut engine (preprocess once, answer many queries).
+
+Layout:
+
+* :mod:`repro.engine.stages` — the exact pipeline's stage functions,
+  defined once; :func:`~repro.engine.stages.run_pipeline` is the
+  one-shot composition behind :func:`repro.minimum_cut` and the
+  resilient driver;
+* :mod:`repro.engine.artifacts` — frozen, fingerprinted stage outputs;
+* :mod:`repro.engine.cache` — the size-bounded, hash-keyed
+  :class:`ArtifactCache`;
+* :mod:`repro.engine.service` — :class:`CutEngine`: ``min_cut()``,
+  ``min_cut_batch(seeds)``, ``requery(weights)``.
+
+See ``docs/architecture.md`` for the stage graph and the
+cache-invalidation rules.
+"""
+
+from repro.engine.artifacts import (
+    ApproxArtifact,
+    PackedForest,
+    TreeIndex,
+    ValidationArtifact,
+    combine_fingerprint,
+    graph_fingerprint,
+)
+from repro.engine.cache import ArtifactCache
+from repro.engine.service import CutEngine
+from repro.engine.stages import run_pipeline
+
+__all__ = [
+    "CutEngine",
+    "ArtifactCache",
+    "ValidationArtifact",
+    "ApproxArtifact",
+    "PackedForest",
+    "TreeIndex",
+    "graph_fingerprint",
+    "combine_fingerprint",
+    "run_pipeline",
+]

@@ -1,0 +1,130 @@
+"""The engine's artifact store: hash-keyed, size-bounded, LRU-evicted.
+
+Keys are ``(stage, fingerprint)`` pairs where the fingerprint already
+encodes every input the stage depends on (graph bytes, seed, the
+relevant parameter subset — see :mod:`repro.engine.artifacts`), so
+**invalidation is deterministic and automatic**: a changed input hashes
+to a different key and simply misses; the stale entry ages out by LRU.
+There is no time-based expiry and no mutation of stored artifacts —
+they are frozen values, shared freely between engines.
+
+The cache is bounded both by entry count and by (estimated) bytes; the
+per-artifact estimate is each artifact's ``nbytes`` property.  Hits,
+misses, and evictions are counted on the ambient
+:mod:`repro.obs` registry (``engine.cache_hits`` / ``_misses`` /
+``_evictions``) and mirrored on :attr:`ArtifactCache.stats` for
+callers without a tracer.
+
+A single :class:`ArtifactCache` may back many
+:class:`repro.engine.CutEngine` instances (e.g. the recursive
+clustering app shares one across every induced subgraph); it is not
+thread-safe — engines sharing a cache across threads must arrange their
+own locking, matching the rest of the library's single-writer model.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.obs.counters import counters
+
+__all__ = ["ArtifactCache"]
+
+#: cache key: (stage name, input fingerprint)
+Key = Tuple[str, str]
+
+
+class ArtifactCache:
+    """Size-bounded LRU map from ``(stage, fingerprint)`` to artifacts.
+
+    Parameters
+    ----------
+    max_entries:
+        Entry-count bound (>= 1).
+    max_bytes:
+        Estimated-size bound; inserting an artifact evicts least-recently
+        used entries until both bounds hold.  An artifact larger than the
+        whole budget is stored alone (the bound is best-effort, not a
+        hard ceiling, so the engine never thrashes on one big forest).
+    """
+
+    def __init__(self, max_entries: int = 128, max_bytes: int = 256 * 2**20) -> None:
+        if max_entries < 1:
+            raise InvalidParameterError("max_entries must be >= 1")
+        if max_bytes < 1:
+            raise InvalidParameterError("max_bytes must be >= 1")
+        self.max_entries = int(max_entries)
+        self.max_bytes = int(max_bytes)
+        self._entries: "OrderedDict[Key, object]" = OrderedDict()
+        self._sizes: Dict[Key, int] = {}
+        self.current_bytes = 0
+        self.stats: Dict[str, int] = {"hits": 0, "misses": 0, "evictions": 0}
+
+    # ------------------------------------------------------------------
+    def get(self, stage: str, fingerprint: str) -> Optional[object]:
+        """The cached artifact for ``(stage, fingerprint)`` or None,
+        refreshing its recency on a hit."""
+        key = (stage, fingerprint)
+        artifact = self._entries.get(key)
+        if artifact is None:
+            self.stats["misses"] += 1
+            counters().add("engine.cache_misses")
+            return None
+        self._entries.move_to_end(key)
+        self.stats["hits"] += 1
+        counters().add("engine.cache_hits")
+        return artifact
+
+    def put(self, stage: str, fingerprint: str, artifact: object) -> None:
+        """Insert (or refresh) an artifact, evicting LRU entries as needed."""
+        key = (stage, fingerprint)
+        size = int(getattr(artifact, "nbytes", 64))
+        if key in self._entries:
+            self.current_bytes -= self._sizes[key]
+            del self._entries[key]
+        self._entries[key] = artifact
+        self._sizes[key] = size
+        self.current_bytes += size
+        self._evict()
+
+    def _evict(self) -> None:
+        while len(self._entries) > self.max_entries or (
+            self.current_bytes > self.max_bytes and len(self._entries) > 1
+        ):
+            key, _ = self._entries.popitem(last=False)
+            self.current_bytes -= self._sizes.pop(key)
+            self.stats["evictions"] += 1
+            counters().add("engine.cache_evictions")
+
+    # ------------------------------------------------------------------
+    def invalidate(self, stage: Optional[str] = None) -> int:
+        """Drop every entry (``stage=None``) or every entry of one stage;
+        returns the number removed.  Rarely needed — fingerprint keys
+        already invalidate deterministically — but useful to reclaim
+        memory or force a rebuild."""
+        if stage is None:
+            n = len(self._entries)
+            self._entries.clear()
+            self._sizes.clear()
+            self.current_bytes = 0
+            return n
+        doomed = [k for k in self._entries if k[0] == stage]
+        for k in doomed:
+            del self._entries[k]
+            self.current_bytes -= self._sizes.pop(k)
+        return len(doomed)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._entries
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ArtifactCache(entries={len(self._entries)}/{self.max_entries}, "
+            f"bytes={self.current_bytes}, hits={self.stats['hits']}, "
+            f"misses={self.stats['misses']})"
+        )

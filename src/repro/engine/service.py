@@ -1,0 +1,481 @@
+"""The staged cut engine: preprocess once, answer many queries.
+
+:class:`CutEngine` binds a graph, a randomness stream, and one
+:class:`~repro.params.CutPipelineParams` bundle, then runs the exact
+pipeline of :mod:`repro.engine.stages` with every preprocessing stage
+producing a frozen, fingerprinted artifact in an
+:class:`~repro.engine.cache.ArtifactCache`:
+
+========  ==========================================  ==================
+stage     artifact                                    depends on
+========  ==========================================  ==================
+validate  :class:`~repro.engine.artifacts.ValidationArtifact`   graph bytes
+approx    :class:`~repro.engine.artifacts.ApproxArtifact`       + seed, hierarchy params
+forest    :class:`~repro.engine.artifacts.PackedForest`         + skeleton params, packing iterations
+index     :class:`~repro.engine.artifacts.TreeIndex`            + max_trees
+========  ==========================================  ==================
+
+Because the cache key *is* the dependency fingerprint, invalidation is
+deterministic: change the graph, the seed, or a parameter a stage
+depends on and the next query simply misses and rebuilds — nothing is
+ever served stale.
+
+**Parity.** A cold :meth:`min_cut` runs exactly the stage functions
+(and consumes exactly the rng draws, via the per-artifact generator
+snapshots) that one-shot :func:`repro.minimum_cut` runs, so its value,
+side, stats, and ledger charges are bit-identical — by construction,
+and pinned across executor backends in ``tests/test_engine.py``.  A
+*warm* query replays the cached artifacts and charges the ledger only
+for the per-query 2-respecting search.
+
+**Batch.** :meth:`min_cut_batch` preprocesses once, then fans the
+independent per-seed queries (tree selection + search) through
+:func:`repro.pram.executor.parallel_map` on the active backend, each on
+a private :class:`~repro.pram.ledger.Ledger` absorbed with the
+fork-join rule (:meth:`~repro.pram.ledger.Ledger.absorb_parallel`) —
+so the batch's depth reflects the logical parallelism while work sums.
+
+**Requery.** :meth:`requery` answers "the weights moved a little, what
+is the cut now?" without re-packing: the tree-packing argument keeps
+the cached candidate trees valid while the perturbed minimum cut stays
+within the packing's coverage (~3× the stored underestimate); past that
+threshold the engine rebases onto the perturbed graph and preprocesses
+it afresh.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Literal, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro import obs
+from repro.engine.artifacts import (
+    ApproxArtifact,
+    PackedForest,
+    TreeIndex,
+    ValidationArtifact,
+    combine_fingerprint,
+    graph_fingerprint,
+)
+from repro.engine.cache import ArtifactCache
+from repro.engine.stages import (
+    approximate_stage,
+    assemble_result,
+    branching_for_epsilon,
+    cut_from_payload,
+    cut_to_payload,
+    resolve_max_trees,
+    search_stage,
+    validate_stage,
+)
+from repro.errors import InvalidParameterError
+from repro.graphs.graph import Graph
+from repro.packing.karger import build_cut_skeleton, pack_skeleton, select_trees
+from repro.params import CutPipelineParams
+from repro.pram.executor import parallel_map
+from repro.pram.ledger import Ledger, NULL_LEDGER
+from repro.results import CutResult
+from repro.sparsify.hierarchy import HierarchyParams
+from repro.sparsify.skeleton import SkeletonParams
+
+__all__ = ["CutEngine"]
+
+#: seed accepted anywhere NumPy's ``default_rng`` accepts one
+SeedLike = Union[None, int, np.random.SeedSequence, np.random.Generator]
+
+
+def _batch_search(task) -> tuple:
+    """One batch query: select this seed's candidate trees from the
+    shared packing and run the 2-respecting search.
+
+    Module-level so the process backend can pickle it by reference; the
+    returned candidate is a payload dict (``CutResult.stats`` is a
+    MappingProxyType, which pickle refuses) plus the branch's private
+    ledger for the caller to absorb.  Tracing is suppressed inside the
+    worker — concurrent branches would race the tracer's span stack.
+    """
+    graph, packing, max_trees, branching, decomposition, seed = task
+    with obs.suppress_tracing():
+        led = Ledger()
+        parents = select_trees(packing, max_trees, np.random.default_rng(seed))
+        best = search_stage(
+            graph,
+            parents,
+            branching=branching,
+            decomposition=decomposition,
+            ledger=led,
+        )
+    return cut_to_payload(best), float(len(parents)), led
+
+
+class CutEngine:
+    """Staged minimum-cut service over one graph.
+
+    Parameters
+    ----------
+    graph:
+        The bound input.  :meth:`requery` evaluates perturbed weights
+        against it; :meth:`rebase` re-points the engine.
+    seed, rng:
+        The engine's randomness stream (mutually exclusive).  Passing a
+        shared ``rng`` consumes it exactly as the one-shot pipeline
+        would — callers threading one generator through many calls
+        (e.g. the clustering app) stay bit-identical.
+    epsilon, max_trees, decomposition, skeleton_params, hierarchy_params,
+    packing_iterations, pipeline:
+        The pipeline knobs, same spelling as :func:`repro.minimum_cut`
+        (see :class:`repro.params.CutPipelineParams`).
+    approx_value:
+        A known O(1)-approximation; skips the Section 3 stage.
+    ledger:
+        Work/depth sink for every stage this engine runs.  Cached
+        (warm) stages charge nothing — that is the engine's point.
+    cache:
+        The artifact store; defaults to a private
+        :class:`~repro.engine.cache.ArtifactCache`.  Pass a shared one
+        to amortize across engines (single-threaded use only).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        seed: SeedLike = None,
+        rng: Optional[np.random.Generator] = None,
+        epsilon: Optional[float] = None,
+        approx_value: Optional[float] = None,
+        max_trees: "int | None | Literal['auto']" = "auto",
+        decomposition: Literal["heavy", "bough"] = "heavy",
+        skeleton_params: SkeletonParams = SkeletonParams(),
+        hierarchy_params: Optional[HierarchyParams] = None,
+        packing_iterations: Optional[int] = None,
+        pipeline: Optional[CutPipelineParams] = None,
+        ledger: Ledger = NULL_LEDGER,
+        cache: Optional[ArtifactCache] = None,
+    ) -> None:
+        if rng is not None and seed is not None:
+            raise InvalidParameterError("pass seed= or rng=, not both")
+        self.params = CutPipelineParams.resolve(
+            pipeline,
+            epsilon=epsilon,
+            max_trees=max_trees,
+            decomposition=decomposition,
+            skeleton=skeleton_params,
+            hierarchy=hierarchy_params,
+            packing_iterations=packing_iterations,
+        )
+        self.ledger = ledger
+        self.cache = cache if cache is not None else ArtifactCache()
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
+        self._approx_value = None if approx_value is None else float(approx_value)
+        self._bind(graph)
+
+    # ------------------------------------------------------------------
+    # binding and fingerprints
+    # ------------------------------------------------------------------
+    def _bind(self, graph: Graph) -> None:
+        """(Re)point the engine at ``graph``: rebuild the fingerprint
+        chain and snapshot the rng position cold stages replay from."""
+        self._graph = graph
+        self._state0 = self._rng.bit_generator.state
+        gfp = graph_fingerprint(graph)
+        self._fp_validate = gfp
+        self._fp_approx = combine_fingerprint(
+            "approximate", gfp, self._state0, self.params.hierarchy, self._approx_value
+        )
+        self._fp_forest = combine_fingerprint(
+            "forest",
+            self._fp_approx,
+            self.params.skeleton,
+            self.params.packing_iterations,
+        )
+        self._max_trees = resolve_max_trees(self.params.max_trees, graph.n)
+        self._fp_index = combine_fingerprint("index", self._fp_forest, self._max_trees)
+
+    @property
+    def graph(self) -> Graph:
+        """The currently bound input graph."""
+        return self._graph
+
+    def rebase(self, graph: Graph) -> "CutEngine":
+        """Re-point the engine at ``graph``; later queries preprocess it
+        afresh (old artifacts stay cached under their own fingerprints,
+        so rebasing back is warm)."""
+        self._bind(graph)
+        return self
+
+    # ------------------------------------------------------------------
+    # stage runners (cache-through)
+    # ------------------------------------------------------------------
+    def _validated(self) -> ValidationArtifact:
+        art = self.cache.get("validate", self._fp_validate)
+        if art is None:
+            obs.counters().add("engine.stage_runs")
+            art = ValidationArtifact(self._fp_validate, validate_stage(self._graph))
+            self.cache.put("validate", self._fp_validate, art)
+        return art
+
+    def _approximated(self, ledger: Ledger) -> ApproxArtifact:
+        art = self.cache.get("approximate", self._fp_approx)
+        if art is None:
+            obs.counters().add("engine.stage_runs")
+            if self._approx_value is not None:
+                art = ApproxArtifact(self._fp_approx, self._approx_value, self._state0)
+            else:
+                self._rng.bit_generator.state = self._state0
+                value = approximate_stage(self._graph, self.params, self._rng, ledger)
+                art = ApproxArtifact(
+                    self._fp_approx, value, self._rng.bit_generator.state
+                )
+            self.cache.put("approximate", self._fp_approx, art)
+        return art
+
+    def _forest(self, ledger: Ledger) -> PackedForest:
+        art = self.cache.get("forest", self._fp_forest)
+        if art is None:
+            approx = self._approximated(ledger)
+            obs.counters().add("engine.stage_runs")
+            if approx.rng_state is not None:
+                self._rng.bit_generator.state = approx.rng_state
+            with obs.phase("packing", ledger):
+                skel = build_cut_skeleton(
+                    self._graph,
+                    approx.lambda_underestimate,
+                    skeleton_params=self.params.skeleton,
+                    rng=self._rng,
+                    ledger=ledger,
+                )
+                packing = pack_skeleton(
+                    skel,
+                    packing_iterations=self.params.packing_iterations,
+                    ledger=ledger,
+                )
+            art = PackedForest(
+                self._fp_forest,
+                packing,
+                float(skel.skeleton.m),
+                float(skel.p),
+                self._rng.bit_generator.state,
+            )
+            self.cache.put("forest", self._fp_forest, art)
+        return art
+
+    def _indexed(self, ledger: Ledger) -> TreeIndex:
+        art = self.cache.get("index", self._fp_index)
+        if art is None:
+            forest = self._forest(ledger)
+            obs.counters().add("engine.stage_runs")
+            if forest.rng_state is not None:
+                self._rng.bit_generator.state = forest.rng_state
+            with obs.phase("packing", ledger):
+                parents = select_trees(forest.packing, self._max_trees, self._rng)
+            stats = {
+                "num_trees": float(len(parents)),
+                "skeleton_edges": forest.skeleton_edges,
+                "skeleton_p": forest.skeleton_p,
+                "packing_iterations": float(forest.packing.iterations),
+            }
+            art = TreeIndex(
+                self._fp_index,
+                tuple(parents),
+                stats,
+                self._rng.bit_generator.state,
+            )
+            self.cache.put("index", self._fp_index, art)
+        return art
+
+    def warm(self) -> "CutEngine":
+        """Build (or verify cached) every preprocessing artifact now, so
+        later queries charge only the search."""
+        if self._validated().early is None:
+            self._indexed(self.ledger)
+        return self
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def min_cut(self, *, trace: bool = False) -> CutResult:
+        """The bound graph's minimum cut, w.h.p. exact.
+
+        Cold calls charge the full pipeline to the engine's ledger and
+        are bit-identical to :func:`repro.minimum_cut` with the same
+        inputs; warm calls replay cached artifacts and charge only the
+        2-respecting search.
+        """
+        if trace and not obs.tracing_active():
+            ledger = self.ledger if self.ledger is not NULL_LEDGER else Ledger()
+            tracer = obs.Tracer(ledger=ledger)
+            with tracer.activate():
+                res = self._query(ledger)
+            report = tracer.report(
+                algorithm="engine.min_cut", n=self._graph.n, m=self._graph.m
+            )
+            return dataclasses.replace(res, report=report)
+        return self._query(self.ledger)
+
+    def _query(self, ledger: Ledger) -> CutResult:
+        obs.counters().add("engine.queries")
+        val = self._validated()
+        if val.early is not None:
+            return val.early
+        approx = self._approximated(ledger)
+        index = self._indexed(ledger)
+        branching = branching_for_epsilon(self._graph.n, self.params.epsilon)
+        best = search_stage(
+            self._graph,
+            list(index.tree_parents),
+            branching=branching,
+            decomposition=self.params.decomposition,
+            ledger=ledger,
+        )
+        return assemble_result(
+            best, dict(index.packing_stats), approx.lambda_underestimate, branching
+        )
+
+    def min_cut_batch(
+        self, seeds: Sequence[SeedLike], *, trace: bool = False
+    ) -> List[CutResult]:
+        """Independent minimum-cut queries, one per seed, in seed order.
+
+        Preprocessing (approximation, skeleton, greedy packing) runs —
+        and charges the ledger — **once**; each seed then drives its own
+        candidate-tree selection and 2-respecting search, fanned through
+        :func:`repro.pram.executor.parallel_map` on the active executor
+        backend.  Per-query ledgers are absorbed with the fork-join rule
+        (work sums, depth maxes), so the batch is accounted as one
+        parallel round of searches.
+        """
+        seeds = list(seeds)
+        if not seeds:
+            return []
+        reg = obs.counters()
+        if reg.enabled:
+            reg.add("engine.batch_queries")
+            reg.add("engine.queries", float(len(seeds)))
+        if trace and not obs.tracing_active():
+            ledger = self.ledger if self.ledger is not NULL_LEDGER else Ledger()
+            tracer = obs.Tracer(ledger=ledger)
+            with tracer.activate():
+                results = self._batch_impl(seeds, ledger)
+            report = tracer.report(
+                algorithm="engine.min_cut_batch",
+                n=self._graph.n,
+                m=self._graph.m,
+                batch=len(seeds),
+            )
+            return [dataclasses.replace(r, report=report) for r in results]
+        return self._batch_impl(seeds, self.ledger)
+
+    def _batch_impl(self, seeds: List[SeedLike], ledger: Ledger) -> List[CutResult]:
+        val = self._validated()
+        if val.early is not None:
+            return [val.early for _ in seeds]
+        approx = self._approximated(ledger)
+        forest = self._forest(ledger)
+        branching = branching_for_epsilon(self._graph.n, self.params.epsilon)
+        tasks = [
+            (
+                self._graph,
+                forest.packing,
+                self._max_trees,
+                branching,
+                self.params.decomposition,
+                seed,
+            )
+            for seed in seeds
+        ]
+        with obs.phase("batch-search", ledger):
+            outcomes = parallel_map(_batch_search, tasks)
+        ledger.absorb_parallel(*(led for _, _, led in outcomes))
+        results = []
+        for payload, num_trees, _ in outcomes:
+            stats = {
+                "num_trees": num_trees,
+                "skeleton_edges": forest.skeleton_edges,
+                "skeleton_p": forest.skeleton_p,
+                "packing_iterations": float(forest.packing.iterations),
+            }
+            results.append(
+                assemble_result(
+                    cut_from_payload(payload),
+                    stats,
+                    approx.lambda_underestimate,
+                    branching,
+                )
+            )
+        return results
+
+    def requery(
+        self,
+        weights: Union[Mapping[int, float], Iterable[float], np.ndarray],
+        *,
+        rebase_threshold: Optional[float] = 3.0,
+    ) -> CutResult:
+        """Minimum cut of the bound topology under perturbed weights.
+
+        ``weights`` is either a full length-``m`` weight vector or a
+        sparse ``{edge index: new weight}`` mapping over the bound
+        graph's edge order (weights must stay positive — removing an
+        edge is a :meth:`rebase` onto a new topology, not an update).  The cached packed trees are *reused* — only
+        the per-query 2-respecting search runs — which stays exact
+        w.h.p. while the perturbed minimum cut remains within the
+        packing's coverage.  When the returned value exceeds
+        ``rebase_threshold`` × the stored underestimate (the coverage
+        edge; ``None`` disables the check), the engine rebases onto the
+        perturbed graph and answers with a fresh cold run instead.
+        Results carry ``stats["requery"] = 1.0`` (and ``"rebased"`` when
+        the threshold fired).
+        """
+        reg = obs.counters()
+        reg.add("engine.requeries")
+        if isinstance(weights, Mapping):
+            w = np.array(self._graph.w, dtype=np.float64, copy=True)
+            for idx, value in weights.items():
+                w[int(idx)] = value
+        else:
+            w = np.asarray(list(weights) if not isinstance(weights, np.ndarray) else weights)
+        # drop_zero=False keeps the edge indexing stable (and makes a
+        # zero weight a hard GraphFormatError instead of a silent drop
+        # that would shift every later sparse update's indices)
+        perturbed = self._graph.with_weights(w, drop_zero=False)
+        early = validate_stage(perturbed)
+        if early is not None:
+            return dataclasses.replace(
+                early, stats={**dict(early.stats), "requery": 1.0}
+            )
+        ledger = self.ledger
+        approx = self._approximated(ledger)
+        index = self._indexed(ledger)
+        branching = branching_for_epsilon(perturbed.n, self.params.epsilon)
+        best = search_stage(
+            perturbed,
+            list(index.tree_parents),
+            branching=branching,
+            decomposition=self.params.decomposition,
+            ledger=ledger,
+        )
+        res = assemble_result(
+            best, dict(index.packing_stats), approx.lambda_underestimate, branching
+        )
+        if (
+            rebase_threshold is not None
+            and res.value > rebase_threshold * approx.lambda_underestimate
+        ):
+            # the packing no longer certifiably covers the minimum cut:
+            # re-point the engine at the perturbed graph and go cold
+            reg.add("engine.rebases")
+            self.rebase(perturbed)
+            fresh = self.min_cut()
+            return dataclasses.replace(
+                fresh,
+                stats={**dict(fresh.stats), "requery": 1.0, "rebased": 1.0},
+            )
+        return dataclasses.replace(res, stats={**dict(res.stats), "requery": 1.0})
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CutEngine(n={self._graph.n}, m={self._graph.m}, "
+            f"max_trees={self._max_trees}, cache={self.cache!r})"
+        )

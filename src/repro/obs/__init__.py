@@ -43,6 +43,7 @@ from repro.obs.span import (
     Tracer,
     current_tracer,
     phase,
+    suppress_tracing,
     tracing_active,
 )
 
@@ -52,6 +53,7 @@ __all__ = [
     "current_tracer",
     "tracing_active",
     "phase",
+    "suppress_tracing",
     "CounterRegistry",
     "counters",
     "counting_scope",

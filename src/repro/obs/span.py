@@ -43,10 +43,17 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.errors import ReproError
-from repro.obs.counters import CounterRegistry, counting_scope
+from repro.obs.counters import NULL_COUNTERS, CounterRegistry, counting_scope
 from repro.pram.ledger import NULL_LEDGER, Ledger
 
-__all__ = ["Span", "Tracer", "current_tracer", "tracing_active", "phase"]
+__all__ = [
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "tracing_active",
+    "phase",
+    "suppress_tracing",
+]
 
 
 @dataclass
@@ -244,6 +251,28 @@ def current_tracer():
 def tracing_active() -> bool:
     """True when a real :class:`Tracer` is ambient."""
     return _active_tracer.get() is not NULL_TRACER
+
+
+@contextmanager
+def suppress_tracing() -> Iterator[None]:
+    """Force the no-op tracer (and the null counter registry) for the
+    block.
+
+    The span stack and counter map of an active :class:`Tracer` are
+    single-writer structures; fan-out workers that inherit the ambient
+    context (e.g. :func:`repro.pram.executor.parallel_map` branches)
+    would interleave span exits and corrupt the stack.  Such workers
+    wrap their bodies in this — their ledgers are still absorbed by the
+    caller, so accounting survives; only the per-branch spans are
+    dropped (matching the tracer's documented sequential-timeline
+    model).
+    """
+    token = _active_tracer.set(NULL_TRACER)
+    try:
+        with counting_scope(NULL_COUNTERS):
+            yield
+    finally:
+        _active_tracer.reset(token)
 
 
 @contextmanager

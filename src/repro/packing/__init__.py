@@ -1,6 +1,20 @@
 """Tree packing (Section 4.2, Theorem 4.18)."""
 
 from repro.packing.greedy import GreedyPacking, greedy_tree_packing
-from repro.packing.karger import PackingResult, pack_trees
+from repro.packing.karger import (
+    PackingResult,
+    build_cut_skeleton,
+    pack_skeleton,
+    pack_trees,
+    select_trees,
+)
 
-__all__ = ["GreedyPacking", "greedy_tree_packing", "PackingResult", "pack_trees"]
+__all__ = [
+    "GreedyPacking",
+    "greedy_tree_packing",
+    "PackingResult",
+    "pack_trees",
+    "build_cut_skeleton",
+    "pack_skeleton",
+    "select_trees",
+]

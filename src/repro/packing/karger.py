@@ -25,7 +25,13 @@ from repro.resilience.budget import checkpoint as _checkpoint
 from repro.resilience.faults import SITE_DROP_TREE, poll as _poll_fault
 from repro.sparsify.skeleton import SkeletonParams, SkeletonResult, build_skeleton
 
-__all__ = ["PackingResult", "pack_trees"]
+__all__ = [
+    "PackingResult",
+    "pack_trees",
+    "build_cut_skeleton",
+    "pack_skeleton",
+    "select_trees",
+]
 
 
 @dataclass(frozen=True)
@@ -45,32 +51,17 @@ class PackingResult:
         return len(self.tree_parents)
 
 
-def pack_trees(
+def build_cut_skeleton(
     graph: Graph,
     lambda_underestimate: float,
     *,
     skeleton_params: SkeletonParams = SkeletonParams(),
-    packing_iterations: Optional[int] = None,
-    max_trees: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
     ledger: Ledger = NULL_LEDGER,
-) -> PackingResult:
-    """Theorem 4.18's packing of O(log n) candidate trees.
+) -> SkeletonResult:
+    """The skeleton half of Theorem 4.18 (Lemma 4.23): sample until the
+    skeleton is connected and spanning.
 
-    Parameters
-    ----------
-    lambda_underestimate:
-        Constant-factor underestimate of the min cut (Section 4.2 sets
-        this to half the Theorem 3.1 approximation).
-    max_trees:
-        Cap on returned candidates, highest packing multiplicity first;
-        None returns every distinct packed tree (the ``thorough`` mode of
-        the driver — see DESIGN.md section 5).
-    rng:
-        Randomness for skeleton sampling (packing is deterministic).
-
-    Notes
-    -----
     If the sampled skeleton comes out disconnected (possible when the
     underestimate is too aggressive for the w.h.p. regime), the sampling
     probability is doubled and the skeleton rebuilt; at p = 1 the
@@ -88,7 +79,7 @@ def pack_trees(
             _checkpoint("pack_trees.skeleton")
             skel = build_skeleton(graph, lam, params=skeleton_params, rng=rng, ledger=ledger)
             if skel.skeleton.n == graph.n and skel.skeleton.is_connected():
-                break
+                return skel
             if skel.p >= 1.0:
                 # the input is connected (checked above), so a p = 1
                 # skeleton can only be disconnected through a corrupted
@@ -99,16 +90,41 @@ def pack_trees(
                 continue
             lam /= 2.0  # double the sampling probability and retry
 
+
+def pack_skeleton(
+    skel: SkeletonResult,
+    *,
+    packing_iterations: Optional[int] = None,
+    ledger: Ledger = NULL_LEDGER,
+) -> GreedyPacking:
+    """The packing half of Theorem 4.18: greedy tree packing on the
+    skeleton (deterministic — all randomness lives in the skeleton)."""
     with ledger.phase("greedy-packing"):
         _checkpoint("pack_trees.packing")
-        packing = greedy_tree_packing(
+        return greedy_tree_packing(
             skel.skeleton, iterations=packing_iterations, ledger=ledger
         )
 
+
+def select_trees(
+    packing: GreedyPacking,
+    max_trees: Optional[int],
+    rng: Optional[np.random.Generator] = None,
+) -> List[np.ndarray]:
+    """Materialize the candidate parent arrays for the cut-finding step.
+
+    ``max_trees=None`` returns every distinct packed tree, highest
+    multiplicity first (thorough mode); an int samples that many
+    proportional to multiplicity using ``rng``.  The ``packing.drop_tree``
+    fault site fires here — this is the one place candidates leave the
+    packing.
+    """
     if max_trees is None:
         chosen = list(range(packing.num_distinct))
         chosen.sort(key=lambda i: -packing.multiplicity[i])
     else:
+        if rng is None:
+            rng = np.random.default_rng()
         chosen = packing.sample_trees(max_trees, rng)
     parents = [packing.tree_parent(i) for i in chosen]
     fault = _poll_fault(SITE_DROP_TREE)
@@ -116,4 +132,48 @@ def pack_trees(
         # injected fault: silently lose one candidate tree (never the last
         # one — the driver's contract guarantees at least one candidate)
         del parents[fault.index % len(parents)]
+    return parents
+
+
+def pack_trees(
+    graph: Graph,
+    lambda_underestimate: float,
+    *,
+    skeleton_params: SkeletonParams = SkeletonParams(),
+    packing_iterations: Optional[int] = None,
+    max_trees: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    ledger: Ledger = NULL_LEDGER,
+) -> PackingResult:
+    """Theorem 4.18's packing of O(log n) candidate trees.
+
+    Composition of :func:`build_cut_skeleton` → :func:`pack_skeleton` →
+    :func:`select_trees`; :class:`repro.engine.CutEngine` runs the same
+    three functions as separately cached stages.
+
+    Parameters
+    ----------
+    lambda_underestimate:
+        Constant-factor underestimate of the min cut (Section 4.2 sets
+        this to half the Theorem 3.1 approximation).
+    max_trees:
+        Cap on returned candidates, highest packing multiplicity first;
+        None returns every distinct packed tree (the ``thorough`` mode of
+        the driver — see DESIGN.md section 5).
+    rng:
+        Randomness for skeleton sampling and tree selection (the greedy
+        packing itself is deterministic).
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    skel = build_cut_skeleton(
+        graph,
+        lambda_underestimate,
+        skeleton_params=skeleton_params,
+        rng=rng,
+        ledger=ledger,
+    )
+    packing = pack_skeleton(
+        skel, packing_iterations=packing_iterations, ledger=ledger
+    )
+    parents = select_trees(packing, max_trees, rng)
     return PackingResult(skeleton=skel, packing=packing, tree_parents=parents)

@@ -242,6 +242,11 @@ class _NullLedger(Ledger):
             raise LedgerError("negative batch depth")
         yield
 
+    def absorb_parallel(self, *others: "Ledger") -> None:  # noqa: D102
+        # absorbing mutates work/depth directly (it does not go through
+        # charge), so it must be discarded here like every other charge
+        pass
+
 
 #: Shared sink for un-instrumented calls.  Never read its counters.
 NULL_LEDGER = _NullLedger()

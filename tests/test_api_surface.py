@@ -2,12 +2,12 @@
 
 Guards the unified entry-point contract: every top-level export
 resolves, every entry point takes the graph positionally and everything
-else keyword-only, the legacy positional shim still works (with a
-DeprecationWarning), and the result types are immutable value objects.
+else keyword-only (the legacy positional shim on
+``approximate_minimum_cut`` is gone — positionals now raise TypeError),
+and the result types are immutable value objects.
 """
 
 import inspect
-import warnings
 
 import numpy as np
 import pytest
@@ -26,6 +26,8 @@ PUBLIC_API = [
     "resilient_minimum_cut",
     "approximate_minimum_cut",
     "two_respecting_min_cut",
+    "CutEngine",
+    "ArtifactCache",
     "CutResult",
     "ApproxResult",
     "VerificationReport",
@@ -94,48 +96,17 @@ class TestKeywordOnlySignatures:
         assert sig.parameters["trace"].default is False
         assert "ledger" in sig.parameters
 
-    def test_shim_does_not_leak_var_positional(self):
-        # the deprecation shim is *args under the hood; the published
-        # signature must still be the keyword-only one
+    def test_approximate_has_no_var_positional(self):
+        # the old deprecation shim was *args under the hood; the real
+        # function must expose (and enforce) the keyword-only signature
         sig = inspect.signature(repro.approximate_minimum_cut)
         kinds = {p.kind for p in sig.parameters.values()}
         assert inspect.Parameter.VAR_POSITIONAL not in kinds
 
-
-class TestPositionalDeprecationShim:
-    def test_positional_params_warns_but_works(self, graph):
-        with pytest.warns(DeprecationWarning, match="positional"):
-            res = repro.approximate_minimum_cut(graph, repro.HierarchyParams())
-        assert res.low <= res.estimate <= res.high
-
-    def test_positional_matches_keyword_call(self, graph):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            legacy = repro.approximate_minimum_cut(
-                graph, repro.HierarchyParams(), np.random.default_rng(3)
-            )
-        modern = repro.approximate_minimum_cut(
-            graph, params=repro.HierarchyParams(), rng=np.random.default_rng(3)
-        )
-        assert legacy.estimate == modern.estimate
-        assert legacy.skeleton_layer == modern.skeleton_layer
-
-    def test_keyword_call_does_not_warn(self, graph):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            repro.approximate_minimum_cut(graph, rng=np.random.default_rng(0))
-
-    def test_too_many_positionals_is_typeerror(self, graph):
-        with pytest.warns(DeprecationWarning), pytest.raises(TypeError, match="at most"):
-            repro.approximate_minimum_cut(graph, None, None, None, None, 0.3)
-
-    def test_duplicate_positional_and_keyword_is_typeerror(self, graph):
-        with pytest.warns(DeprecationWarning), pytest.raises(
-            TypeError, match="multiple values"
-        ):
-            repro.approximate_minimum_cut(
-                graph, repro.HierarchyParams(), params=repro.HierarchyParams()
-            )
+    def test_approximate_rejects_positionals(self, graph):
+        # the one-release shim is gone: positionals are a plain TypeError
+        with pytest.raises(TypeError):
+            repro.approximate_minimum_cut(graph, repro.HierarchyParams())
 
 
 class TestPipelineParams:

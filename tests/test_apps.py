@@ -127,3 +127,113 @@ class TestTwoOutContraction:
         g = Graph.from_edges(6, [(0, i) for i in range(1, 6)])
         res = two_out_contraction_min_cut(g, rng=np.random.default_rng(2))
         assert res.value == pytest.approx(1.0)
+
+
+class TestEngineMigrationIdentity:
+    """The apps now route through repro.engine.CutEngine; these tests pin
+    their outputs to the pre-migration direct-minimum_cut recursions."""
+
+    def _legacy_clusters(self, graph, params, rng, ledger=None):
+        # the pre-migration body of min_cut_clusters, verbatim
+        from repro.core.mincut import minimum_cut
+        from repro.pram.ledger import NULL_LEDGER
+
+        ledger = ledger if ledger is not None else NULL_LEDGER
+        if graph.n == 0:
+            return []
+
+        def split(vertices):
+            if vertices.shape[0] < 2 * params.min_size:
+                return [vertices]
+            sub = induced_subgraph(graph, vertices)
+            k, labels = sub.connected_components()
+            if k > 1:
+                parts = []
+                for c in range(k):
+                    parts.extend(split(vertices[labels == c]))
+                return parts
+            res = minimum_cut(sub, rng=rng, ledger=ledger)
+            smaller = min(int(res.side.sum()), sub.n - int(res.side.sum()))
+            if smaller < params.min_size:
+                return [vertices]
+            if res.value / smaller > params.max_cut_per_vertex:
+                return [vertices]
+            return split(vertices[res.side]) + split(vertices[~res.side])
+
+        parts = split(np.arange(graph.n, dtype=np.int64))
+        parts = [np.sort(p) for p in parts]
+        parts.sort(key=lambda p: int(p[0]))
+        return parts
+
+    def test_clusters_identical_to_premigration(self):
+        g = community_graph((10, 12, 9), intra_degree=7, inter_edges=2, rng=11)
+        params = ClusteringParams()
+        got = min_cut_clusters(g, params, rng=np.random.default_rng(7))
+        want = self._legacy_clusters(g, params, np.random.default_rng(7))
+        assert len(got) == len(want)
+        for a, b in zip(got, want):
+            assert np.array_equal(a, b)
+
+    def test_clusters_ledger_identical_to_premigration(self):
+        from repro.pram.ledger import Ledger
+
+        g = community_graph((8, 9), intra_degree=6, inter_edges=2, rng=3)
+        led_new, led_old = Ledger(), Ledger()
+        min_cut_clusters(g, rng=np.random.default_rng(5), ledger=led_new)
+        self._legacy_clusters(
+            g, ClusteringParams(), np.random.default_rng(5), ledger=led_old
+        )
+        assert (led_new.work, led_new.depth) == (led_old.work, led_old.depth)
+
+    def test_weakest_partition_identical_to_premigration(self):
+        from repro.core.mincut import minimum_cut
+
+        g = reliability_network(16, 6, rng=9)
+        rep = weakest_partition(g, rng=np.random.default_rng(2))
+        res = minimum_cut(g, rng=np.random.default_rng(2))
+        assert rep.cut_value == res.value
+        side = res.side if res.side.sum() * 2 <= g.n else ~res.side
+        assert np.array_equal(rep.isolated, np.flatnonzero(side))
+        assert np.array_equal(rep.crossing_edges, g.cut_edges(res.side))
+
+    def test_reinforce_identical_to_premigration(self):
+        from repro.core.mincut import minimum_cut
+
+        g = reliability_network(14, 5, rng=4)
+        got = reinforce(g, rounds=3, rng=np.random.default_rng(8))
+
+        rng = np.random.default_rng(8)
+        current = g
+        want = []
+        for _ in range(3):
+            res = minimum_cut(current, rng=rng)
+            side = res.side if res.side.sum() * 2 <= current.n else ~res.side
+            want.append(
+                ReliabilityReport(
+                    cut_value=res.value,
+                    isolated=np.flatnonzero(side),
+                    crossing_edges=current.cut_edges(res.side),
+                )
+            )
+            w = current.w.copy()
+            w[want[-1].crossing_edges] *= 2.0
+            current = current.with_weights(w)
+
+        assert len(got) == len(want)
+        for a, b in zip(got, want):
+            assert a.cut_value == b.cut_value
+            assert np.array_equal(a.isolated, b.isolated)
+            assert np.array_equal(a.crossing_edges, b.crossing_edges)
+
+    def test_reinforce_requery_matches_ground_truth(self):
+        # the fast path reuses packed trees across rounds; every round's
+        # report must still be the true minimum cut of that round's graph
+        g = reliability_network(12, 4, rng=6)
+        reports = reinforce(g, rounds=4, rng=np.random.default_rng(1), requery=True)
+        w = np.array(g.w, copy=True)
+        for rep in reports:
+            truth = stoer_wagner(g.with_weights(w, drop_zero=False))
+            assert rep.cut_value == pytest.approx(truth.value)
+            w[rep.crossing_edges] *= 2.0
+        values = [r.cut_value for r in reports]
+        assert values == sorted(values)

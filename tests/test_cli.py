@@ -128,3 +128,38 @@ class TestParser:
         write_dimacs(g, p2)
         assert _load(str(p1), "auto").m == g.m
         assert _load(str(p2), "auto").m == g.m
+
+
+class TestEngine:
+    def test_matches_cut_value(self, graph_file, capsys):
+        g, path = graph_file
+        assert main(["engine", path, "--seed", "3"]) == 0
+        out = dict(
+            line.split(" ", 1) for line in capsys.readouterr().out.strip().split("\n")
+        )
+        assert float(out["value"]) == pytest.approx(stoer_wagner(g).value)
+        assert float(out["cache.misses"]) == 4.0
+        assert float(out["engine.stage_runs"]) == 4.0
+
+    def test_batch_reuses_preprocessing(self, graph_file, capsys):
+        g, path = graph_file
+        assert main(["engine", path, "--seed", "3", "--batch", "4"]) == 0
+        out = dict(
+            line.split(" ", 1) for line in capsys.readouterr().out.strip().split("\n")
+        )
+        assert out["batch.queries"] == "4"
+        truth = stoer_wagner(g).value
+        for v in out["batch.values"].split():
+            assert float(v) == pytest.approx(truth)
+        # four warm queries still ran only the four cold stage builds
+        assert float(out["engine.stage_runs"]) == 4.0
+        assert float(out["batch.extra_work"]) > 0
+        # amortization: 4 warm queries cost less work than 4 cold runs
+        assert float(out["batch.extra_work"]) < 4 * float(out["cold.work"])
+
+    def test_trace_export(self, graph_file, tmp_path, capsys):
+        _, path = graph_file
+        trace = tmp_path / "engine_trace.json"
+        assert main(["engine", path, "--trace", str(trace)]) == 0
+        assert trace.exists()
+        assert "trace.spans" in capsys.readouterr().out

@@ -1,0 +1,321 @@
+"""The staged CutEngine: parity with the one-shot pipeline, artifact
+caching, batch fan-out, and requery.
+
+The headline suite is the parity matrix: across executor backends ×
+kernel modes × tracing, a cold ``CutEngine.min_cut()`` must be
+bit-identical — value, side bytes, stats dict, ledger work/depth, and
+per-phase records — to seed-state :func:`repro.minimum_cut` with the
+same inputs.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.engine import (
+    ArtifactCache,
+    CutEngine,
+    PackedForest,
+    TreeIndex,
+    combine_fingerprint,
+    graph_fingerprint,
+)
+from repro.errors import InvalidParameterError
+from repro.graphs import Graph, random_connected_graph
+from repro.kernels import force_kernels
+from repro.obs import CounterRegistry, counting_scope
+from repro.pram.executor import force_executor
+from repro.pram.ledger import Ledger
+
+
+@pytest.fixture
+def graph():
+    return random_connected_graph(48, 150, rng=12, max_weight=5)
+
+
+def _phases(ledger):
+    return {n: (p.work, p.depth) for n, p in ledger._phases.items()}
+
+
+def _assert_same_result(a, b):
+    assert a.value == b.value
+    assert np.array_equal(np.asarray(a.side), np.asarray(b.side))
+    assert dict(a.stats) == dict(b.stats)
+
+
+class TestColdParity:
+    """Engine one-shot ≡ minimum_cut, bit for bit."""
+
+    @pytest.mark.parametrize("backend", ["sync", "thread", "process"])
+    @pytest.mark.parametrize("kernels", ["reference", "fast"])
+    @pytest.mark.parametrize("trace", [False, True])
+    def test_matrix(self, graph, backend, kernels, trace):
+        with force_executor(backend), force_kernels(kernels):
+            led_direct = Ledger()
+            direct = repro.minimum_cut(
+                graph,
+                rng=np.random.default_rng(21),
+                ledger=led_direct,
+                trace=trace,
+            )
+            led_engine = Ledger()
+            engine = CutEngine(graph, seed=21, ledger=led_engine)
+            via_engine = engine.min_cut(trace=trace)
+        _assert_same_result(direct, via_engine)
+        assert (led_direct.work, led_direct.depth) == (
+            led_engine.work,
+            led_engine.depth,
+        )
+        assert _phases(led_direct) == _phases(led_engine)
+        if trace:
+            assert via_engine.report is not None
+
+    def test_shared_rng_matches_seed(self, graph):
+        # passing rng= consumes the stream exactly like minimum_cut does
+        direct = repro.minimum_cut(graph, rng=np.random.default_rng(5))
+        via = CutEngine(graph, rng=np.random.default_rng(5)).min_cut()
+        _assert_same_result(direct, via)
+
+    @pytest.mark.parametrize(
+        "knobs",
+        [
+            {"max_trees": None, "decomposition": "bough"},
+            {"epsilon": 0.3},
+            {"packing_iterations": 12},
+            {"approx_value": 10.0},
+        ],
+    )
+    def test_knob_parity(self, graph, knobs):
+        direct = repro.minimum_cut(graph, rng=np.random.default_rng(3), **knobs)
+        via = CutEngine(graph, seed=3, **knobs).min_cut()
+        _assert_same_result(direct, via)
+
+    def test_pipeline_bundle_and_conflicts(self, graph):
+        pp = repro.CutPipelineParams(decomposition="bough")
+        via = CutEngine(graph, seed=3, pipeline=pp).min_cut()
+        direct = repro.minimum_cut(graph, rng=np.random.default_rng(3), pipeline=pp)
+        _assert_same_result(direct, via)
+        with pytest.raises(InvalidParameterError, match="not both"):
+            CutEngine(graph, pipeline=pp, decomposition="heavy" if False else "bough")
+        with pytest.raises(InvalidParameterError, match="not both"):
+            CutEngine(graph, seed=1, rng=np.random.default_rng(1))
+
+    def test_degenerate_inputs(self):
+        two = Graph.from_edges(2, [(0, 1, 3.5)])
+        assert CutEngine(two, seed=0).min_cut().value == 3.5
+        disconnected = Graph.from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        res = CutEngine(disconnected, seed=0).min_cut()
+        assert res.value == 0.0
+        from repro.errors import GraphFormatError
+
+        with pytest.raises(GraphFormatError):
+            CutEngine(Graph.empty(1), seed=0).min_cut()
+
+
+class TestWarmCache:
+    def test_second_query_charges_only_search(self, graph):
+        led = Ledger()
+        engine = CutEngine(graph, seed=8, ledger=led)
+        first = engine.min_cut()
+        snap = led.snapshot()
+        phases_before = _phases(led)
+        second = engine.min_cut()
+        _assert_same_result(first, second)
+        dw, _ = led.since(snap)
+        phases_after = _phases(led)
+        # only the per-query search phase moved
+        assert phases_after["approximate"] == phases_before["approximate"]
+        assert phases_after["skeleton"] == phases_before["skeleton"]
+        assert phases_after["greedy-packing"] == phases_before["greedy-packing"]
+        search_delta = (
+            phases_after["two-respecting"][0] - phases_before["two-respecting"][0]
+        )
+        assert dw == pytest.approx(search_delta)
+        assert dw > 0  # the search itself is still charged
+
+    def test_warm_prebuilds_artifacts(self, graph):
+        cache = ArtifactCache()
+        engine = CutEngine(graph, seed=4, cache=cache).warm()
+        assert len(cache) == 4  # validate, approximate, forest, index
+        led = Ledger()
+        engine.ledger = led
+        engine.min_cut()
+        assert "approximate" not in _phases(led)
+
+    def test_cache_counters(self, graph):
+        reg = CounterRegistry()
+        with counting_scope(reg):
+            engine = CutEngine(graph, seed=4)
+            engine.min_cut()
+            engine.min_cut()
+        assert reg.get("engine.queries") == 2.0
+        assert reg.get("engine.stage_runs") == 4.0
+        assert reg.get("engine.cache_hits") >= 4.0
+        assert reg.get("engine.cache_misses") == 4.0
+
+    def test_distinct_seeds_do_not_share_artifacts(self, graph):
+        cache = ArtifactCache()
+        a = CutEngine(graph, seed=1, cache=cache).min_cut()
+        b = CutEngine(graph, seed=2, cache=cache).min_cut()
+        assert len(cache) >= 7  # only the validate artifact is shared
+        assert a.value == b.value  # both exact w.h.p.
+
+    def test_param_change_invalidates_deterministically(self, graph):
+        cache = ArtifactCache()
+        CutEngine(graph, seed=1, cache=cache).min_cut()
+        n = len(cache)
+        # a query-stage knob (max_trees) misses only the index stage
+        CutEngine(graph, seed=1, max_trees=4, cache=cache).min_cut()
+        assert len(cache) == n + 1
+
+
+class TestArtifactCacheBounds:
+    def test_lru_entry_bound(self):
+        cache = ArtifactCache(max_entries=2)
+        for i in range(4):
+            cache.put("s", str(i), TreeIndex(str(i)))
+        assert len(cache) == 2
+        assert ("s", "3") in cache and ("s", "2") in cache
+        assert cache.stats["evictions"] == 2
+
+    def test_byte_bound_keeps_latest(self, graph):
+        engine = CutEngine(graph, seed=0)
+        engine.warm()
+        forest = engine.cache.get("forest", engine._fp_forest)
+        assert isinstance(forest, PackedForest)
+        small = ArtifactCache(max_bytes=max(1, forest.nbytes // 2))
+        small.put("forest", "a", forest)
+        # an artifact larger than the whole budget is stored alone
+        assert ("forest", "a") in small
+        small.put("forest", "b", forest)
+        assert ("forest", "b") in small and ("forest", "a") not in small
+
+    def test_invalidate(self, graph):
+        engine = CutEngine(graph, seed=0).warm()
+        assert engine.cache.invalidate("index") == 1
+        assert engine.cache.invalidate() == 3
+        assert len(engine.cache) == 0
+        # next query rebuilds everything
+        assert engine.min_cut().value > 0
+
+    def test_validates_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            ArtifactCache(max_entries=0)
+        with pytest.raises(InvalidParameterError):
+            ArtifactCache(max_bytes=0)
+
+    def test_fingerprints_change_with_inputs(self, graph):
+        fp = graph_fingerprint(graph)
+        w = graph.w.copy()
+        w[0] += 1.0
+        assert graph_fingerprint(graph.with_weights(w)) != fp
+        assert combine_fingerprint("a", 1) != combine_fingerprint("a", 2)
+
+
+class TestBatch:
+    @pytest.mark.parametrize("backend", ["sync", "thread", "process"])
+    def test_batch_values_exact(self, graph, backend):
+        truth = repro.minimum_cut(graph, rng=np.random.default_rng(0)).value
+        with force_executor(backend):
+            results = CutEngine(graph, seed=0).min_cut_batch(range(6))
+        assert len(results) == 6
+        for r in results:
+            assert r.value == pytest.approx(truth)
+
+    def test_batch_preprocesses_once(self, graph):
+        # batch of 8: approximate/skeleton/greedy-packing phase charges
+        # equal a single cold run's — preprocessing ran exactly once
+        led_single = Ledger()
+        repro.minimum_cut(graph, rng=np.random.default_rng(13), ledger=led_single)
+        single = _phases(led_single)
+
+        led_batch = Ledger()
+        CutEngine(graph, seed=13, ledger=led_batch).min_cut_batch(range(8))
+        batch = _phases(led_batch)
+        for ph in ("approximate", "skeleton", "greedy-packing"):
+            assert batch[ph] == single[ph], ph
+
+    def test_warm_batch_charges_no_preprocessing(self, graph):
+        led = Ledger()
+        engine = CutEngine(graph, seed=13, ledger=led).warm()
+        before = _phases(led)
+        engine.min_cut_batch(range(8))
+        after = _phases(led)
+        for ph in ("approximate", "skeleton", "greedy-packing"):
+            assert after[ph] == before[ph], ph
+        # and the searches were absorbed as one parallel round:
+        # depth grows by a max, work by a sum
+        assert led.work > sum(w for w, _ in before.values())
+
+    def test_batch_deterministic_per_seed(self, graph):
+        a = CutEngine(graph, seed=2).min_cut_batch([5, 6])
+        b = CutEngine(graph, seed=2).min_cut_batch([5, 6])
+        for x, y in zip(a, b):
+            _assert_same_result(x, y)
+
+    def test_empty_batch(self, graph):
+        assert CutEngine(graph, seed=0).min_cut_batch([]) == []
+
+    def test_batch_on_disconnected_graph(self):
+        g = Graph.from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        results = CutEngine(g, seed=0).min_cut_batch(range(3))
+        assert [r.value for r in results] == [0.0, 0.0, 0.0]
+
+    def test_batch_trace_attaches_report(self, graph):
+        results = CutEngine(graph, seed=0).min_cut_batch([1, 2], trace=True)
+        assert all(r.report is not None for r in results)
+
+
+class TestRequery:
+    def test_scaled_weights_track_value(self, graph):
+        from repro.baselines import stoer_wagner
+
+        engine = CutEngine(graph, seed=7)
+        engine.min_cut()
+        w = graph.w * 1.25
+        res = engine.requery(w)
+        assert dict(res.stats)["requery"] == 1.0
+        truth = stoer_wagner(graph.with_weights(w, drop_zero=False))
+        assert res.value == pytest.approx(truth.value)
+
+    def test_sparse_update_spelling(self, graph):
+        engine = CutEngine(graph, seed=7)
+        base = engine.min_cut()
+        res = engine.requery({0: float(graph.w[0])})  # no-op update
+        assert res.value == pytest.approx(base.value)
+
+    def test_requery_reuses_packed_trees(self, graph):
+        led = Ledger()
+        engine = CutEngine(graph, seed=7, ledger=led)
+        engine.min_cut()
+        before = _phases(led)
+        engine.requery(graph.w * 1.01)
+        after = _phases(led)
+        for ph in ("approximate", "skeleton", "greedy-packing"):
+            assert after[ph] == before[ph], ph
+
+    def test_large_perturbation_rebases(self, graph):
+        from repro.baselines import stoer_wagner
+
+        reg = CounterRegistry()
+        engine = CutEngine(graph, seed=7)
+        engine.min_cut()
+        w = graph.w * 100.0
+        with counting_scope(reg):
+            res = engine.requery(w)
+        assert reg.get("engine.rebases") == 1.0
+        assert dict(res.stats)["rebased"] == 1.0
+        truth = stoer_wagner(graph.with_weights(w, drop_zero=False))
+        assert res.value == pytest.approx(truth.value)
+
+    def test_zero_weight_rejected(self, graph):
+        # the Graph contract (positive weights) covers requery too; edge
+        # removal is a rebase onto a new topology, not a weight update
+        from repro.errors import GraphFormatError
+
+        engine = CutEngine(graph, seed=7)
+        engine.min_cut()
+        w = graph.w.copy()
+        w[0] = 0.0
+        with pytest.raises(GraphFormatError):
+            engine.requery(w)

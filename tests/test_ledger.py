@@ -204,3 +204,15 @@ class TestNullLedger:
         with NULL_LEDGER.batch(depth=3):
             pass
         assert NULL_LEDGER.depth == 0
+
+    def test_absorb_parallel_is_inert(self):
+        # absorb mutates work/depth without going through charge; the
+        # null ledger must discard it too (the engine's batch fan-out
+        # absorbs worker ledgers into whatever ledger it was given)
+        other = Ledger()
+        with other.phase("absorbed-phase"):
+            other.charge(100, 100)
+        NULL_LEDGER.absorb_parallel(other)
+        assert NULL_LEDGER.work == 0
+        assert NULL_LEDGER.depth == 0
+        assert "absorbed-phase" not in NULL_LEDGER.phases
