@@ -1,0 +1,373 @@
+#!/usr/bin/env python
+"""Load generator for the cut-serving daemon (:mod:`repro.serve`).
+
+Starts a :class:`~repro.serve.ThreadedTCPServer` in-process, registers a
+few tenants with named graphs, then drives sustained query traffic from
+concurrent client threads: mostly warm ``min_cut`` / ``requery`` hits,
+a slice of ``min_cut_batch``, and a slice of deliberately-short
+deadlines to exercise shedding.  Clients honor ``retry_after``
+backpressure (sleeping the server's hint), so the run demonstrates the
+full admission contract under load, not just the happy path.
+
+Writes ``BENCH_service.json`` at the repo root with:
+
+* latency percentiles (p50 / p90 / p99, milliseconds) over successful
+  queries, per op and overall;
+* throughput (completed queries per wall second);
+* admission-control counts — retries absorbed, requests shed on
+  deadline (queued vs inflight), errors;
+* the daemon's own ``serve.*`` counters and per-tenant cache hit rates.
+
+The run fails (non-zero exit) when any request goes unanswered (socket
+timeout — the daemon's never-hang contract), any response is ill-formed,
+or any ``min_cut`` result disagrees with the graph's precomputed exact
+value.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_service.py            # full run
+    PYTHONPATH=src python scripts/bench_service.py --smoke    # CI smoke
+    PYTHONPATH=src python scripts/bench_service.py \
+        --queries 5000 --clients 16 --output BENCH_service.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import socket
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.baselines.stoer_wagner import stoer_wagner  # noqa: E402
+from repro.graphs.generators import random_connected_graph  # noqa: E402
+from repro.serve import (  # noqa: E402
+    ServerConfig,
+    ServiceClient,
+    ThreadedTCPServer,
+    well_formed,
+)
+
+TENANTS = ("alpha", "beta", "gamma")
+
+
+@dataclass
+class ClientStats:
+    """One worker thread's tally (merged single-threaded afterwards)."""
+
+    latencies_ms: Dict[str, List[float]] = field(default_factory=dict)
+    completed: int = 0
+    retries: int = 0
+    shed_queued: int = 0
+    shed_inflight: int = 0
+    errors: int = 0
+    failures: List[str] = field(default_factory=list)
+
+    def record(self, op: str, ms: float) -> None:
+        self.latencies_ms.setdefault(op, []).append(ms)
+        self.completed += 1
+
+
+def _percentile(values: List[float], q: float) -> float:
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+def _build_corpus(rng: np.random.Generator, per_tenant: int, small: bool):
+    """(tenant, graph_name) -> (edges payload, n, exact value)."""
+    corpus = {}
+    for tenant in TENANTS:
+        for gi in range(per_tenant):
+            n = int(rng.integers(24, 40 if small else 64))
+            m = int(rng.integers(3 * n, 5 * n))
+            g = random_connected_graph(
+                n, m, rng=int(rng.integers(2**31)), max_weight=8
+            )
+            edges = [[int(u), int(v), float(w)] for u, v, w in g.edges()]
+            corpus[(tenant, f"g{gi}")] = (edges, g.n, stoer_wagner(g).value)
+    return corpus
+
+
+def _register_all(port: int, corpus, timeout: float) -> None:
+    with ServiceClient("127.0.0.1", port, timeout=timeout) as client:
+        for tenant in TENANTS:
+            client.call({"op": "register_tenant", "tenant": tenant})
+        for (tenant, name), (edges, n, _exact) in corpus.items():
+            client.call(
+                {
+                    "op": "register_graph",
+                    "tenant": tenant,
+                    "graph": name,
+                    "n": n,
+                    "edges": edges,
+                    "seed": 17,
+                    "warm": True,
+                }
+            )
+
+
+def _client_worker(
+    wid: int,
+    port: int,
+    corpus,
+    queries: int,
+    timeout: float,
+    stats: ClientStats,
+) -> None:
+    rng = np.random.default_rng(1000 + wid)
+    keys = sorted(corpus)
+    client = ServiceClient("127.0.0.1", port, timeout=timeout)
+    try:
+        for qi in range(queries):
+            tenant, name = keys[int(rng.integers(len(keys)))]
+            _edges, _n, exact = corpus[(tenant, name)]
+            roll = rng.random()
+            if roll < 0.70:
+                req = {"op": "min_cut", "tenant": tenant, "graph": name}
+            elif roll < 0.85:
+                req = {
+                    "op": "requery",
+                    "tenant": tenant,
+                    "graph": name,
+                    # zero-delta perturbation: a pure cache hit server-side
+                    "weights": {},
+                }
+            elif roll < 0.95:
+                req = {
+                    "op": "min_cut_batch",
+                    "tenant": tenant,
+                    "graph": name,
+                    "seeds": [int(s) for s in rng.integers(0, 2**20, size=3)],
+                }
+            else:
+                # deliberately tight deadline: exercises the shedding path
+                req = {
+                    "op": "min_cut",
+                    "tenant": tenant,
+                    "graph": name,
+                    "deadline_ms": 1,
+                }
+            t0 = time.monotonic()
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    resp = client.request(dict(req))
+                except socket.timeout:
+                    stats.failures.append(
+                        f"worker={wid} q={qi}: UNANSWERED after {timeout:g}s ({req['op']})"
+                    )
+                    return
+                except (ConnectionError, OSError) as exc:
+                    stats.failures.append(
+                        f"worker={wid} q={qi}: connection failed: {exc}"
+                    )
+                    return
+                problem = well_formed(resp, req.get("id"))
+                if problem is not True:
+                    stats.failures.append(
+                        f"worker={wid} q={qi}: ill-formed response {resp!r}: {problem}"
+                    )
+                    return
+                if resp["type"] == "retry_after" and attempts < 32:
+                    stats.retries += 1
+                    time.sleep(resp.get("retry_after_ms", 50) / 1000.0)
+                    continue
+                break
+            elapsed_ms = (time.monotonic() - t0) * 1000.0
+            if resp["type"] == "result":
+                if req["op"] == "min_cut" and resp.get("value") != exact:
+                    stats.failures.append(
+                        f"worker={wid} q={qi}: WRONG ANSWER "
+                        f"{resp.get('value')} != {exact} ({tenant}/{name})"
+                    )
+                    return
+                stats.record(req["op"], elapsed_ms)
+            elif resp["type"] == "deadline_exceeded":
+                if resp.get("shed") == "queued":
+                    stats.shed_queued += 1
+                else:
+                    stats.shed_inflight += 1
+            elif resp["type"] == "retry_after":
+                stats.retries += 1  # retry budget exhausted; still answered
+            else:
+                stats.errors += 1
+    finally:
+        client.close()
+
+
+def run_bench(
+    *,
+    queries: int,
+    clients: int,
+    graphs_per_tenant: int,
+    queue_depth: int,
+    workers: int,
+    timeout: float,
+    seed: int,
+    small: bool,
+) -> dict:
+    rng = np.random.default_rng(seed)
+    corpus = _build_corpus(rng, graphs_per_tenant, small)
+    per_client = max(1, queries // clients)
+
+    config = ServerConfig(port=0, queue_depth=queue_depth, workers=workers)
+    with ThreadedTCPServer(config) as server:
+        _register_all(server.port, corpus, timeout)
+        all_stats = [ClientStats() for _ in range(clients)]
+        threads = [
+            threading.Thread(
+                target=_client_worker,
+                args=(wid, server.port, corpus, per_client, timeout, all_stats[wid]),
+                name=f"bench-client-{wid}",
+            )
+            for wid in range(clients)
+        ]
+        t0 = time.monotonic()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.monotonic() - t0
+        with ServiceClient("127.0.0.1", server.port, timeout=timeout) as client:
+            metrics = client.call({"op": "metrics"})
+
+    merged: Dict[str, List[float]] = {}
+    completed = retries = shed_q = shed_i = errors = 0
+    failures: List[str] = []
+    for s in all_stats:
+        for op, vals in s.latencies_ms.items():
+            merged.setdefault(op, []).extend(vals)
+        completed += s.completed
+        retries += s.retries
+        shed_q += s.shed_queued
+        shed_i += s.shed_inflight
+        errors += s.errors
+        failures.extend(s.failures)
+
+    overall = [v for vals in merged.values() for v in vals]
+    counters = metrics["counters"]
+    hits = sum(
+        t["cache"]["hits"] for t in metrics["tenants"].values()
+    )
+    misses = sum(
+        t["cache"]["misses"] for t in metrics["tenants"].values()
+    )
+    report = {
+        "config": {
+            "queries_requested": per_client * clients,
+            "clients": clients,
+            "graphs_per_tenant": graphs_per_tenant,
+            "queue_depth": queue_depth,
+            "workers": workers,
+            "seed": seed,
+        },
+        "wall_s": round(wall, 3),
+        "throughput_qps": round(completed / wall, 1) if wall > 0 else 0.0,
+        "latency_ms": {
+            "overall": {
+                "p50": round(_percentile(overall, 50), 3),
+                "p90": round(_percentile(overall, 90), 3),
+                "p99": round(_percentile(overall, 99), 3),
+                "count": len(overall),
+            },
+            **{
+                op: {
+                    "p50": round(_percentile(vals, 50), 3),
+                    "p90": round(_percentile(vals, 90), 3),
+                    "p99": round(_percentile(vals, 99), 3),
+                    "count": len(vals),
+                }
+                for op, vals in sorted(merged.items())
+            },
+        },
+        "admission": {
+            "completed": completed,
+            "retries_absorbed": retries,
+            "shed_queued": shed_q,
+            "shed_inflight": shed_i,
+            "errors": errors,
+        },
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / (hits + misses), 4) if hits + misses else 0.0,
+        },
+        "serve_counters": {
+            k: v for k, v in sorted(counters.items()) if k.startswith("serve.")
+        },
+        "queue": metrics["queue"],
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "failures": failures,
+    }
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--queries", type=int, default=4000,
+                    help="total queries across all clients")
+    ap.add_argument("--clients", type=int, default=12)
+    ap.add_argument("--graphs-per-tenant", type=int, default=3)
+    ap.add_argument("--queue-depth", type=int, default=32)
+    ap.add_argument("--workers", type=int, default=4)
+    ap.add_argument("--timeout", type=float, default=60.0,
+                    help="client response timeout; firing means the daemon hung")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--smoke", action="store_true",
+                    help="small CI run (fewer queries, smaller graphs)")
+    ap.add_argument("--small-graphs", action="store_true",
+                    help="use smoke-sized graphs without capping the "
+                         "query count (sustained-load runs on busy boxes)")
+    ap.add_argument("--output", default=str(ROOT / "BENCH_service.json"))
+    args = ap.parse_args(argv)
+
+    if args.smoke:
+        args.queries = min(args.queries, 200)
+        args.clients = min(args.clients, 6)
+        args.graphs_per_tenant = min(args.graphs_per_tenant, 2)
+
+    report = run_bench(
+        queries=args.queries,
+        clients=args.clients,
+        graphs_per_tenant=args.graphs_per_tenant,
+        queue_depth=args.queue_depth,
+        workers=args.workers,
+        timeout=args.timeout,
+        seed=args.seed,
+        small=args.smoke or args.small_graphs,
+    )
+
+    Path(args.output).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    lat = report["latency_ms"]["overall"]
+    print(f"completed {report['admission']['completed']}")
+    print(f"throughput_qps {report['throughput_qps']}")
+    print(f"p50_ms {lat['p50']}  p90_ms {lat['p90']}  p99_ms {lat['p99']}")
+    print(f"retries_absorbed {report['admission']['retries_absorbed']}")
+    print(
+        f"shed queued={report['admission']['shed_queued']} "
+        f"inflight={report['admission']['shed_inflight']}"
+    )
+    print(f"cache_hit_rate {report['cache']['hit_rate']}")
+    print(f"failures {len(report['failures'])}")
+    for line in report["failures"]:
+        print(f"FAIL {line}", file=sys.stderr)
+    return 1 if report["failures"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,22 +23,41 @@ Concretely, a trial passes when either
   result to be bit-identical to the same trial run uninterrupted;
 
 and fails when a non-``ReproError`` exception escapes, the value is
-wrong, or the trial exceeds the wall-clock cap (hang detection).
+wrong, or the trial exceeds the wall-clock cap (hang detection — hangs
+are tallied separately and force a non-zero exit on their own).
+
+``--service`` soaks the cut-serving daemon instead: every trial starts
+a real :class:`~repro.serve.ThreadedTCPServer` with a randomized fault
+plan over the four ``serve.*`` sites (``accept_drop``,
+``queue_stall``, ``handler_crash``, ``slow_client``) armed inside the
+service, then hammers it with concurrent clients mixing warm queries,
+zero-delta requeries, batches, deliberately-tight deadlines, unknown
+tenants/graphs, and malformed frames.  The gate is the overload
+contract of ``docs/service.md``: **every accepted request receives
+exactly one well-formed typed response** — a dropped connection before
+any frame is read is acceptable (nothing was accepted), a socket
+timeout is a hang, an ill-formed or missing response is a failure, and
+any ``min_cut`` *result* must equal the graph's independently-computed
+exact value.
 
 Usage::
 
     python scripts/chaos_soak.py --runs 200 --seed 0            # all backends
     python scripts/chaos_soak.py --runs 20 --seed 0 --backend process
+    python scripts/chaos_soak.py --service --trials 10 --seed 0 # daemon soak
 
-Exit status 0 iff every trial passed.
+Exit status 0 iff every trial passed and no trial hung.
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import socket
+import struct
 import sys
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional
@@ -52,9 +71,27 @@ from repro.errors import ReproError, SimulatedCrash  # noqa: E402
 from repro.graphs.generators import random_connected_graph  # noqa: E402
 from repro.pram.executor import force_executor, shutdown_shared_pools  # noqa: E402
 from repro.resilience.driver import resilient_minimum_cut  # noqa: E402
-from repro.resilience.faults import ALL_SITES, Fault, FaultPlan, inject  # noqa: E402
+from repro.resilience.faults import (  # noqa: E402
+    ALL_SITES,
+    SERVICE_SITES,
+    Fault,
+    FaultPlan,
+    inject,
+)
+from repro.serve import (  # noqa: E402
+    ProtocolError,
+    ServerConfig,
+    ServiceClient,
+    ThreadedTCPServer,
+    well_formed,
+)
 
 BACKENDS = ("process", "thread", "sync")
+
+#: fault sites for driver-mode plans: the ``serve.*`` sites are only
+#: polled inside the daemon, so drawing them here would dilute the
+#: driver soak's fault density with guaranteed no-ops
+DRIVER_SITES = tuple(s for s in ALL_SITES if s not in SERVICE_SITES)
 
 #: resumes allowed per trial before declaring it stuck (each injected
 #: kill costs one resume; plans carry at most 3 faults)
@@ -69,15 +106,20 @@ class SoakStats:
     resumed: int = 0
     degradations: int = 0
     fallbacks: int = 0
+    #: service mode: total serve.* faults the daemon reported injecting
+    faults_injected: int = 0
+    #: trials that exceeded the wall-clock cap or timed out a response —
+    #: tallied apart from failures so a hang can never hide in the noise
+    hangs: List[str] = field(default_factory=list)
     failures: List[str] = field(default_factory=list)
 
 
 def _random_plan(rng: np.random.Generator) -> FaultPlan:
-    """0-3 faults over every instrumented site, deterministically drawn."""
+    """0-3 faults over every driver-side site, deterministically drawn."""
     n_faults = int(rng.integers(0, 4))
     faults = tuple(
         Fault(
-            site=str(rng.choice(ALL_SITES)),
+            site=str(rng.choice(DRIVER_SITES)),
             at=int(rng.integers(0, 6)),
             index=int(rng.integers(0, 4)),
             seed=int(rng.integers(0, 2**31)),
@@ -144,7 +186,7 @@ def run_trial(
         # invariant forbids *silent* wrong answers, not loud errors
         stats.typed_errors += 1
         if time.monotonic() - t0 > time_cap:
-            stats.failures.append(f"{label}: exceeded {time_cap:g}s cap (typed)")
+            stats.hangs.append(f"{label}: exceeded {time_cap:g}s cap (typed)")
         return
     except BaseException as exc:  # noqa: BLE001 - anything else is a soak failure
         stats.failures.append(f"{label}: untyped {type(exc).__name__}: {exc}")
@@ -152,7 +194,7 @@ def run_trial(
 
     elapsed = time.monotonic() - t0
     if elapsed > time_cap:
-        stats.failures.append(f"{label}: exceeded {time_cap:g}s cap")
+        stats.hangs.append(f"{label}: exceeded {time_cap:g}s cap")
         return
     if res.verification is None or not res.verification.ok:
         stats.failures.append(f"{label}: returned unverified result")
@@ -166,6 +208,220 @@ def run_trial(
     stats.verified += 1
     stats.degradations += len(res.degradations)
     stats.fallbacks += 1 if res.fallback_used else 0
+
+
+# ---------------------------------------------------------------------------
+# service mode: soak the daemon under injected serve.* faults
+# ---------------------------------------------------------------------------
+
+#: per-response client timeout in service mode; firing means the daemon
+#: broke its never-hang contract for an accepted request
+SERVICE_RESPONSE_TIMEOUT = 30.0
+
+#: reconnect attempts per logical request (``serve.accept_drop`` kills a
+#: connection before any frame is read — nothing was accepted, so the
+#: client simply dials again; each armed fault fires at most once)
+MAX_RECONNECTS = 8
+
+
+def _random_service_plan(rng: np.random.Generator) -> FaultPlan:
+    """1-4 faults over the ``serve.*`` sites, deterministically drawn."""
+    n_faults = int(rng.integers(1, 5))
+    faults = tuple(
+        Fault(
+            site=str(rng.choice(SERVICE_SITES)),
+            at=int(rng.integers(0, 4)),
+            index=int(rng.integers(0, 4)),
+            seed=int(rng.integers(0, 2**31)),
+            scale=float(rng.choice((0.5, 1.0, 2.0, 4.0))),
+        )
+        for _ in range(n_faults)
+    )
+    return FaultPlan(faults=faults, name=f"serve-soak[{n_faults}]")
+
+
+def _service_request(port: int, request: dict, outcomes: List[str]) -> Optional[dict]:
+    """Issue one request, reconnecting through injected connection drops.
+
+    Returns the response, or ``None`` after recording a ``hang:`` /
+    ``fail:`` line in ``outcomes``.  A connection refused/reset *before
+    a response* is not a contract violation (``serve.accept_drop``
+    closes pre-read; nothing was accepted) — but running out of
+    reconnects is reported as a failure so a wedged daemon can't pass by
+    dropping everyone forever.
+    """
+    request = dict(request)
+    request.setdefault("id", 1)  # pin so the echo check below is exact
+    for _ in range(MAX_RECONNECTS):
+        client = ServiceClient(
+            "127.0.0.1", port, timeout=SERVICE_RESPONSE_TIMEOUT
+        )
+        try:
+            resp = client.request(dict(request))
+        except socket.timeout:
+            outcomes.append(f"hang: no response to {request.get('op')}")
+            return None
+        except (ProtocolError, ConnectionError, OSError):
+            continue  # dropped pre-response; dial again
+        finally:
+            client.close()
+        problem = well_formed(resp, request.get("id"), check_id=True)
+        if problem is not True:
+            outcomes.append(f"fail: ill-formed response {resp!r}: {problem}")
+            return None
+        return resp
+    outcomes.append(f"fail: {MAX_RECONNECTS} consecutive connection drops")
+    return None
+
+
+def _service_client_script(
+    wid: int,
+    port: int,
+    exact: float,
+    requests: int,
+    rng_seed: int,
+    outcomes: List[str],
+) -> None:
+    """One concurrent client's request mix; appends outcome lines."""
+    rng = np.random.default_rng(rng_seed)
+    for qi in range(requests):
+        roll = rng.random()
+        rid = wid * 1000 + qi
+        if roll < 0.45:
+            req = {"op": "min_cut", "tenant": "soak", "graph": "g", "id": rid}
+        elif roll < 0.60:
+            req = {
+                "op": "requery", "tenant": "soak", "graph": "g",
+                "weights": {}, "id": rid,
+            }
+        elif roll < 0.70:
+            req = {
+                "op": "min_cut_batch", "tenant": "soak", "graph": "g",
+                "seeds": [int(s) for s in rng.integers(0, 2**20, size=2)],
+                "id": rid,
+            }
+        elif roll < 0.80:
+            req = {
+                "op": "min_cut", "tenant": "soak", "graph": "g",
+                "deadline_ms": 1, "id": rid,
+            }
+        elif roll < 0.90:
+            req = {"op": "min_cut", "tenant": "soak", "graph": "missing", "id": rid}
+        else:
+            req = {"op": "metrics", "id": rid}
+        resp = _service_request(port, req, outcomes)
+        if resp is None:
+            continue
+        if (
+            resp["type"] == "result"
+            and req["op"] == "min_cut"
+            and req.get("graph") == "g"
+            and resp.get("value") != exact
+        ):
+            outcomes.append(
+                f"fail: WRONG ANSWER {resp.get('value')} != {exact}"
+            )
+
+
+def _malformed_probe(port: int, outcomes: List[str]) -> None:
+    """A garbage frame must earn one ``bad_request`` response, not a hang."""
+    try:
+        with socket.create_connection(
+            ("127.0.0.1", port), timeout=SERVICE_RESPONSE_TIMEOUT
+        ) as s:
+            s.sendall(struct.pack(">I", 9) + b"not json!")
+            header = b""
+            while len(header) < 4:
+                chunk = s.recv(4 - len(header))
+                if not chunk:
+                    return  # dropped pre-read (accept_drop): nothing owed
+                header += chunk
+            (length,) = struct.unpack(">I", header)
+            body = b""
+            while len(body) < length:
+                chunk = s.recv(length - len(body))
+                if not chunk:
+                    outcomes.append("fail: connection died mid bad_request reply")
+                    return
+                body += chunk
+            import json as _json
+
+            resp = _json.loads(body)
+            if resp.get("type") != "error" or resp.get("error") != "bad_request":
+                outcomes.append(f"fail: malformed frame answered with {resp!r}")
+    except socket.timeout:
+        outcomes.append("hang: no response to malformed frame")
+    except (ConnectionError, OSError):
+        pass  # dropped pre-response: acceptable
+
+
+def run_service_trial(
+    trial_seed: int, stats: SoakStats, *, clients: int = 4, requests: int = 8
+) -> None:
+    """One daemon lifetime under one randomized serve-fault plan."""
+    rng = np.random.default_rng(trial_seed)
+    n = int(rng.integers(16, 33))
+    m = int(rng.integers(int(2.5 * n), 4 * n))
+    graph = random_connected_graph(n, m, rng=int(rng.integers(2**31)), max_weight=8)
+    exact = stoer_wagner(graph).value
+    plan = _random_service_plan(rng)
+    edges = [[int(u), int(v), float(w)] for u, v, w in graph.edges()]
+
+    stats.trials += 1
+    label = f"trial={trial_seed} plan={plan.name}"
+    outcomes: List[str] = []
+    config = ServerConfig(port=0, queue_depth=8, workers=2, debug_ops=True)
+    try:
+        with ThreadedTCPServer(config, faults=plan) as server:
+            for req in (
+                {"op": "register_tenant", "tenant": "soak",
+                 "budget_class": "interactive"},
+                {"op": "register_graph", "tenant": "soak", "graph": "g",
+                 "n": graph.n, "edges": edges, "seed": 11, "warm": True},
+            ):
+                if _service_request(server.port, req, outcomes) is None:
+                    break
+            else:
+                threads = [
+                    threading.Thread(
+                        target=_service_client_script,
+                        args=(wid, server.port, exact, requests,
+                              trial_seed * 131 + wid, outcomes),
+                        name=f"soak-client-{wid}",
+                    )
+                    for wid in range(clients)
+                ]
+                for t in threads:
+                    t.start()
+                _malformed_probe(server.port, outcomes)
+                for t in threads:
+                    t.join(timeout=120)
+                    if t.is_alive():
+                        outcomes.append(f"hang: client thread {t.name} wedged")
+            metrics = server.service._metrics(None)
+            fired = int(metrics["counters"].get("serve.faults_injected", 0))
+    except BaseException as exc:  # noqa: BLE001 - any escape is a soak failure
+        stats.failures.append(f"{label}: untyped {type(exc).__name__}: {exc}")
+        return
+
+    ok = True
+    for line in outcomes:
+        if line.startswith("hang:"):
+            stats.hangs.append(f"{label}: {line}")
+            ok = False
+        else:
+            stats.failures.append(f"{label}: {line}")
+            ok = False
+    stats.faults_injected += fired
+    if ok:
+        stats.verified += 1
+
+
+def run_service_soak(trials: int, seed: int) -> SoakStats:
+    stats = SoakStats()
+    for i in range(trials):
+        run_service_trial(seed * 1_000_003 + i, stats)
+    return stats
 
 
 def run_soak(
@@ -187,24 +443,43 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="'auto' round-robins process/thread/sync")
     ap.add_argument("--time-cap", type=float, default=60.0, metavar="SECONDS",
                     help="per-trial wall-clock cap; exceeding it is a hang")
+    ap.add_argument("--service", action="store_true",
+                    help="soak the serving daemon under serve.* faults "
+                         "instead of the driver")
+    ap.add_argument("--trials", type=int, default=None,
+                    help="service-mode trial count (defaults to --runs)")
     args = ap.parse_args(argv)
 
-    backends = BACKENDS if args.backend == "auto" else (args.backend,)
     t0 = time.monotonic()
-    stats = run_soak(args.runs, args.seed, backends, args.time_cap)
+    if args.service:
+        stats = run_service_soak(
+            args.trials if args.trials is not None else args.runs, args.seed
+        )
+    else:
+        backends = BACKENDS if args.backend == "auto" else (args.backend,)
+        stats = run_soak(args.runs, args.seed, backends, args.time_cap)
     wall = time.monotonic() - t0
 
     print(f"trials {stats.trials}")
-    print(f"verified_exact {stats.verified}")
-    print(f"typed_errors {stats.typed_errors}")
-    print(f"resumed_runs {stats.resumed}")
-    print(f"fallbacks {stats.fallbacks}")
-    print(f"degradation_events {stats.degradations}")
+    if args.service:
+        print(f"clean_trials {stats.verified}")
+        print(f"serve_faults_injected {stats.faults_injected}")
+    else:
+        print(f"verified_exact {stats.verified}")
+        print(f"typed_errors {stats.typed_errors}")
+        print(f"resumed_runs {stats.resumed}")
+        print(f"fallbacks {stats.fallbacks}")
+        print(f"degradation_events {stats.degradations}")
+    print(f"hangs {len(stats.hangs)}")
     print(f"failures {len(stats.failures)}")
     print(f"wall_s {wall:.1f}")
+    for line in stats.hangs:
+        print(f"HANG {line}", file=sys.stderr)
     for line in stats.failures:
         print(f"FAIL {line}", file=sys.stderr)
-    return 1 if stats.failures else 0
+    # hangs force a non-zero exit in their own right: a daemon (or
+    # driver) that stops answering must never look green
+    return 1 if (stats.failures or stats.hangs) else 0
 
 
 if __name__ == "__main__":

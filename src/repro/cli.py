@@ -12,6 +12,10 @@ Commands
     The staged :class:`repro.engine.CutEngine`: preprocess once, then
     answer ``--batch N`` independent queries (and optionally a second
     warm query) with per-stage cache statistics.
+``serve``
+    The cut-serving daemon (:mod:`repro.serve`): length-prefixed JSON
+    over TCP, multi-tenant admission control, deadline shedding — see
+    ``docs/service.md``.  Runs until the ``shutdown`` op or Ctrl-C.
 
 All commands accept ``--seed`` and print machine-greppable ``key value``
 lines.  ``--trace OUT.json`` additionally records the run through
@@ -198,6 +202,23 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServerConfig
+    from repro.serve.server import run_tcp
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        queue_depth=args.queue_depth,
+        workers=args.workers,
+        default_budget_class=args.budget_class,
+        allow_shutdown=not args.no_shutdown_op,
+        seed=args.seed,
+    )
+    run_tcp(config)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -265,6 +286,29 @@ def build_parser() -> argparse.ArgumentParser:
                             "the cached artifacts")
     add_trace(p_eng)
     p_eng.set_defaults(func=_cmd_engine)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the multi-tenant cut-serving daemon (docs/service.md)",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=7471,
+                       help="TCP port (0 = ephemeral, printed on start)")
+    p_srv.add_argument("--queue-depth", type=int, default=64,
+                       help="bounded admission queue; overflow is answered "
+                            "with a typed retry_after")
+    p_srv.add_argument("--workers", type=int, default=4,
+                       help="concurrent dispatch workers")
+    p_srv.add_argument("--budget-class",
+                       choices=("interactive", "standard", "batch"),
+                       default="standard",
+                       help="default budget class for tenants registered "
+                            "without one")
+    p_srv.add_argument("--no-shutdown-op", action="store_true",
+                       help="disable the remote 'shutdown' op")
+    p_srv.add_argument("--seed", type=int, default=0,
+                       help="supervisor jitter seed")
+    p_srv.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -17,13 +17,19 @@ callers without a tracer.
 
 A single :class:`ArtifactCache` may back many
 :class:`repro.engine.CutEngine` instances (e.g. the recursive
-clustering app shares one across every induced subgraph); it is not
-thread-safe — engines sharing a cache across threads must arrange their
-own locking, matching the rest of the library's single-writer model.
+clustering app shares one across every induced subgraph, and the
+:mod:`repro.serve` daemon shares one per tenant across that tenant's
+engines).  Every public operation holds an internal re-entrant lock, so
+concurrent readers and writers see a consistent LRU order, size total,
+and stats — the hammer test in ``tests/test_engine.py`` drives mixed
+get/put/invalidate traffic from many threads and checks the bounds
+still hold.  Artifacts themselves are frozen values, so a hit may be
+used outside the lock freely.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
@@ -61,33 +67,38 @@ class ArtifactCache:
         self._sizes: Dict[Key, int] = {}
         self.current_bytes = 0
         self.stats: Dict[str, int] = {"hits": 0, "misses": 0, "evictions": 0}
+        # re-entrant: counters().add may re-enter via instrumented hooks,
+        # and invalidate() is callable from an eviction-observing thread
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def get(self, stage: str, fingerprint: str) -> Optional[object]:
         """The cached artifact for ``(stage, fingerprint)`` or None,
         refreshing its recency on a hit."""
         key = (stage, fingerprint)
-        artifact = self._entries.get(key)
-        if artifact is None:
-            self.stats["misses"] += 1
-            counters().add("engine.cache_misses")
-            return None
-        self._entries.move_to_end(key)
-        self.stats["hits"] += 1
-        counters().add("engine.cache_hits")
-        return artifact
+        with self._lock:
+            artifact = self._entries.get(key)
+            if artifact is None:
+                self.stats["misses"] += 1
+                counters().add("engine.cache_misses")
+                return None
+            self._entries.move_to_end(key)
+            self.stats["hits"] += 1
+            counters().add("engine.cache_hits")
+            return artifact
 
     def put(self, stage: str, fingerprint: str, artifact: object) -> None:
         """Insert (or refresh) an artifact, evicting LRU entries as needed."""
         key = (stage, fingerprint)
         size = int(getattr(artifact, "nbytes", 64))
-        if key in self._entries:
-            self.current_bytes -= self._sizes[key]
-            del self._entries[key]
-        self._entries[key] = artifact
-        self._sizes[key] = size
-        self.current_bytes += size
-        self._evict()
+        with self._lock:
+            if key in self._entries:
+                self.current_bytes -= self._sizes[key]
+                del self._entries[key]
+            self._entries[key] = artifact
+            self._sizes[key] = size
+            self.current_bytes += size
+            self._evict()
 
     def _evict(self) -> None:
         while len(self._entries) > self.max_entries or (
@@ -104,23 +115,26 @@ class ArtifactCache:
         returns the number removed.  Rarely needed — fingerprint keys
         already invalidate deterministically — but useful to reclaim
         memory or force a rebuild."""
-        if stage is None:
-            n = len(self._entries)
-            self._entries.clear()
-            self._sizes.clear()
-            self.current_bytes = 0
-            return n
-        doomed = [k for k in self._entries if k[0] == stage]
-        for k in doomed:
-            del self._entries[k]
-            self.current_bytes -= self._sizes.pop(k)
-        return len(doomed)
+        with self._lock:
+            if stage is None:
+                n = len(self._entries)
+                self._entries.clear()
+                self._sizes.clear()
+                self.current_bytes = 0
+                return n
+            doomed = [k for k in self._entries if k[0] == stage]
+            for k in doomed:
+                del self._entries[k]
+                self.current_bytes -= self._sizes.pop(k)
+            return len(doomed)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Key) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -25,6 +25,16 @@ Namespaces (the full catalogue lives in ``docs/observability.md``):
                           ``failures``, ``probes``, ``recoveries``)
 ``checkpoint.*``          crash-resume persistence (``saves``,
                           ``resumes``, ``stage_loads``, ``finalized``)
+``engine.*``              staged-engine queries and artifact cache
+                          (``queries``, ``requeries``, ``requery_noops``,
+                          ``rebases``, ``cache_hits``, ``cache_misses``)
+``serve.*``               the cut-serving daemon's admission/shedding
+                          ledger (``requests``, ``admitted``,
+                          ``completed``, ``rejected_queue_full``,
+                          ``rejected_inflight``, ``shed_queued``,
+                          ``shed_inflight``, ``op.<op>``,
+                          ``fault.<site>``; exposed by its ``metrics``
+                          op — ``docs/service.md``)
 ========================  =====================================================
 
 Cost model

@@ -17,6 +17,7 @@ lazily.
 from repro.resilience.budget import Budget, active_budget, budget_scope, checkpoint
 from repro.resilience.faults import (
     ALL_SITES,
+    SERVICE_SITES,
     Fault,
     FaultPlan,
     canonical_plans,
@@ -40,6 +41,7 @@ __all__ = [
     "Fault",
     "FaultPlan",
     "ALL_SITES",
+    "SERVICE_SITES",
     "canonical_plans",
     "inject",
     "Supervisor",

@@ -93,8 +93,14 @@ class Budget:
         return self.deadline - self.elapsed()
 
     def exhausted_reason(self) -> Optional[str]:
-        """``"deadline"`` / ``"work"`` if over budget, else None."""
-        if self.deadline is not None and self.started and self.elapsed() > self.deadline:
+        """``"deadline"`` / ``"work"`` if over budget, else None.
+
+        The deadline comparison is inclusive: a checkpoint landing
+        *exactly* at expiry has zero time left and must raise rather
+        than let one more slice of work return a partial result (the
+        boundary-race regression in ``tests/test_resilience.py``).
+        """
+        if self.deadline is not None and self.started and self.elapsed() >= self.deadline:
             return "deadline"
         if self.max_work is not None and self.work_spent() > self.max_work:
             return "work"

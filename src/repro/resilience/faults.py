@@ -47,6 +47,24 @@ Sites instrumented in the pipeline
     Raises :class:`repro.errors.SimulatedCrash` immediately *after* a
     successful checkpoint save — an abrupt process death at a persisted
     point, used by the kill/resume determinism tests.
+``serve.accept_drop``
+    The :mod:`repro.serve` TCP acceptor closes an incoming connection
+    before reading a single frame — the client sees a clean
+    connection-reset *before* any request was accepted, so the
+    exactly-one-response contract is untouched.
+``serve.queue_stall``
+    A :mod:`repro.serve` dispatch worker stalls (``Fault.scale`` ×
+    50 ms, capped) before draining its next admitted request,
+    simulating a wedged worker; queued requests must still be shed or
+    answered, never hung.
+``serve.handler_crash``
+    A :mod:`repro.serve` request handler raises mid-query; the daemon
+    must convert it into a typed ``error`` response on the same
+    connection instead of dropping the client.
+``serve.slow_client``
+    The :mod:`repro.serve` connection writer delays flushing one
+    response (``Fault.scale`` × 50 ms, capped), simulating a client
+    draining slowly; the response must still arrive intact.
 
 Activation is scoped (:func:`inject` context manager, contextvar-backed)
 so concurrent un-faulted callers are unaffected.  Site names are
@@ -57,6 +75,7 @@ of silently never firing.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field
@@ -74,7 +93,12 @@ __all__ = [
     "SITE_WORKER_HANG",
     "SITE_CHECKPOINT_CORRUPT",
     "SITE_CHECKPOINT_KILL",
+    "SITE_SERVE_ACCEPT_DROP",
+    "SITE_SERVE_QUEUE_STALL",
+    "SITE_SERVE_HANDLER_CRASH",
+    "SITE_SERVE_SLOW_CLIENT",
     "ALL_SITES",
+    "SERVICE_SITES",
     "Fault",
     "FaultPlan",
     "canonical_plans",
@@ -92,6 +116,19 @@ SITE_POOL_BREAK = "executor.pool_break"
 SITE_WORKER_HANG = "executor.worker_hang"
 SITE_CHECKPOINT_CORRUPT = "checkpoint.corrupt"
 SITE_CHECKPOINT_KILL = "checkpoint.kill"
+SITE_SERVE_ACCEPT_DROP = "serve.accept_drop"
+SITE_SERVE_QUEUE_STALL = "serve.queue_stall"
+SITE_SERVE_HANDLER_CRASH = "serve.handler_crash"
+SITE_SERVE_SLOW_CLIENT = "serve.slow_client"
+
+#: The service-layer sites, polled only by the :mod:`repro.serve` daemon
+#: (never by the one-shot pipeline or the resilient driver).
+SERVICE_SITES: Tuple[str, ...] = (
+    SITE_SERVE_ACCEPT_DROP,
+    SITE_SERVE_QUEUE_STALL,
+    SITE_SERVE_HANDLER_CRASH,
+    SITE_SERVE_SLOW_CLIENT,
+)
 
 #: The known-site registry.  Plan construction validates against it.
 ALL_SITES: Tuple[str, ...] = (
@@ -104,7 +141,7 @@ ALL_SITES: Tuple[str, ...] = (
     SITE_WORKER_HANG,
     SITE_CHECKPOINT_CORRUPT,
     SITE_CHECKPOINT_KILL,
-)
+) + SERVICE_SITES
 
 
 @dataclass(frozen=True)
@@ -153,6 +190,11 @@ class FaultPlan:
     _hits: Dict[str, int] = field(default_factory=dict, repr=False)
     _spent: List[int] = field(default_factory=list, repr=False)
     fired: List[Tuple[str, int]] = field(default_factory=list)
+    #: the serve daemon polls one plan from its event loop and several
+    #: worker threads at once; the lock keeps "fires at most once" exact
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         # defense in depth: Fault validates its own site, but a plan can
@@ -168,28 +210,30 @@ class FaultPlan:
 
     def poll(self, site: str) -> Optional[Fault]:
         """Record one hit of ``site``; return the fault to apply, if any."""
-        hit = self._hits.get(site, 0)
-        self._hits[site] = hit + 1
-        for i, f in enumerate(self.faults):
-            if f.site == site and f.at == hit and i not in self._spent:
-                self._spent.append(i)
-                self.fired.append((site, hit))
-                return f
-        return None
+        with self._lock:
+            hit = self._hits.get(site, 0)
+            self._hits[site] = hit + 1
+            for i, f in enumerate(self.faults):
+                if f.site == site and f.at == hit and i not in self._spent:
+                    self._spent.append(i)
+                    self.fired.append((site, hit))
+                    return f
+            return None
 
     def poll_indexed(self, site: str, index: int) -> Optional[Fault]:
         """Like :meth:`poll`, but match on ``Fault.index`` instead of hit
         order — for sites whose invocations carry a stable identity (e.g.
         executor branches, where thread scheduling makes hit order
         nondeterministic)."""
-        hit = self._hits.get(site, 0)
-        self._hits[site] = hit + 1
-        for i, f in enumerate(self.faults):
-            if f.site == site and f.index == index and i not in self._spent:
-                self._spent.append(i)
-                self.fired.append((site, index))
-                return f
-        return None
+        with self._lock:
+            hit = self._hits.get(site, 0)
+            self._hits[site] = hit + 1
+            for i, f in enumerate(self.faults):
+                if f.site == site and f.index == index and i not in self._spent:
+                    self._spent.append(i)
+                    self.fired.append((site, index))
+                    return f
+            return None
 
     @property
     def exhausted(self) -> bool:
@@ -197,9 +241,10 @@ class FaultPlan:
         return len(self._spent) == len(self.faults)
 
     def reset(self) -> None:
-        self._hits.clear()
-        self._spent.clear()
-        self.fired.clear()
+        with self._lock:
+            self._hits.clear()
+            self._spent.clear()
+            self.fired.clear()
 
 
 _active: ContextVar[Optional[FaultPlan]] = ContextVar("repro_fault_plan", default=None)
@@ -267,5 +312,20 @@ def canonical_plans(seed: int = 0) -> Dict[str, FaultPlan]:
         ),
         "checkpoint_kill": FaultPlan(
             [Fault(SITE_CHECKPOINT_KILL, seed=seed)], name="checkpoint_kill"
+        ),
+        # the serve.* sites live in the daemon's request path; armed
+        # against the bare driver they simply never fire (the driver
+        # runs clean), which the recovery matrix tolerates by design
+        "serve_accept_drop": FaultPlan(
+            [Fault(SITE_SERVE_ACCEPT_DROP, seed=seed)], name="serve_accept_drop"
+        ),
+        "serve_queue_stall": FaultPlan(
+            [Fault(SITE_SERVE_QUEUE_STALL, seed=seed)], name="serve_queue_stall"
+        ),
+        "serve_handler_crash": FaultPlan(
+            [Fault(SITE_SERVE_HANDLER_CRASH, seed=seed)], name="serve_handler_crash"
+        ),
+        "serve_slow_client": FaultPlan(
+            [Fault(SITE_SERVE_SLOW_CLIENT, seed=seed)], name="serve_slow_client"
         ),
     }

@@ -1,0 +1,160 @@
+"""A blocking TCP client for the cut-serving daemon.
+
+Used by the load generator (``scripts/bench_service.py``), the chaos
+soak (``scripts/chaos_soak.py --service``), and the tests; also a
+reasonable starting point for real callers.  One client owns one
+connection and issues requests strictly in order — open several
+clients for concurrency, exactly as the daemon's connection model
+expects.
+
+:meth:`ServiceClient.request` returns the raw typed response object;
+:meth:`ServiceClient.call` additionally raises the typed exceptions
+(:class:`~repro.serve.protocol.RetryAfter`,
+:class:`~repro.serve.protocol.DeadlineExceeded`,
+:class:`~repro.serve.protocol.ServiceError`) so library-style callers
+can handle backpressure with ``except RetryAfter``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import struct
+import time
+from typing import Any, Dict, Optional
+
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    DeadlineExceeded,
+    ProtocolError,
+    RetryAfter,
+    ServiceError,
+    decode_payload,
+    encode_frame,
+)
+
+__all__ = ["ServiceClient"]
+
+_HEADER = struct.Struct(">I")
+
+
+class ServiceClient:
+    """One blocking connection to a :class:`~repro.serve.TCPServer`.
+
+    Parameters
+    ----------
+    host, port:
+        The daemon's binding.
+    timeout:
+        Socket timeout in seconds for connect and each response read; a
+        timeout raises ``socket.timeout`` (the daemon's contract is that
+        this never fires for an accepted request — the chaos soak gates
+        on it).
+    max_frame:
+        Frame-size cap, matching the server's.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 60.0,
+        max_frame: int = MAX_FRAME_BYTES,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_frame = max_frame
+        self._ids = itertools.count(1)
+        self._sock: Optional[socket.socket] = None
+
+    # -- lifecycle ----------------------------------------------------------
+    def connect(self) -> "ServiceClient":
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- I/O ----------------------------------------------------------------
+    def _recv_exact(self, nbytes: int) -> bytes:
+        assert self._sock is not None
+        chunks = []
+        remaining = nbytes
+        while remaining:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                raise ProtocolError("server closed the connection mid-frame")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def request(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request (assigning an ``id`` if absent) and block
+        for its single response."""
+        self.connect()
+        if "id" not in request:
+            request = {**request, "id": next(self._ids)}
+        assert self._sock is not None
+        self._sock.sendall(encode_frame(request, self.max_frame))
+        header = self._recv_exact(_HEADER.size)
+        (length,) = _HEADER.unpack(header)
+        if length > self.max_frame:
+            raise ProtocolError(f"server announced oversized {length}-byte frame")
+        return decode_payload(self._recv_exact(length))
+
+    def call(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Like :meth:`request` but raising the typed exceptions on any
+        non-``result`` response."""
+        resp = self.request(request)
+        if resp.get("ok"):
+            return resp
+        rtype = resp.get("type")
+        if rtype == "retry_after":
+            raise RetryAfter(
+                f"not admitted ({resp.get('reason')})",
+                retry_after_ms=resp.get("retry_after_ms", 100),
+                reason=resp.get("reason", "queue_full"),
+                response=resp,
+            )
+        if rtype == "deadline_exceeded":
+            raise DeadlineExceeded(
+                resp.get("message", "deadline exceeded"),
+                shed=resp.get("shed", "inflight"),
+                response=resp,
+            )
+        raise ServiceError(
+            resp.get("message", "service error"),
+            code=resp.get("error", "error"),
+            response=resp,
+        )
+
+    def call_with_retry(
+        self, request: Dict[str, Any], *, attempts: int = 8
+    ) -> Dict[str, Any]:
+        """Honor ``retry_after`` backpressure up to ``attempts`` times,
+        sleeping the server's hint between tries."""
+        last: Optional[RetryAfter] = None
+        for _ in range(attempts):
+            try:
+                return self.call(request)
+            except RetryAfter as exc:
+                last = exc
+                time.sleep(exc.retry_after_ms / 1000.0)
+        assert last is not None
+        raise last

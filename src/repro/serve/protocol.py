@@ -1,0 +1,247 @@
+"""Wire protocol of the cut-serving daemon: length-prefixed JSON frames
+and the typed response vocabulary.
+
+Framing
+-------
+A frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON.  Both directions use the same framing; a frame
+longer than the negotiated cap, a non-JSON body, or a non-object
+payload is a :class:`ProtocolError` (the server answers it with one
+``bad_request`` response and closes the connection — never a silent
+drop).
+
+Requests
+--------
+Every request is a JSON object with an ``op`` field and an optional
+``id`` the server echoes verbatim (clients use it to match pipelined
+responses).  The op table, field-by-field, lives in
+``docs/service.md``.
+
+Responses
+---------
+Every *accepted* request receives **exactly one** response, always one
+of four types:
+
+==================  ====  ==============================================
+``type``            ok    meaning
+==================  ====  ==============================================
+``result``          yes   the answer payload (op-specific fields)
+``retry_after``     no    backpressure: not admitted; retry in
+                          ``retry_after_ms`` (``reason`` says which
+                          limit fired)
+``deadline_exceeded``  no  admitted, then shed: the request's deadline
+                          expired while queued (``shed="queued"``) or
+                          mid-query at a cooperative checkpoint
+                          (``shed="inflight"``)
+``error``           no    a typed failure (``error`` is a stable code,
+                          ``message`` human-readable); includes
+                          malformed requests (``error="bad_request"``)
+==================  ====  ==============================================
+
+:func:`well_formed` checks a response against this table — the chaos
+soak and the load generator gate on it for every single response.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Dict, Optional
+
+from repro.errors import ReproError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "ServiceError",
+    "RetryAfter",
+    "DeadlineExceeded",
+    "encode_frame",
+    "decode_payload",
+    "read_frame",
+    "write_frame",
+    "ok_response",
+    "retry_after_response",
+    "deadline_response",
+    "error_response",
+    "well_formed",
+    "RESPONSE_TYPES",
+]
+
+#: default cap on one frame's JSON body (requests and responses alike)
+MAX_FRAME_BYTES = 8 * 2**20
+
+_HEADER = struct.Struct(">I")
+
+RESPONSE_TYPES = ("result", "retry_after", "deadline_exceeded", "error")
+
+
+class ProtocolError(ReproError):
+    """A frame-level violation: oversized frame, undecodable body, or a
+    payload that is not a JSON object."""
+
+
+class ServiceError(ReproError):
+    """A typed ``error`` response, raised client-side by
+    :meth:`repro.serve.client.ServiceClient.call`.
+
+    Attributes
+    ----------
+    code:
+        The stable ``error`` code from the response (``"bad_request"``,
+        ``"unknown_tenant"``, ``"handler_crash"``, ...).
+    response:
+        The full response object, for callers needing more context.
+    """
+
+    def __init__(self, message: str, *, code: str = "error", response: Optional[dict] = None):
+        super().__init__(message)
+        self.code = code
+        self.response = response or {}
+
+
+class RetryAfter(ServiceError):
+    """A typed backpressure rejection: the request was **not** admitted.
+
+    ``retry_after_ms`` is the server's hint for when capacity is likely
+    back (derived from queue depth and the recent service-time EWMA).
+    """
+
+    def __init__(self, message: str, *, retry_after_ms: int = 100,
+                 reason: str = "queue_full", response: Optional[dict] = None):
+        super().__init__(message, code="retry_after", response=response)
+        self.retry_after_ms = int(retry_after_ms)
+        self.reason = reason
+
+
+class DeadlineExceeded(ServiceError):
+    """A typed shed: the request was admitted but its deadline expired
+    (while queued, or mid-query at a cooperative budget checkpoint)."""
+
+    def __init__(self, message: str, *, shed: str = "inflight",
+                 response: Optional[dict] = None):
+        super().__init__(message, code="deadline_exceeded", response=response)
+        self.shed = shed
+
+
+# ---------------------------------------------------------------------------
+# framing
+# ---------------------------------------------------------------------------
+def encode_frame(obj: Dict[str, Any], max_frame: int = MAX_FRAME_BYTES) -> bytes:
+    """``obj`` as one length-prefixed frame (header + UTF-8 JSON body)."""
+    body = json.dumps(obj, separators=(",", ":"), allow_nan=False).encode("utf-8")
+    if len(body) > max_frame:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the {max_frame}-byte cap"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_payload(body: bytes) -> Dict[str, Any]:
+    """One frame body back into a request/response object."""
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame body: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_frame: int = MAX_FRAME_BYTES
+) -> Optional[Dict[str, Any]]:
+    """The next frame from ``reader``, or None on clean EOF before a
+    header byte.  A truncated frame or an oversized length is a
+    :class:`ProtocolError`."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between frames
+        raise ProtocolError("connection closed mid-header") from exc
+    (length,) = _HEADER.unpack(header)
+    if length > max_frame:
+        raise ProtocolError(
+            f"announced frame of {length} bytes exceeds the {max_frame}-byte cap"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return decode_payload(body)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, obj: Dict[str, Any],
+    max_frame: int = MAX_FRAME_BYTES,
+) -> None:
+    """Write ``obj`` as one frame and drain the transport."""
+    writer.write(encode_frame(obj, max_frame))
+    await writer.drain()
+
+
+# ---------------------------------------------------------------------------
+# typed responses
+# ---------------------------------------------------------------------------
+def _base(req_id: Any, ok: bool, rtype: str) -> Dict[str, Any]:
+    return {"id": req_id, "ok": ok, "type": rtype}
+
+
+def ok_response(req_id: Any, **payload: Any) -> Dict[str, Any]:
+    resp = _base(req_id, True, "result")
+    resp.update(payload)
+    return resp
+
+
+def retry_after_response(
+    req_id: Any, *, retry_after_ms: int, reason: str
+) -> Dict[str, Any]:
+    resp = _base(req_id, False, "retry_after")
+    resp["retry_after_ms"] = int(retry_after_ms)
+    resp["reason"] = reason
+    return resp
+
+
+def deadline_response(req_id: Any, *, shed: str, message: str) -> Dict[str, Any]:
+    resp = _base(req_id, False, "deadline_exceeded")
+    resp["shed"] = shed
+    resp["message"] = message
+    return resp
+
+
+def error_response(req_id: Any, *, code: str, message: str) -> Dict[str, Any]:
+    resp = _base(req_id, False, "error")
+    resp["error"] = code
+    resp["message"] = message
+    return resp
+
+
+def well_formed(resp: Any, req_id: Any = None, *, check_id: bool = False) -> bool:
+    """True iff ``resp`` satisfies the typed-response table (and, with
+    ``check_id``, echoes ``req_id``).  The soak/bench gate."""
+    if not isinstance(resp, dict):
+        return False
+    if resp.get("type") not in RESPONSE_TYPES:
+        return False
+    if not isinstance(resp.get("ok"), bool):
+        return False
+    if resp["ok"] != (resp["type"] == "result"):
+        return False
+    if check_id and resp.get("id") != req_id:
+        return False
+    if resp["type"] == "retry_after":
+        if not isinstance(resp.get("retry_after_ms"), int) or "reason" not in resp:
+            return False
+    if resp["type"] == "deadline_exceeded" and resp.get("shed") not in (
+        "queued",
+        "inflight",
+    ):
+        return False
+    if resp["type"] == "error":
+        if not resp.get("error") or "message" not in resp:
+            return False
+    return True

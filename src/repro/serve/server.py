@@ -1,0 +1,776 @@
+"""The cut-serving daemon: admission, dispatch, shedding, and the
+TCP / in-process front ends.
+
+:class:`CutService` is the transport-agnostic core.  One instance owns
+
+* a :class:`~repro.serve.tenancy.TenantRegistry` (named graphs, each
+  fronted by a :class:`~repro.engine.CutEngine` over the tenant's
+  quota-bounded :class:`~repro.engine.cache.ArtifactCache`);
+* one bounded :class:`~repro.serve.admission.AdmissionQueue` feeding a
+  fixed pool of dispatch workers (asyncio tasks; the engine query
+  itself runs on a thread so the event loop keeps accepting);
+* an :class:`~repro.obs.CounterRegistry` every handler runs under
+  (``serve.*`` plus the engine/pipeline counters), exposed by the
+  ``metrics`` op;
+* a :class:`~repro.resilience.Supervisor` armed around every query, so
+  executor-level failures inside the engine degrade
+  ``process → thread → sync`` exactly as they do in the resilient
+  driver.
+
+**The overload contract.**  Every request the service *accepts*
+receives exactly one typed response:
+
+* not admitted (queue full, tenant at its inflight limit, shutdown in
+  progress) → ``retry_after`` with a backlog-derived hint;
+* admitted but expired while queued → ``deadline_exceeded`` with
+  ``shed="queued"`` — the queue never runs dead work;
+* admitted and dispatched: the request's deadline becomes a
+  :class:`~repro.resilience.Budget` armed around the engine call, so
+  expiry mid-query raises at the pipeline's next cooperative
+  checkpoint and is answered as ``deadline_exceeded`` with
+  ``shed="inflight"`` — never a killed connection;
+* any handler exception (including the injected ``serve.handler_crash``
+  fault) → a typed ``error`` response on the same connection.
+
+Dispatch workers are wrapped so that *no* exception path can leave an
+admitted request's future unresolved — the exactly-one-response
+invariant is structural, and ``scripts/chaos_soak.py --service``
+hammers it with all four ``serve.*`` fault sites armed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import BudgetExceeded, ReproError
+from repro.graphs.graph import Graph
+from repro.obs.counters import CounterRegistry, counting_scope
+from repro.resilience.budget import Budget, budget_scope, checkpoint
+from repro.resilience.faults import (
+    SITE_SERVE_ACCEPT_DROP,
+    SITE_SERVE_HANDLER_CRASH,
+    SITE_SERVE_QUEUE_STALL,
+    SITE_SERVE_SLOW_CLIENT,
+    FaultPlan,
+    active_plan,
+    inject,
+)
+from repro.resilience.supervisor import Supervisor, supervised_scope
+from repro.serve.admission import Admitted, AdmissionQueue
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    deadline_response,
+    error_response,
+    ok_response,
+    read_frame,
+    retry_after_response,
+    write_frame,
+)
+from repro.serve.tenancy import TenantQuota, TenantRegistry
+
+__all__ = [
+    "ServerConfig",
+    "CutService",
+    "TCPServer",
+    "InProcServer",
+    "ThreadedTCPServer",
+    "run_tcp",
+]
+
+#: ops admitted through the bounded queue (everything else is answered
+#: inline by the acceptor — control traffic must survive saturation)
+QUERY_OPS = ("min_cut", "min_cut_batch", "requery", "_stall")
+
+#: cap on one ``min_cut_batch`` request's seed list
+MAX_BATCH = 64
+
+#: cap on one injected stall/slow-client delay, so chaos plans with
+#: large ``scale`` cannot wedge a worker past useful timescales
+MAX_FAULT_DELAY_S = 0.5
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Knobs of one daemon instance (CLI flags map onto these 1:1)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; TCPServer.port reports the binding
+    queue_depth: int = 64
+    workers: int = 4
+    max_frame_bytes: int = MAX_FRAME_BYTES
+    default_budget_class: str = "standard"
+    #: allow the ``shutdown`` op (the daemon trusts its network; flip
+    #: off when fronted by anything less trusted)
+    allow_shutdown: bool = True
+    #: enable the ``_stall`` debug op (tests only: a cooperative busy
+    #: wait that makes queue-full and shedding deterministic)
+    debug_ops: bool = False
+    #: supervisor jitter seed (deterministic degradation schedules)
+    seed: int = 0
+
+
+class CutService:
+    """Transport-agnostic request service (see the module docstring).
+
+    Parameters
+    ----------
+    config:
+        The daemon knobs.
+    registry:
+        Counter sink; defaults to a private
+        :class:`~repro.obs.CounterRegistry` (the ``metrics`` op
+        snapshots it).
+    supervisor:
+        Executor health model armed around every query; defaults to a
+        private :class:`~repro.resilience.Supervisor` seeded from the
+        config.
+    faults:
+        An optional :class:`~repro.resilience.FaultPlan` polled at the
+        ``serve.*`` sites (chaos mode).  When None the ambient
+        context's plan applies, so ``inject(...)`` works for
+        same-context callers too.
+    clock:
+        Monotonic-seconds source, injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        config: ServerConfig = ServerConfig(),
+        *,
+        registry: Optional[CounterRegistry] = None,
+        supervisor: Optional[Supervisor] = None,
+        faults: Optional[FaultPlan] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config
+        self.registry = registry if registry is not None else CounterRegistry()
+        self.supervisor = (
+            supervisor if supervisor is not None else Supervisor(seed=config.seed)
+        )
+        self.faults = faults
+        self.clock = clock
+        self.tenants = TenantRegistry(config.default_budget_class)
+        self.queue = AdmissionQueue(config.queue_depth, clock=clock)
+        self._workers: List[asyncio.Task] = []
+        self._stopping = False
+        self._shutdown_requested = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "CutService":
+        """Spawn the dispatch workers."""
+        for wid in range(self.config.workers):
+            self._workers.append(
+                asyncio.create_task(self._worker(), name=f"serve-worker-{wid}")
+            )
+        return self
+
+    async def stop(self) -> None:
+        """Stop accepting, answer everything still queued with a typed
+        ``retry_after(reason="shutting_down")``, and cancel the workers."""
+        self._stopping = True
+        for item in self.queue.drain_nowait():
+            self._resolve(
+                item,
+                retry_after_response(
+                    item.request.get("id"),
+                    retry_after_ms=1000,
+                    reason="shutting_down",
+                ),
+            )
+            item.tenant.inflight -= 1
+        for task in self._workers:
+            task.cancel()
+        for task in self._workers:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._workers.clear()
+
+    # ------------------------------------------------------------------
+    # fault polling
+    # ------------------------------------------------------------------
+    def _poll(self, site: str):
+        plan = self.faults if self.faults is not None else active_plan()
+        if plan is None:
+            return None
+        fault = plan.poll(site)
+        if fault is not None:
+            self.registry.add("serve.faults_injected")
+            self.registry.add(f"serve.fault.{site.split('.', 1)[1]}")
+        return fault
+
+    # ------------------------------------------------------------------
+    # the acceptor path
+    # ------------------------------------------------------------------
+    async def submit(self, request: Any) -> Dict[str, Any]:
+        """The full admission path for one request; always returns
+        exactly one typed response object."""
+        self.registry.add("serve.requests")
+        if not isinstance(request, dict) or not isinstance(request.get("op"), str):
+            self.registry.add("serve.bad_requests")
+            return error_response(
+                request.get("id") if isinstance(request, dict) else None,
+                code="bad_request",
+                message="request must be a JSON object with a string 'op'",
+            )
+        req_id = request.get("id")
+        op = request["op"]
+        try:
+            if op == "ping":
+                return ok_response(req_id, pong=True)
+            if op in ("metrics", "stats"):
+                return self._metrics(req_id)
+            if op == "register_tenant":
+                return self._register_tenant(request)
+            if op == "register_graph":
+                return await self._register_graph(request)
+            if op == "shutdown":
+                if not self.config.allow_shutdown:
+                    return error_response(
+                        req_id, code="forbidden", message="shutdown op is disabled"
+                    )
+                self._shutdown_requested.set()
+                return ok_response(req_id, stopping=True)
+            if op in QUERY_OPS:
+                if op == "_stall" and not self.config.debug_ops:
+                    return error_response(
+                        req_id, code="unknown_op", message="unknown op '_stall'"
+                    )
+                return await self._admit(request)
+            self.registry.add("serve.bad_requests")
+            return error_response(
+                req_id, code="unknown_op", message=f"unknown op {op!r}"
+            )
+        except ProtocolError as exc:
+            self.registry.add("serve.bad_requests")
+            return error_response(req_id, code="bad_request", message=str(exc))
+        except ReproError as exc:
+            self.registry.add("serve.errors")
+            return error_response(
+                req_id, code=type(exc).__name__, message=str(exc)
+            )
+        except Exception as exc:  # noqa: BLE001 - the acceptor never throws
+            self.registry.add("serve.errors")
+            return error_response(
+                req_id, code="internal_error", message=f"{type(exc).__name__}: {exc}"
+            )
+
+    def _register_tenant(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        name = self._required_str(request, "tenant")
+        kwargs: Dict[str, Any] = {}
+        for fld in ("budget_class",):
+            if fld in request:
+                kwargs[fld] = str(request[fld])
+        for fld in ("cache_entries", "cache_bytes", "max_graphs"):
+            if fld in request:
+                kwargs[fld] = int(request[fld])
+        quota = (
+            TenantQuota(**kwargs)
+            if kwargs
+            else TenantQuota(budget_class=self.config.default_budget_class)
+        )
+        tenant = self.tenants.register(name, quota)
+        self.registry.add("serve.tenants_registered")
+        return ok_response(
+            request.get("id"),
+            tenant=tenant.name,
+            budget_class=tenant.quota.budget_class,
+            cache_entries=tenant.quota.cache_entries,
+            cache_bytes=tenant.quota.cache_bytes,
+        )
+
+    async def _register_graph(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        tenant = self.tenants.get(self._required_str(request, "tenant"))
+        graph_name = self._required_str(request, "graph")
+        n = int(request.get("n", 0))
+        edges = request.get("edges")
+        if not isinstance(edges, list):
+            raise ProtocolError("register_graph needs an 'edges' list of [u, v, w]")
+        seed = int(request.get("seed", 0))
+        epsilon = request.get("epsilon")
+        warm = bool(request.get("warm", False))
+        registry = self.registry
+
+        def build():
+            graph = Graph.from_edges(n, [tuple(e) for e in edges])
+            with counting_scope(registry):
+                engine = tenant.register_graph(
+                    graph_name,
+                    graph,
+                    seed=seed,
+                    epsilon=None if epsilon is None else float(epsilon),
+                )
+                if warm:
+                    engine.warm()
+            return graph
+
+        # graph construction + optional warm-up can be heavy: keep the
+        # event loop free (registration is not admission-controlled, but
+        # it must not stall accepted queries either)
+        graph = await asyncio.to_thread(build)
+        self.registry.add("serve.graphs_registered")
+        return ok_response(
+            request.get("id"),
+            tenant=tenant.name,
+            graph=graph_name,
+            n=graph.n,
+            m=graph.m,
+            warmed=warm,
+        )
+
+    async def _admit(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        req_id = request.get("id")
+        tenant = self.tenants.get(self._required_str(request, "tenant"))
+        if request["op"] != "_stall":
+            tenant.engine(self._required_str(request, "graph"))  # existence check
+        if self._stopping:
+            self.registry.add("serve.rejected_shutdown")
+            return retry_after_response(
+                req_id, retry_after_ms=1000, reason="shutting_down"
+            )
+        cls = tenant.budget_class
+        if tenant.inflight >= cls.max_inflight:
+            self.registry.add("serve.rejected_inflight")
+            return retry_after_response(
+                req_id,
+                retry_after_ms=self.queue.retry_after_ms(tenant.inflight),
+                reason="tenant_inflight",
+            )
+        deadline_s = cls.default_deadline_s
+        if request.get("deadline_ms") is not None:
+            deadline_s = min(float(request["deadline_ms"]) / 1000.0, cls.max_deadline_s)
+            if deadline_s <= 0:
+                return deadline_response(
+                    req_id, shed="queued", message="deadline_ms must be positive"
+                )
+        item = Admitted(
+            request=request,
+            future=asyncio.get_running_loop().create_future(),
+            tenant=tenant,
+            deadline_at=self.clock() + deadline_s,
+        )
+        if not self.queue.try_put(item):
+            self.registry.add("serve.rejected_queue_full")
+            return retry_after_response(
+                req_id,
+                retry_after_ms=self.queue.retry_after_ms(),
+                reason="queue_full",
+            )
+        tenant.inflight += 1
+        self.registry.add("serve.admitted")
+        return await item.future
+
+    # ------------------------------------------------------------------
+    # the dispatch path
+    # ------------------------------------------------------------------
+    def _resolve(self, item: Admitted, response: Dict[str, Any]) -> None:
+        if not item.future.done():
+            item.future.set_result(response)
+            self.registry.add("serve.responses")
+
+    async def _worker(self) -> None:
+        while True:
+            item = await self.queue.get()
+            fault = self._poll(SITE_SERVE_QUEUE_STALL)
+            if fault is not None:
+                await asyncio.sleep(min(0.05 * fault.scale, MAX_FAULT_DELAY_S))
+            t0 = self.clock()
+            try:
+                response = await self._handle(item)
+            except asyncio.CancelledError:
+                # shutdown while mid-request: still answer it
+                self._resolve(
+                    item,
+                    retry_after_response(
+                        item.request.get("id"),
+                        retry_after_ms=1000,
+                        reason="shutting_down",
+                    ),
+                )
+                item.tenant.inflight -= 1
+                raise
+            except BaseException as exc:  # noqa: BLE001 - the future must resolve
+                self.registry.add("serve.errors")
+                response = error_response(
+                    item.request.get("id"),
+                    code="internal_error",
+                    message=f"{type(exc).__name__}: {exc}",
+                )
+            self._resolve(item, response)
+            item.tenant.inflight -= 1
+            self.queue.observe_service_time(self.clock() - t0)
+            self.queue.task_done()
+
+    async def _handle(self, item: Admitted) -> Dict[str, Any]:
+        request, req_id = item.request, item.request.get("id")
+        now = self.clock()
+        if now >= item.deadline_at:
+            self.registry.add("serve.shed_queued")
+            waited_ms = (now - item.enqueued_at) * 1000.0
+            return deadline_response(
+                req_id,
+                shed="queued",
+                message=f"deadline expired after {waited_ms:.0f}ms in queue",
+            )
+        remaining = item.deadline_at - now
+        try:
+            payload = await self._execute(item, remaining)
+        except BudgetExceeded as exc:
+            self.registry.add("serve.shed_inflight")
+            return deadline_response(
+                req_id, shed="inflight", message=f"shed at checkpoint: {exc}"
+            )
+        except ProtocolError as exc:
+            self.registry.add("serve.bad_requests")
+            return error_response(req_id, code="bad_request", message=str(exc))
+        except ReproError as exc:
+            self.registry.add("serve.errors")
+            return error_response(req_id, code=type(exc).__name__, message=str(exc))
+        except Exception as exc:  # noqa: BLE001 - crash → typed response
+            self.registry.add("serve.errors")
+            return error_response(
+                req_id, code="handler_crash", message=f"{type(exc).__name__}: {exc}"
+            )
+        self.registry.add("serve.completed")
+        self.registry.add(f"serve.op.{request['op'].lstrip('_')}")
+        return ok_response(req_id, **payload)
+
+    async def _execute(self, item: Admitted, remaining: float) -> Dict[str, Any]:
+        request = item.request
+        op = request["op"]
+        if op == "_stall":
+            return await asyncio.to_thread(
+                self._run_stall, float(request.get("seconds", 0.1)), remaining
+            )
+        engine, lock = item.tenant.engine(request["graph"])
+        async with lock:  # CutEngine mutates rng/bindings: serialize per graph
+            return await asyncio.to_thread(self._run_query, engine, request, remaining)
+
+    def _scoped(self, remaining: float) -> "contextlib.ExitStack":
+        """The ambient scopes every query runs under (worker thread):
+        the service's counter registry, the request's deadline budget,
+        and — when a chaos plan is pinned on the service — that plan,
+        so pipeline-level fault sites fire inside served queries too."""
+        stack = contextlib.ExitStack()
+        stack.enter_context(counting_scope(self.registry))
+        stack.enter_context(
+            budget_scope(Budget(deadline=remaining, clock=self.clock))
+        )
+        if self.faults is not None:
+            stack.enter_context(inject(self.faults))
+        return stack
+
+    def _run_stall(self, seconds: float, remaining: float) -> Dict[str, Any]:
+        """Debug op: cooperative busy-wait hitting budget checkpoints,
+        so tests can occupy workers deterministically."""
+        with self._scoped(remaining):
+            t0 = self.clock()
+            while self.clock() - t0 < seconds:
+                checkpoint("serve._stall")
+                time.sleep(0.002)
+        return {"stalled_s": seconds}
+
+    def _run_query(
+        self, engine, request: Dict[str, Any], remaining: float
+    ) -> Dict[str, Any]:
+        """One engine query on a worker thread, under the service's
+        counter registry, supervisor, and the request's deadline budget."""
+        op = request["op"]
+        with supervised_scope(self.supervisor), self._scoped(remaining):
+            fault = self._poll(SITE_SERVE_HANDLER_CRASH)
+            if fault is not None:
+                raise RuntimeError("injected handler crash (serve.handler_crash)")
+            if op == "min_cut":
+                res = engine.min_cut()
+                return self._result_payload(request, res)
+            if op == "requery":
+                weights = request.get("weights")
+                if isinstance(weights, dict):
+                    weights = {int(k): float(v) for k, v in weights.items()}
+                elif isinstance(weights, list):
+                    weights = [float(v) for v in weights]
+                else:
+                    raise ProtocolError(
+                        "requery needs 'weights': {edge_index: w} or a full list"
+                    )
+                res = engine.requery(weights)
+                return self._result_payload(request, res)
+            if op == "min_cut_batch":
+                seeds = request.get("seeds")
+                if not isinstance(seeds, list) or not seeds:
+                    raise ProtocolError("min_cut_batch needs a non-empty 'seeds' list")
+                if len(seeds) > MAX_BATCH:
+                    raise ProtocolError(
+                        f"batch of {len(seeds)} exceeds the {MAX_BATCH}-seed cap"
+                    )
+                results = engine.min_cut_batch([int(s) for s in seeds])
+                return {"values": [float(r.value) for r in results]}
+            raise ProtocolError(f"unroutable query op {op!r}")  # pragma: no cover
+
+    @staticmethod
+    def _result_payload(request: Dict[str, Any], res) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"value": float(res.value)}
+        stats = dict(res.stats)
+        for key in ("num_trees", "requery", "rebased"):
+            if key in stats:
+                payload[key] = float(stats[key])
+        if request.get("return_side"):
+            side = res.side
+            small = side if side.sum() * 2 <= side.shape[0] else ~side
+            payload["side"] = [int(i) for i in small.nonzero()[0]]
+        return payload
+
+    # ------------------------------------------------------------------
+    def _metrics(self, req_id: Any) -> Dict[str, Any]:
+        return ok_response(
+            req_id,
+            counters=self.registry.snapshot(),
+            queue=self.queue.stats(),
+            tenants={
+                name: {
+                    "budget_class": tenant.quota.budget_class,
+                    "graphs": len(tenant.engines),
+                    "inflight": tenant.inflight,
+                    "cache": tenant.cache_stats(),
+                }
+                for name, tenant in self.tenants.items()
+            },
+        )
+
+    @staticmethod
+    def _required_str(request: Dict[str, Any], fld: str) -> str:
+        value = request.get(fld)
+        if not isinstance(value, str) or not value:
+            raise ProtocolError(f"request op {request.get('op')!r} needs {fld!r}")
+        return value
+
+
+# ---------------------------------------------------------------------------
+# front ends
+# ---------------------------------------------------------------------------
+class TCPServer:
+    """The daemon's socket front end: length-prefixed JSON over TCP.
+
+    One connection handles requests strictly in order (clients wanting
+    concurrency open several connections — the load generator and the
+    chaos soak both do).  Malformed framing is answered with one
+    ``bad_request`` response, then the connection closes.
+    """
+
+    def __init__(self, service: CutService) -> None:
+        self.service = service
+        self._server: Optional[asyncio.base_events.Server] = None
+        self.port: Optional[int] = None
+
+    async def start(self) -> "TCPServer":
+        await self.service.start()
+        cfg = self.service.config
+        self._server = await asyncio.start_server(
+            self._on_connection, host=cfg.host, port=cfg.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until the ``shutdown`` op (or cancellation)."""
+        await self.service._shutdown_requested.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        service = self.service
+        service.registry.add("serve.connections")
+        if service._poll(SITE_SERVE_ACCEPT_DROP) is not None:
+            # dropped before any frame is read: nothing was accepted,
+            # so no response is owed — the client sees a clean reset
+            service.registry.add("serve.accept_drops")
+            writer.close()
+            return
+        try:
+            while True:
+                try:
+                    request = await read_frame(
+                        reader, service.config.max_frame_bytes
+                    )
+                except ProtocolError as exc:
+                    service.registry.add("serve.bad_requests")
+                    await write_frame(
+                        writer,
+                        error_response(None, code="bad_request", message=str(exc)),
+                    )
+                    break
+                if request is None:
+                    break  # clean EOF
+                response = await service.submit(request)
+                fault = service._poll(SITE_SERVE_SLOW_CLIENT)
+                if fault is not None:
+                    await asyncio.sleep(min(0.05 * fault.scale, MAX_FAULT_DELAY_S))
+                await write_frame(writer, response)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; nothing further is owed
+        except asyncio.CancelledError:
+            # server shutdown cancelled this connection task mid-read;
+            # finish normally so the loop doesn't log a phantom error
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+
+class InProcServer:
+    """A same-process daemon for tests and single-process benchmarks.
+
+    Runs a :class:`CutService` on a private event loop in a daemon
+    thread and exposes the blocking :meth:`request` — the *same*
+    admission, dispatch, and shedding path as TCP, minus the socket
+    hop.  Thread-safe: many client threads may call :meth:`request`
+    concurrently (the chaos soak does).
+    """
+
+    def __init__(self, config: ServerConfig = ServerConfig(), **service_kwargs: Any):
+        self.service = CutService(config, **service_kwargs)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "InProcServer":
+        if self._loop is not None:
+            return self
+        self._loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def run() -> None:
+            asyncio.set_event_loop(self._loop)
+            self._loop.call_soon(started.set)
+            self._loop.run_forever()
+
+        self._thread = threading.Thread(target=run, name="inproc-serve", daemon=True)
+        self._thread.start()
+        started.wait()
+        asyncio.run_coroutine_threadsafe(self.service.start(), self._loop).result(10)
+        return self
+
+    def stop(self) -> None:
+        if self._loop is None:
+            return
+        asyncio.run_coroutine_threadsafe(self.service.stop(), self._loop).result(10)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        assert self._thread is not None
+        self._thread.join(timeout=10)
+        self._loop.close()
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "InProcServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- the client face ----------------------------------------------------
+    def request(self, request: Dict[str, Any], timeout: float = 60.0) -> Dict[str, Any]:
+        """Submit one request and block for its single typed response."""
+        assert self._loop is not None, "InProcServer not started"
+        fut = asyncio.run_coroutine_threadsafe(
+            self.service.submit(request), self._loop
+        )
+        return fut.result(timeout)
+
+
+class ThreadedTCPServer:
+    """A :class:`TCPServer` on a private event loop in a daemon thread.
+
+    The blocking counterpart of :class:`InProcServer` for callers that
+    need a real socket in the same process — tests, the load generator,
+    and the chaos soak all start the daemon this way, then talk to it
+    through :class:`~repro.serve.client.ServiceClient` connections.
+    """
+
+    def __init__(self, config: ServerConfig = ServerConfig(), **service_kwargs: Any):
+        self.server = TCPServer(CutService(config, **service_kwargs))
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def service(self) -> CutService:
+        return self.server.service
+
+    @property
+    def port(self) -> int:
+        assert self.server.port is not None, "ThreadedTCPServer not started"
+        return self.server.port
+
+    def start(self) -> "ThreadedTCPServer":
+        if self._loop is not None:
+            return self
+        self._loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def run() -> None:
+            asyncio.set_event_loop(self._loop)
+            self._loop.call_soon(started.set)
+            self._loop.run_forever()
+
+        self._thread = threading.Thread(target=run, name="tcp-serve", daemon=True)
+        self._thread.start()
+        started.wait()
+        asyncio.run_coroutine_threadsafe(self.server.start(), self._loop).result(10)
+        return self
+
+    def stop(self) -> None:
+        if self._loop is None:
+            return
+        asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop).result(30)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        assert self._thread is not None
+        self._thread.join(timeout=10)
+        self._loop.close()
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "ThreadedTCPServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def run_tcp(config: ServerConfig, **service_kwargs: Any) -> None:
+    """Run the TCP daemon in the foreground until the ``shutdown`` op
+    (requires ``allow_shutdown=True``) or KeyboardInterrupt.  This is
+    what ``python -m repro serve`` calls."""
+
+    async def main() -> None:
+        server = TCPServer(CutService(config, **service_kwargs))
+        await server.start()
+        print(f"repro.serve listening on {config.host}:{server.port}", flush=True)
+        try:
+            await server.serve_until_shutdown()
+        except asyncio.CancelledError:
+            await server.stop()
+            raise
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass

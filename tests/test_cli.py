@@ -163,3 +163,52 @@ class TestEngine:
         assert main(["engine", path, "--trace", str(trace)]) == 0
         assert trace.exists()
         assert "trace.spans" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_serve_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--queue-depth", "8", "--workers", "2",
+             "--budget-class", "interactive", "--no-shutdown-op"]
+        )
+        assert args.port == 0
+        assert args.queue_depth == 8
+        assert args.workers == 2
+        assert args.budget_class == "interactive"
+        assert args.no_shutdown_op is True
+
+    def test_serve_daemon_round_trip(self):
+        # the real entry point: spawn `python -m repro serve`, parse the
+        # printed ephemeral port, ping it, shut it down over the wire
+        import os
+        import re
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--workers", "1", "--queue-depth", "4"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        try:
+            line = proc.stdout.readline()
+            match = re.search(r"listening on .+:(\d+)", line)
+            assert match, f"no listening line: {line!r}"
+            port = int(match.group(1))
+            from repro.serve import ServiceClient
+
+            with ServiceClient("127.0.0.1", port, timeout=30) as client:
+                assert client.call({"op": "ping"})["pong"] is True
+                resp = client.request({"op": "shutdown"})
+                assert resp["type"] == "result" and resp["stopping"] is True
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)

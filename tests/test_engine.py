@@ -164,9 +164,10 @@ class TestWarmCache:
         cache = ArtifactCache()
         CutEngine(graph, seed=1, cache=cache).min_cut()
         n = len(cache)
-        # a query-stage knob (max_trees) misses only the index stage
+        # a query-stage knob (max_trees) misses only the index stage —
+        # plus the result memo that rides on the index fingerprint
         CutEngine(graph, seed=1, max_trees=4, cache=cache).min_cut()
-        assert len(cache) == n + 1
+        assert len(cache) == n + 2
 
 
 class TestArtifactCacheBounds:
@@ -319,3 +320,82 @@ class TestRequery:
         w[0] = 0.0
         with pytest.raises(GraphFormatError):
             engine.requery(w)
+
+
+class TestRequeryNoop:
+    """An all-zero-delta perturbation is a pure cache hit: no search, no
+    ledger charge, and no rebase-threshold accounting drift."""
+
+    def test_zero_delta_is_pure_cache_hit(self, graph):
+        reg = CounterRegistry()
+        led = Ledger()
+        engine = CutEngine(graph, seed=7, ledger=led)
+        base = engine.min_cut()
+        before = _phases(led)
+        work_before, depth_before = led.work, led.depth
+        with counting_scope(reg):
+            res_empty = engine.requery({})  # empty sparse mapping
+            res_same = engine.requery(graph.w.copy())  # identical full vector
+            # a threshold this tight would force a rebase on any result
+            # that actually re-ran the threshold accounting
+            res_tight = engine.requery({}, rebase_threshold=1e-9)
+        for res in (res_empty, res_same, res_tight):
+            assert res.value == base.value
+            assert dict(res.stats)["requery"] == 1.0
+            assert "rebased" not in dict(res.stats)
+        assert reg.get("engine.requery_noops") == 3.0
+        assert reg.get("engine.rebases") == 0.0
+        # nothing was recomputed: the ledger did not move at all
+        assert _phases(led) == before
+        assert (led.work, led.depth) == (work_before, depth_before)
+
+    def test_noop_before_any_query_still_answers(self, graph):
+        # no memoized result yet: the no-op path falls back to min_cut()
+        engine = CutEngine(graph, seed=7)
+        res = engine.requery({})
+        assert dict(res.stats)["requery"] == 1.0
+        assert res.value == CutEngine(graph, seed=7).min_cut().value
+
+
+class TestArtifactCacheThreadSafety:
+    def test_concurrent_hammer_keeps_invariants(self):
+        import threading
+
+        cache = ArtifactCache(max_entries=8, max_bytes=1 << 16)
+        stop = threading.Event()
+        errors = []
+
+        def worker(wid):
+            rng = np.random.default_rng(wid)
+            try:
+                for _ in range(500):
+                    key = int(rng.integers(0, 32))
+                    stage = ("forest", "index")[key % 2]
+                    fp = f"fp{key}"
+                    roll = rng.random()
+                    if roll < 0.55:
+                        cache.put(stage, fp, np.zeros(int(rng.integers(1, 64))))
+                    elif roll < 0.90:
+                        got = cache.get(stage, fp)
+                        if got is not None:
+                            assert isinstance(got, np.ndarray)
+                    elif roll < 0.95:
+                        assert (stage, fp) in cache or True  # __contains__ race-free
+                    else:
+                        cache.invalidate(stage if key % 3 else None)
+                    assert len(cache) <= cache.max_entries
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+                stop.set()
+
+        threads = [
+            threading.Thread(target=worker, args=(w,), name=f"hammer-{w}")
+            for w in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors, errors
+        assert len(cache) <= cache.max_entries
+        assert 0 <= cache.current_bytes <= cache.max_bytes

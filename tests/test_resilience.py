@@ -69,6 +69,26 @@ class TestBudget:
         assert ei.value.reason == "deadline"
         assert ei.value.site == "here"
 
+    def test_deadline_expiry_exactly_at_checkpoint_boundary(self):
+        # the boundary is inclusive: a checkpoint reached at *exactly*
+        # the deadline must raise, not slip through and return a partial
+        # result one instant past its budget (the serving daemon's
+        # shedding contract leans on this)
+        clock = FakeClock()
+        budget = Budget(deadline=5.0, clock=clock).start()
+        clock.advance(5.0 - 1e-9)
+        budget.checkpoint("just-inside")  # strictly before: no-op
+        clock.advance(1e-9)  # now exactly at the deadline
+        with budget_scope(budget):
+            with pytest.raises(BudgetExceeded) as ei:
+                checkpoint("at-boundary")
+        assert ei.value.reason == "deadline"
+        assert ei.value.site == "at-boundary"
+        # and it keeps raising on every later checkpoint too
+        clock.advance(0.0)
+        with pytest.raises(BudgetExceeded):
+            budget.checkpoint("after")
+
     def test_work_budget(self):
         led = Ledger()
         budget = Budget(max_work=100.0, ledger=led).start()
