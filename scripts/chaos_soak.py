@@ -86,7 +86,14 @@ from repro.serve import (  # noqa: E402
     well_formed,
 )
 
-BACKENDS = ("process", "thread", "sync")
+def _soak_backends():
+    from repro.shm import shm_available
+
+    base = ("process", "thread", "sync")
+    return (("shm",) + base) if shm_available() else base
+
+
+BACKENDS = _soak_backends()
 
 #: fault sites for driver-mode plans: the ``serve.*`` sites are only
 #: polled inside the daemon, so drawing them here would dilute the

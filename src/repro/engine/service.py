@@ -86,17 +86,22 @@ __all__ = ["CutEngine"]
 SeedLike = Union[None, int, np.random.SeedSequence, np.random.Generator]
 
 
-def _batch_search(task) -> tuple:
+def _batch_search(context, seed) -> tuple:
     """One batch query: select this seed's candidate trees from the
     shared packing and run the 2-respecting search.
 
-    Module-level so the process backend can pickle it by reference; the
-    returned candidate is a payload dict (``CutResult.stats`` is a
-    MappingProxyType, which pickle refuses) plus the branch's private
-    ledger for the caller to absorb.  Tracing is suppressed inside the
-    worker — concurrent branches would race the tracer's span stack.
+    Module-level so the process backend can pickle it by reference.
+    ``context`` is the per-batch broadcast ``(graph, packing, max_trees,
+    branching, decomposition)``, crossing the pool boundary once per
+    dispatch — installed by a pool initializer on the process backend,
+    attached as a zero-copy shared-memory view on the shm backend —
+    while each task carries only its seed.  The returned candidate is a
+    payload dict (``CutResult.stats`` is a MappingProxyType, which
+    pickle refuses) plus the branch's private ledger for the caller to
+    absorb.  Tracing is suppressed inside the worker — concurrent
+    branches would race the tracer's span stack.
     """
-    graph, packing, max_trees, branching, decomposition, seed = task
+    graph, packing, max_trees, branching, decomposition = context
     with obs.suppress_tracing():
         led = Ledger()
         parents = select_trees(packing, max_trees, np.random.default_rng(seed))
@@ -383,19 +388,25 @@ class CutEngine:
         approx = self._approximated(ledger)
         forest = self._forest(ledger)
         branching = branching_for_epsilon(self._graph.n, self.params.epsilon)
-        tasks = [
-            (
-                self._graph,
-                forest.packing,
-                self._max_trees,
-                branching,
-                self.params.decomposition,
-                seed,
-            )
-            for seed in seeds
-        ]
+        # the immutable per-batch payload travels as a broadcast context
+        # (pickled once / published once into shared memory), keyed by
+        # the forest fingerprint so repeated batches on the same engine
+        # reuse the live publication; tasks are bare seeds
+        context = (
+            self._graph,
+            forest.packing,
+            self._max_trees,
+            branching,
+            self.params.decomposition,
+        )
+        context_key = combine_fingerprint(
+            "batch-ctx", self._fp_forest, self._max_trees, branching,
+            self.params.decomposition,
+        )
         with obs.phase("batch-search", ledger):
-            outcomes = parallel_map(_batch_search, tasks)
+            outcomes = parallel_map(
+                _batch_search, seeds, context=context, context_key=context_key
+            )
         ledger.absorb_parallel(*(led for _, _, led in outcomes))
         results = []
         for payload, num_trees, _ in outcomes:

@@ -293,6 +293,55 @@ class FlatRangeTree2D:
         self.aux_stats = RangeQueryStats()
 
     # ------------------------------------------------------------------
+    # pickling / shared-memory transport
+    # ------------------------------------------------------------------
+    # The Python-list mirrors (_xs_list & co.) are pure caches: exact
+    # float images of the numpy arrays, kept only because bisect and the
+    # scalar fold run faster over lists.  They are dropped from the
+    # pickled state — they double the payload and a shared-memory worker
+    # must not materialise per-process list copies of data it attached
+    # zero-copy — and lazily rebuilt on the first scalar query
+    # (float64 -> float is exact, so a rebuilt mirror is bit-identical).
+    # With the repro.shm codec, unpickling is the buffer-backed
+    # construction path: every ndarray slot comes back as a read-only
+    # view into the published segment and no sort or level build reruns.
+    _MIRROR_SLOTS = (
+        "_xs_list",
+        "_leaf_ys_list",
+        "_leaf_ws_list",
+        "_ys_list",
+        "_aux_lists",
+        "stats",
+        "aux_stats",
+    )
+
+    def __getstate__(self) -> dict:
+        return {
+            name: getattr(self, name)
+            for name in self.__slots__
+            if name not in self._MIRROR_SLOTS
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+        self._xs_list = None
+        self._leaf_ys_list = None
+        self._leaf_ws_list = None
+        self._ys_list = None
+        self._aux_lists = None
+        self.stats = RangeQueryStats()
+        self.aux_stats = RangeQueryStats()
+
+    def _ensure_scalar_mirrors(self) -> None:
+        """Rebuild the list mirrors after unpickling (no-op otherwise)."""
+        if self._xs_list is None:
+            self._xs_list = self.xs_np.tolist()
+            self._leaf_ys_list = self.leaf_ys_np.tolist()
+            self._leaf_ws_list = self.leaf_ws_np.tolist()
+            self._ys_list = self.YS_ALL.tolist()
+
+    # ------------------------------------------------------------------
     # offsets
     # ------------------------------------------------------------------
     def _aux_offset(self, level: int, node: int, j: int) -> int:
@@ -386,6 +435,7 @@ class FlatRangeTree2D:
         if self.size == 0 or x2 < x1 or y2 < y1:
             ledger.charge(work=1.0, depth=1.0)
             return 0.0
+        self._ensure_scalar_mirrors()
         l = bisect_left(self._xs_list, x1)
         r = bisect_right(self._xs_list, x2)
         total = 0.0
@@ -476,6 +526,7 @@ class FlatRangeTree2D:
             return va, vb
         stats = self.stats
         stats.queries += 2
+        self._ensure_scalar_mirrors()
         l = bisect_left(self._xs_list, x1)
         r = bisect_right(self._xs_list, x2)
         ta = 0.0

@@ -12,6 +12,14 @@ built; later calls return the memo without charging, exactly like any
 other cache hit in the library (e.g. the oracle's cost cache charges
 the query cost once and (1, 1) thereafter — here repeat lookups are
 free because the reference call sites never re-build either).
+
+Cross-process note: the memo rides on the instance, and
+:class:`RootedTree` deliberately strips ``_repro_*`` memo attributes
+from its pickled state — a tree travelling to a pool worker (pickled or
+attached zero-copy via :mod:`repro.shm`) arrives lean, and the worker
+builds its own LCA table on first use.  Because the shm codec caches
+the decoded context per worker process, that rebuild happens once per
+worker, not once per shard.
 """
 
 from __future__ import annotations

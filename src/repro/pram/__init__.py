@@ -16,6 +16,7 @@ from repro.pram.executor import (
     executor_backend,
     force_executor,
     parallel_map,
+    prewarm_executor,
     shutdown_shared_pools,
 )
 from repro.pram.ledger import NULL_LEDGER, Ledger, ParallelFrame, PhaseRecord
@@ -42,6 +43,7 @@ __all__ = [
     "parallel_map",
     "executor_backend",
     "force_executor",
+    "prewarm_executor",
     "shutdown_shared_pools",
     "BrentProjection",
     "brent_time",

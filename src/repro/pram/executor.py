@@ -4,7 +4,7 @@ The accounting in :mod:`repro.pram.ledger` is the primary experimental
 instrument (see DESIGN.md); this module exists so examples and the
 wall-clock harness can also run independent coarse-grained units (trees
 in a packing, layers of a hierarchy, sweep configurations) on a real
-executor.  Three backends are available, selected by the
+executor.  Four backends are available, selected by the
 ``REPRO_EXECUTOR`` environment variable or :func:`force_executor`:
 
 ``thread`` (default)
@@ -23,7 +23,21 @@ executor.  Three backends are available, selected by the
     fire with the same per-item failure semantics as the thread
     backend.  Branch callables must be picklable; a call whose ``fn``
     cannot be pickled (lambdas, closures) transparently falls back to
-    the thread backend.
+    the thread backend.  An immutable broadcast ``context`` is pickled
+    **once** and installed into each worker by a pool initializer, not
+    re-pickled per item (the root cause of the pre-shm process-backend
+    regression).
+``shm``
+    The zero-copy shared-memory backend: the broadcast ``context`` is
+    published once into a :mod:`repro.shm` segment (large ndarrays as
+    raw blocks, everything else as a small pickle) and each task
+    carries only a :class:`~repro.shm.codec.ShmRef` descriptor plus the
+    item.  Persistent pool workers attach the segment once, rebuild
+    read-only zero-copy views, and serve every subsequent item from
+    their attach cache — no graph bytes ever cross the pipe.  Published
+    segments are cached by fingerprint across calls (bounded LRU) and
+    all released by :func:`shutdown_shared_pools`.  Requires a working
+    POSIX shared-memory mount; otherwise routes to ``process``.
 ``sync``
     An in-line sequential loop (deterministic debugging).  Cooperative
     timeouts need concurrency and are ignored.
@@ -43,21 +57,38 @@ died) is evicted so the next attempt starts fresh, and any
 included) evicts the pool on the way out — an interrupted run cannot
 leak a poisoned pool into the next call.
 
+On the shm backend a lost segment
+(:class:`~repro.shm.arena.ShmSegmentLost`, also injectable via the
+``shm.segment_lost`` fault site) fails the round's branches, drops the
+cached publication so a retry republishes fresh, and — being a
+``BrokenExecutor`` — registers as a substrate failure that degrades
+``shm → process`` under a supervisor.
+
 When a :class:`repro.resilience.supervisor.Supervisor` is armed
 (:func:`~repro.resilience.supervisor.supervised_scope`), every dispatch
 round is routed through its health model: a backend with recent broken
-pools or timeouts is skipped down the ``process → thread → sync``
+pools or timeouts is skipped down the ``shm → process → thread → sync``
 degradation chain (with exponential backoff and recovery probes), and
 each downgrade is recorded as a typed
 :class:`~repro.results.DegradationEvent` plus ``supervisor.*`` counters.
+
+Counters: ``executor.dispatches`` / ``executor.items`` /
+``executor.retries`` as before, plus ``executor.dispatch_overhead_s``
+(parent-side time spent preparing + submitting a process/shm round:
+context pickling or publication and task submission, i.e. everything
+that is overhead rather than branch work) and ``shm.worker_attaches``
+(fresh segment attaches reported back by shm workers).
 """
 
 from __future__ import annotations
 
 import contextvars
+import hashlib
 import os
 import pickle
 import threading
+import time
+from collections import OrderedDict
 from concurrent.futures import (
     FIRST_COMPLETED,
     BrokenExecutor,
@@ -69,6 +100,7 @@ from concurrent.futures import (
 from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import (
+    Any,
     Callable,
     Dict,
     Iterator,
@@ -85,6 +117,7 @@ from repro.obs.counters import counters
 from repro.resilience.faults import (
     SITE_EXECUTOR_BRANCH,
     SITE_POOL_BREAK,
+    SITE_SHM_SEGMENT_LOST,
     SITE_WORKER_HANG,
     poll as _poll_site,
     poll_indexed as _poll_fault,
@@ -95,20 +128,24 @@ __all__ = [
     "parallel_map",
     "executor_backend",
     "force_executor",
+    "prewarm_executor",
     "shutdown_shared_pools",
 ]
 
 T = TypeVar("T")
 U = TypeVar("U")
 
-_BACKENDS = ("thread", "process", "sync")
+_BACKENDS = ("thread", "process", "shm", "sync")
 
 _override: ContextVar[Optional[str]] = ContextVar("repro_executor_backend", default=None)
 
+#: "no broadcast context" sentinel — ``None`` is a legitimate context
+_NO_CONTEXT = object()
+
 
 def executor_backend() -> str:
-    """The active executor backend: ``"thread"``, ``"process"`` or
-    ``"sync"``.
+    """The active executor backend: ``"thread"``, ``"process"``,
+    ``"shm"`` or ``"sync"``.
 
     Resolution order: :func:`force_executor` override, then the
     ``REPRO_EXECUTOR`` environment variable, then ``"thread"``.
@@ -139,35 +176,92 @@ def force_executor(backend: str) -> Iterator[None]:
         _override.reset(token)
 
 
+def _shm_ready() -> bool:
+    try:
+        from repro.shm.arena import shm_available
+    except Exception:  # pragma: no cover - repro.shm must always import
+        return False
+    return shm_available()
+
+
 # --------------------------------------------------------------------------
-# Shared pools: created lazily, keyed by (kind, workers), reused across
-# parallel_map calls.  Only untimed calls use them — see module docstring.
+# Shared pools: created lazily, keyed by (kind, workers, tag), reused
+# across parallel_map calls.  Only untimed calls use them — see module
+# docstring.  ``tag`` distinguishes context-bound process pools (whose
+# workers were initialized with one pickled broadcast context) from the
+# plain persistent pool (tag ""), which the shm backend and contextless
+# calls share.
 # --------------------------------------------------------------------------
 
 _pool_lock = threading.Lock()
-_shared_pools: Dict[Tuple[str, int], Executor] = {}
+_shared_pools: Dict[Tuple[str, int, str], Executor] = {}
 
 
-def _shared_pool(kind: str, workers: int) -> Executor:
-    key = (kind, workers)
+def _ensure_tracker() -> None:
+    """Start the multiprocessing resource tracker in the parent *before*
+    forking pool workers.
+
+    A worker forked while no tracker is running spawns its own on first
+    shared-memory attach; that private tracker believes it owns the
+    parent's segments and will unlink them when the worker dies (and
+    warn about "leaks" at exit).  Forking after ``ensure_running`` makes
+    every worker inherit the parent's tracker, whose registry is a set —
+    worker attach registrations are no-ops against the creator's entry.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+    except Exception:  # noqa: BLE001 - platforms without a tracker
+        pass
+
+
+def _shared_pool(
+    kind: str,
+    workers: int,
+    tag: str = "",
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple = (),
+) -> Executor:
+    key = (kind, workers, tag)
+    stale: List[Executor] = []
     with _pool_lock:
         pool = _shared_pools.get(key)
         if pool is None:
-            factory = ThreadPoolExecutor if kind == "thread" else ProcessPoolExecutor
-            pool = factory(max_workers=max(workers, 1))
+            if tag:
+                # a new context supersedes older context-bound pools of
+                # the same shape; drop them so pools don't accumulate
+                for k in [
+                    k
+                    for k in _shared_pools
+                    if k[0] == kind and k[1] == workers and k[2] and k[2] != tag
+                ]:
+                    stale.append(_shared_pools.pop(k))
+            if kind == "thread":
+                pool = ThreadPoolExecutor(max_workers=max(workers, 1))
+            else:
+                _ensure_tracker()
+                pool = ProcessPoolExecutor(
+                    max_workers=max(workers, 1),
+                    initializer=initializer,
+                    initargs=initargs,
+                )
             _shared_pools[key] = pool
+    for old in stale:
+        old.shutdown(wait=False, cancel_futures=True)
     return pool
 
 
-def _evict_shared_pool(kind: str, workers: int) -> None:
+def _evict_shared_pool(kind: str, workers: int, tag: str = "") -> None:
     with _pool_lock:
-        pool = _shared_pools.pop((kind, workers), None)
+        pool = _shared_pools.pop((kind, workers, tag), None)
     if pool is not None:
         pool.shutdown(wait=False, cancel_futures=True)
 
 
 def shutdown_shared_pools() -> None:
-    """Shut down and forget every lazily-created shared pool.
+    """Shut down and forget every lazily-created shared pool, and
+    release every shm context publication held by the executor.
 
     For harness teardown and end-of-run cleanup; the next
     :func:`parallel_map` call lazily recreates what it needs.
@@ -177,12 +271,142 @@ def shutdown_shared_pools() -> None:
         _shared_pools.clear()
     for pool in pools:
         pool.shutdown(wait=False, cancel_futures=True)
+    with _shm_ref_lock:
+        refs = list(_shm_refs.values())
+        _shm_refs.clear()
+    if refs:
+        from repro.shm.codec import release_object
+
+        for ref in refs:
+            release_object(ref)
+
+
+def prewarm_executor(
+    backend: Optional[str] = None, max_workers: Optional[int] = None
+) -> str:
+    """Spin up the shared pool for ``backend`` before any timed region.
+
+    Process workers are forked on first use; without prewarming, the
+    first timed dispatch pays pool construction and worker start-up and
+    the measurement blames the backend for one-time costs.  Submits one
+    no-op per worker and waits, so worker start-up has actually
+    happened (not merely been scheduled) on return.  Returns the
+    backend that was warmed (``sync`` warms nothing).
+    """
+    backend = backend or executor_backend()
+    if backend not in _BACKENDS:
+        raise InvalidParameterError(
+            f"executor backend must be one of {_BACKENDS}, got {backend!r}"
+        )
+    workers = max_workers or os.cpu_count() or 1
+    if backend in ("process", "shm"):
+        pool = _shared_pool("process", workers)
+        futures = [pool.submit(_noop) for _ in range(max(workers, 1))]
+        for fut in futures:
+            fut.result()
+    elif backend == "thread":
+        _shared_pool("thread", workers)
+    return backend
+
+
+def _noop() -> None:
+    return None
+
+
+# --------------------------------------------------------------------------
+# Broadcast-context plumbing.
+#
+# process backend: the context is pickled once per round and installed
+# into every worker by the pool initializer (workers of a context-bound
+# pool unpickle it exactly once, at start-up).
+#
+# shm backend: the context is published into a shared-memory segment and
+# each task carries only the ShmRef; workers attach + decode once, then
+# hit their per-process cache.
+# --------------------------------------------------------------------------
+
+_WORKER_CONTEXT: Any = _NO_CONTEXT
+
+
+def _install_worker_context(payload: bytes) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = pickle.loads(payload)
+
+
+def _invoke_installed(fn: Callable[[Any, T], U], item: T) -> U:
+    if _WORKER_CONTEXT is _NO_CONTEXT:  # pragma: no cover - initializer contract
+        raise RuntimeError("worker context was never installed")
+    return fn(_WORKER_CONTEXT, item)
+
+
+def _shm_invoke(fn: Callable[[Any, T], U], ref, item: T) -> Tuple[bool, U]:
+    from repro.shm.codec import fetch_object
+
+    context, fresh = fetch_object(ref)
+    return fresh, fn(context, item)
+
+
+#: bounded LRU of live shm publications (fingerprint -> ShmRef); each
+#: entry holds one arena refcount, dropped on eviction or shutdown
+_shm_ref_lock = threading.Lock()
+_shm_refs: "OrderedDict[str, Any]" = OrderedDict()
+_SHM_REF_CAP = 8
+
+
+def _acquire_shm_ref(context: Any, context_key: Optional[str]):
+    """Publish ``context`` (or reuse the cached publication) and return
+    its :class:`~repro.shm.codec.ShmRef`.  The cache owns one reference
+    per key; callers never release."""
+    from repro.shm.codec import publish_object, release_object
+
+    with _shm_ref_lock:
+        if context_key is not None and context_key in _shm_refs:
+            _shm_refs.move_to_end(context_key)
+            return _shm_refs[context_key]
+    ref = publish_object(context_key, context)
+    evicted = []
+    extra = None
+    with _shm_ref_lock:
+        cached = _shm_refs.get(ref.key)
+        if cached is not None:
+            # raced with another thread (or keyless digest collision):
+            # keep the cache's reference, return the extra one we hold
+            _shm_refs.move_to_end(ref.key)
+            extra = ref
+            ref = cached
+        else:
+            _shm_refs[ref.key] = ref
+            while len(_shm_refs) > _SHM_REF_CAP:
+                _, old = _shm_refs.popitem(last=False)
+                evicted.append(old)
+    if extra is not None:
+        release_object(extra)
+    for old in evicted:
+        release_object(old)
+    return ref
+
+
+def _discard_shm_ref(key: str) -> None:
+    """Drop ``key``'s publication entirely (segment unlinked now): the
+    recovery path after a lost segment, so a retry republishes instead
+    of handing workers a dead name."""
+    from repro.shm.arena import arena
+
+    with _shm_ref_lock:
+        _shm_refs.pop(key, None)
+    arena().discard(key)
 
 
 def _run_item(fn: Callable[[T], U], item: T, index: int) -> U:
     if _poll_fault(SITE_EXECUTOR_BRANCH, index) is not None:
         raise FaultInjected(f"injected failure in executor branch {index}")
     return fn(item)
+
+
+def _run_item_ctx(fn: Callable[[Any, T], U], context: Any, item: T, index: int) -> U:
+    if _poll_fault(SITE_EXECUTOR_BRANCH, index) is not None:
+        raise FaultInjected(f"injected failure in executor branch {index}")
+    return fn(context, item)
 
 
 def _drain(
@@ -215,26 +439,13 @@ def _drain(
     return timed_out
 
 
-def _attempt_process(
-    fn: Callable[[T], U],
-    items: List[T],
-    indices: Sequence[int],
-    workers: int,
-    timeout: Optional[float],
-) -> Tuple[dict, dict]:
-    """One process-pool pass over ``indices``.
-
-    Worker processes cannot see the caller's contextvars, so the fault
-    plan and the armed budget are polled here in the parent, once per
-    branch before dispatch; a hit is recorded as that branch's failure
-    (the same per-item semantics an in-branch raise has on the thread
-    backend, so retries and aggregation compose identically).
-    """
+def _parent_side_polls(indices: Sequence[int], failures: dict) -> List[int]:
+    """Shared parent-side pre-dispatch polls for process-family
+    backends: branch faults, injected hangs, and budget checkpoints are
+    applied here because workers cannot see the caller's contextvars."""
     from repro.errors import BudgetExceeded
     from repro.resilience.budget import checkpoint as _budget_checkpoint
 
-    results: dict = {}
-    failures: dict = {}
     dispatch: List[int] = []
     for i in indices:
         if _poll_fault(SITE_EXECUTOR_BRANCH, i) is not None:
@@ -251,14 +462,60 @@ def _attempt_process(
             failures[i] = exc
             continue
         dispatch.append(i)
+    return dispatch
+
+
+def _attempt_process(
+    fn: Callable[..., U],
+    items: List[T],
+    indices: Sequence[int],
+    workers: int,
+    timeout: Optional[float],
+    context: Any,
+    context_key: Optional[str],
+) -> Tuple[dict, dict]:
+    """One process-pool pass over ``indices``.
+
+    Worker processes cannot see the caller's contextvars, so the fault
+    plan and the armed budget are polled here in the parent, once per
+    branch before dispatch; a hit is recorded as that branch's failure
+    (the same per-item semantics an in-branch raise has on the thread
+    backend, so retries and aggregation compose identically).
+
+    A broadcast ``context`` is pickled once and installed by the pool
+    initializer of a context-bound pool (keyed by the payload digest),
+    so per-item tasks carry only ``(fn, item)``.
+    """
+    results: dict = {}
+    failures: dict = {}
+    dispatch = _parent_side_polls(indices, failures)
     if not dispatch:
         return results, failures
+
+    t0 = time.perf_counter()
+    tag = ""
+    initializer = None
+    initargs: Tuple = ()
+    submit_fn: Callable = fn
+    pack = lambda i: (items[i],)  # noqa: E731 - tiny dispatch shim
+    if context is not _NO_CONTEXT:
+        try:
+            payload = pickle.dumps(context, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:  # noqa: BLE001 - unpicklable context
+            for i in dispatch:
+                failures[i] = exc
+            return results, failures
+        tag = context_key or hashlib.sha256(payload).hexdigest()[:24]
+        initializer = _install_worker_context
+        initargs = (payload,)
+        submit_fn = _invoke_installed
+        pack = lambda i: (fn, items[i])  # noqa: E731
 
     if _poll_site(SITE_POOL_BREAK) is not None:
         # injected pool breakage: every branch of this round dies with
         # the pool, which is evicted — the same shape a real worker
         # death has, so retry/degradation paths are exercised exactly
-        _evict_shared_pool("process", workers)
+        _evict_shared_pool("process", workers, tag)
         for i in dispatch:
             failures[i] = BrokenExecutor(
                 "injected process pool breakage (fault site executor.pool_break)"
@@ -266,14 +523,21 @@ def _attempt_process(
         return results, failures
 
     transient = timeout is not None
+    if transient:
+        _ensure_tracker()
     pool = (
-        ProcessPoolExecutor(max_workers=max(workers, 1))
+        ProcessPoolExecutor(
+            max_workers=max(workers, 1), initializer=initializer, initargs=initargs
+        )
         if transient
-        else _shared_pool("process", workers)
+        else _shared_pool("process", workers, tag, initializer, initargs)
     )
     timed_out = False
+    reg = counters()
     try:
-        futures = {pool.submit(fn, items[i]): i for i in dispatch}
+        futures = {pool.submit(submit_fn, *pack(i)): i for i in dispatch}
+        if reg.enabled:
+            reg.add("executor.dispatch_overhead_s", time.perf_counter() - t0)
         timed_out = _drain(futures, timeout, results, failures)
     except BrokenExecutor as exc:
         for i in dispatch:
@@ -284,7 +548,7 @@ def _attempt_process(
         # branches; evict so the interrupted run cannot leak a poisoned
         # shared pool into the next call
         if not transient:
-            _evict_shared_pool("process", workers)
+            _evict_shared_pool("process", workers, tag)
         raise
     finally:
         if transient:
@@ -293,21 +557,128 @@ def _attempt_process(
     if not transient and any(isinstance(e, BrokenExecutor) for e in failures.values()):
         # a dead worker poisons the whole ProcessPoolExecutor; evict so
         # the retry (or the next caller) gets a fresh pool
+        _evict_shared_pool("process", workers, tag)
+    return results, failures
+
+
+def _attempt_shm(
+    fn: Callable[..., U],
+    items: List[T],
+    indices: Sequence[int],
+    workers: int,
+    timeout: Optional[float],
+    context: Any,
+    context_key: Optional[str],
+) -> Tuple[dict, dict]:
+    """One zero-copy pass: publish (or reuse) the context segment, send
+    only ``(fn, ref, item)`` per task, and let persistent workers serve
+    from their attach cache.
+
+    Failure shapes: a lost segment (injected via ``shm.segment_lost``
+    or raised by a worker whose attach found the name gone) fails the
+    round's branches with :class:`~repro.shm.arena.ShmSegmentLost` and
+    drops the cached publication so the retry republishes — the pool
+    itself is healthy and is *not* evicted.  Any other
+    ``BrokenExecutor`` means a dead worker and evicts the pool exactly
+    like the process backend.
+    """
+    from repro.shm.arena import ShmSegmentLost
+
+    results: dict = {}
+    failures: dict = {}
+    dispatch = _parent_side_polls(indices, failures)
+    if not dispatch:
+        return results, failures
+
+    if _poll_site(SITE_POOL_BREAK) is not None:
+        _evict_shared_pool("process", workers)
+        for i in dispatch:
+            failures[i] = BrokenExecutor(
+                "injected process pool breakage (fault site executor.pool_break)"
+            )
+        return results, failures
+
+    t0 = time.perf_counter()
+    ref = _acquire_shm_ref(context, context_key)
+
+    if _poll_site(SITE_SHM_SEGMENT_LOST) is not None:
+        # genuinely unlink the segment: the round dies the way it would
+        # if the publication vanished between dispatch and attach, and
+        # the retry must republish under a fresh segment name
+        _discard_shm_ref(ref.key)
+        for i in dispatch:
+            failures[i] = ShmSegmentLost(
+                f"injected loss of shared-memory segment {ref.segment!r} "
+                "(fault site shm.segment_lost)"
+            )
+        return results, failures
+
+    transient = timeout is not None
+    if transient:
+        _ensure_tracker()
+    pool = (
+        ProcessPoolExecutor(max_workers=max(workers, 1))
+        if transient
+        else _shared_pool("process", workers)
+    )
+    timed_out = False
+    reg = counters()
+    raw: dict = {}
+    try:
+        futures = {pool.submit(_shm_invoke, fn, ref, items[i]): i for i in dispatch}
+        if reg.enabled:
+            reg.add("executor.dispatch_overhead_s", time.perf_counter() - t0)
+        timed_out = _drain(futures, timeout, raw, failures)
+    except BrokenExecutor as exc:
+        for i in dispatch:
+            if i not in raw and i not in failures:
+                failures[i] = exc
+    except BaseException:
+        if not transient:
+            _evict_shared_pool("process", workers)
+        raise
+    finally:
+        if transient:
+            pool.shutdown(wait=not timed_out, cancel_futures=timed_out)
+
+    attaches = 0
+    for i, (fresh, value) in raw.items():
+        results[i] = value
+        if fresh:
+            attaches += 1
+    if attaches and reg.enabled:
+        reg.add("shm.worker_attaches", float(attaches))
+
+    lost = any(isinstance(e, ShmSegmentLost) for e in failures.values())
+    if lost:
+        _discard_shm_ref(ref.key)
+    if not transient and any(
+        isinstance(e, BrokenExecutor) and not isinstance(e, ShmSegmentLost)
+        for e in failures.values()
+    ):
         _evict_shared_pool("process", workers)
     return results, failures
 
 
 def _attempt(
-    fn: Callable[[T], U],
+    fn: Callable[..., U],
     items: List[T],
     indices: Sequence[int],
     workers: int,
     timeout: Optional[float],
     backend: str,
+    context: Any,
+    context_key: Optional[str],
 ) -> Tuple[dict, dict]:
     """One pass over ``indices``; returns ``(results, failures)`` by index."""
-    if backend == "process":
-        return _attempt_process(fn, items, indices, workers, timeout)
+    if backend == "shm" and context is not _NO_CONTEXT:
+        return _attempt_shm(fn, items, indices, workers, timeout, context, context_key)
+    if backend in ("process", "shm"):
+        # shm without a broadcast context has nothing to share — the
+        # plain persistent process pool is the same thing
+        return _attempt_process(
+            fn, items, indices, workers, timeout, context, context_key
+        )
 
     results: dict = {}
     failures: dict = {}
@@ -321,8 +692,15 @@ def _attempt(
             live.append(i)
     ctx = contextvars.copy_context()
 
-    def call(i: int) -> U:
-        return ctx.copy().run(_run_item, fn, items[i], i)
+    if context is _NO_CONTEXT:
+
+        def call(i: int) -> U:
+            return ctx.copy().run(_run_item, fn, items[i], i)
+
+    else:
+
+        def call(i: int) -> U:
+            return ctx.copy().run(_run_item_ctx, fn, context, items[i], i)
 
     if backend == "sync" or (workers <= 1 and timeout is None):
         for i in live:
@@ -358,9 +736,12 @@ def _attempt(
 
 def _route(requested: str, supervisor: Optional[Supervisor], fn: Callable) -> str:
     """Resolve the backend for one dispatch round: supervisor health
-    first, then the process backend's picklability requirement."""
+    first, then capability requirements (shared memory actually
+    mounted; ``fn`` picklable for the process-family backends)."""
     backend = supervisor.select(requested) if supervisor is not None else requested
-    if backend == "process":
+    if backend == "shm" and not _shm_ready():
+        backend = "process"
+    if backend in ("process", "shm"):
         try:
             pickle.dumps(fn)
         except Exception:  # noqa: BLE001 - lambdas/closures can't cross processes
@@ -371,9 +752,9 @@ def _route(requested: str, supervisor: Optional[Supervisor], fn: Callable) -> st
 def _report_health(supervisor: Supervisor, backend: str, failures: dict) -> None:
     """Classify one round's failures into backend-health signals.
 
-    Broken pools and timeouts are substrate failures and enter backoff;
-    branch-level application errors (including injected branch faults)
-    say nothing about the backend and are ignored here.
+    Broken pools, lost segments, and timeouts are substrate failures and
+    enter backoff; branch-level application errors (including injected
+    branch faults) say nothing about the backend and are ignored here.
     """
     if any(isinstance(e, BrokenExecutor) for e in failures.values()):
         supervisor.record_failure(backend, "broken_pool")
@@ -384,13 +765,15 @@ def _report_health(supervisor: Supervisor, backend: str, failures: dict) -> None
 
 
 def parallel_map(
-    fn: Callable[[T], U],
+    fn: Callable[..., U],
     items: Sequence[T],
     max_workers: Optional[int] = None,
     *,
     retries: int = 0,
     timeout: Optional[float] = None,
     on_error: Literal["raise", "aggregate"] = "raise",
+    context: Any = _NO_CONTEXT,
+    context_key: Optional[str] = None,
 ) -> List[U]:
     """Map ``fn`` over ``items`` on the active backend, preserving order.
 
@@ -416,14 +799,28 @@ def parallel_map(
         completion and raises a single :class:`BranchErrors` carrying
         *all* failures — so one bad branch cannot hide the others'
         outcomes or poison the pool.
+    context:
+        Optional immutable broadcast argument.  When provided, ``fn``
+        is called as ``fn(context, item)`` and the context crosses the
+        pool boundary **once per round**, not once per item: pickled
+        into the worker initializer on the process backend, published
+        as a zero-copy shared-memory segment on the shm backend, passed
+        by reference on thread/sync.  Must not be mutated by branches.
+    context_key:
+        Stable fingerprint of ``context`` (e.g. the engine's artifact
+        fingerprint).  Lets the shm backend reuse a live publication
+        and the process backend reuse a context-bound pool across
+        ``parallel_map`` calls without hashing the payload; optional
+        (a content digest is computed when omitted).
 
     Notes
     -----
     With a :class:`~repro.resilience.supervisor.Supervisor` armed in the
     calling context, the backend is re-resolved through its health model
     before **every** dispatch round: a round whose pool broke (or timed
-    out) records a backend failure, and the retry round runs on the next
-    healthy stage of the degradation chain.
+    out, or lost its shared-memory segment) records a backend failure,
+    and the retry round runs on the next healthy stage of the
+    degradation chain.
     """
     if retries < 0:
         raise InvalidParameterError("retries must be >= 0")
@@ -450,7 +847,9 @@ def parallel_map(
     for round_no in range(retries + 1):
         if round_no and reg.enabled:
             reg.add("executor.retries", float(len(todo)))
-        got, bad = _attempt(fn, items, todo, workers, timeout, backend)
+        got, bad = _attempt(
+            fn, items, todo, workers, timeout, backend, context, context_key
+        )
         results.update(got)
         failed = bad
         todo = sorted(bad)

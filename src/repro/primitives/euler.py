@@ -49,6 +49,20 @@ class RootedTree:
     depth: np.ndarray  # edge-distance from root
     order: np.ndarray  # vertices in postorder: order[post[u]] == u
 
+    def __getstate__(self) -> dict:
+        # derived-structure memos (treecache's LCA table, centroid's
+        # children lists) live on the instance under "_repro_*" keys;
+        # they are pure functions of the tree and must not ride along
+        # through pickling or shared-memory publication — each consumer
+        # process rebuilds (and re-charges) its own, exactly as a fresh
+        # instance would
+        return {
+            k: v for k, v in self.__dict__.items() if not k.startswith("_repro_")
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     @property
     def n(self) -> int:
         return int(self.parent.shape[0])

@@ -65,6 +65,13 @@ Sites instrumented in the pipeline
     The :mod:`repro.serve` connection writer delays flushing one
     response (``Fault.scale`` × 50 ms, capped), simulating a client
     draining slowly; the response must still arrive intact.
+``shm.segment_lost``
+    :func:`repro.pram.executor.parallel_map` (shm backend) genuinely
+    unlinks the published shared-memory context segment at dispatch
+    time: every branch of the round fails with
+    :class:`repro.shm.arena.ShmSegmentLost` (a ``BrokenExecutor``), the
+    executor's published-ref cache drops the key so a retry republishes,
+    and the supervisor degrades ``shm → process``.
 
 Activation is scoped (:func:`inject` context manager, contextvar-backed)
 so concurrent un-faulted callers are unaffected.  Site names are
@@ -97,6 +104,7 @@ __all__ = [
     "SITE_SERVE_QUEUE_STALL",
     "SITE_SERVE_HANDLER_CRASH",
     "SITE_SERVE_SLOW_CLIENT",
+    "SITE_SHM_SEGMENT_LOST",
     "ALL_SITES",
     "SERVICE_SITES",
     "Fault",
@@ -120,6 +128,7 @@ SITE_SERVE_ACCEPT_DROP = "serve.accept_drop"
 SITE_SERVE_QUEUE_STALL = "serve.queue_stall"
 SITE_SERVE_HANDLER_CRASH = "serve.handler_crash"
 SITE_SERVE_SLOW_CLIENT = "serve.slow_client"
+SITE_SHM_SEGMENT_LOST = "shm.segment_lost"
 
 #: The service-layer sites, polled only by the :mod:`repro.serve` daemon
 #: (never by the one-shot pipeline or the resilient driver).
@@ -141,6 +150,7 @@ ALL_SITES: Tuple[str, ...] = (
     SITE_WORKER_HANG,
     SITE_CHECKPOINT_CORRUPT,
     SITE_CHECKPOINT_KILL,
+    SITE_SHM_SEGMENT_LOST,
 ) + SERVICE_SITES
 
 
@@ -312,6 +322,11 @@ def canonical_plans(seed: int = 0) -> Dict[str, FaultPlan]:
         ),
         "checkpoint_kill": FaultPlan(
             [Fault(SITE_CHECKPOINT_KILL, seed=seed)], name="checkpoint_kill"
+        ),
+        # only fires when the shm backend is actually dispatching; on
+        # other backends the plan runs clean, which the matrix tolerates
+        "shm_segment_lost": FaultPlan(
+            [Fault(SITE_SHM_SEGMENT_LOST, seed=seed)], name="shm_segment_lost"
         ),
         # the serve.* sites live in the daemon's request path; armed
         # against the bare driver they simply never fire (the driver

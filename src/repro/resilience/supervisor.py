@@ -50,8 +50,11 @@ __all__ = [
 ]
 
 #: the degradation chain, most capable first; the last stage never
-#: degrades further (a sequential in-line loop cannot break)
-DEGRADATION_CHAIN: Tuple[str, ...] = ("process", "thread", "sync")
+#: degrades further (a sequential in-line loop cannot break).  ``shm``
+#: is the zero-copy shared-memory process backend — a lost segment or
+#: broken pool there degrades to the plain pickling ``process`` backend
+#: before falling back to threads.
+DEGRADATION_CHAIN: Tuple[str, ...] = ("shm", "process", "thread", "sync")
 
 
 @dataclass

@@ -72,7 +72,8 @@ from repro.serve.protocol import (
     retry_after_response,
     write_frame,
 )
-from repro.serve.tenancy import TenantQuota, TenantRegistry
+from repro.pram.executor import force_executor
+from repro.serve.tenancy import BUDGET_CLASSES, TenantQuota, TenantRegistry
 
 __all__ = [
     "ServerConfig",
@@ -452,8 +453,30 @@ class CutService:
                 self._run_stall, float(request.get("seconds", 0.1)), remaining
             )
         engine, lock = item.tenant.engine(request["graph"])
+        backend = self._class_backend(item.tenant.quota.budget_class)
         async with lock:  # CutEngine mutates rng/bindings: serialize per graph
-            return await asyncio.to_thread(self._run_query, engine, request, remaining)
+            return await asyncio.to_thread(
+                self._run_query, engine, request, remaining, backend
+            )
+
+    def _class_backend(self, budget_class: str) -> Optional[str]:
+        """The executor backend the tenant's budget class pins, or None.
+
+        A pinned backend the host cannot provide (shm without a usable
+        ``/dev/shm``) falls back to the ambient selection and counts
+        ``serve.backend_fallbacks`` — queries must degrade, not fail,
+        on backend availability."""
+        cls = BUDGET_CLASSES.get(budget_class)
+        backend = cls.executor_backend if cls is not None else None
+        if backend is None:
+            return None
+        if backend == "shm":
+            from repro.shm import shm_available
+
+            if not shm_available():
+                self.registry.add("serve.backend_fallbacks")
+                return None
+        return backend
 
     def _scoped(self, remaining: float) -> "contextlib.ExitStack":
         """The ambient scopes every query runs under (worker thread):
@@ -480,10 +503,24 @@ class CutService:
         return {"stalled_s": seconds}
 
     def _run_query(
-        self, engine, request: Dict[str, Any], remaining: float
+        self,
+        engine,
+        request: Dict[str, Any],
+        remaining: float,
+        backend: Optional[str] = None,
     ) -> Dict[str, Any]:
         """One engine query on a worker thread, under the service's
-        counter registry, supervisor, and the request's deadline budget."""
+        counter registry, supervisor, the request's deadline budget, and
+        (when the tenant's budget class pins one) a forced executor
+        backend."""
+        with contextlib.ExitStack() as outer:
+            if backend is not None:
+                outer.enter_context(force_executor(backend))
+            return self._run_query_scoped(engine, request, remaining)
+
+    def _run_query_scoped(
+        self, engine, request: Dict[str, Any], remaining: float
+    ) -> Dict[str, Any]:
         op = request["op"]
         with supervised_scope(self.supervisor), self._scoped(remaining):
             fault = self._poll(SITE_SERVE_HANDLER_CRASH)

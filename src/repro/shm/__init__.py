@@ -1,0 +1,57 @@
+"""Zero-copy shared-memory publication layer.
+
+``repro.shm`` lets the parent process publish large immutable objects
+(graphs, packed forests, flat2d range trees) into POSIX shared-memory
+segments exactly once, and lets pool workers attach read-only
+zero-copy views instead of receiving pickled copies per dispatch.  It
+is the substrate of the ``shm`` executor backend
+(``REPRO_EXECUTOR=shm``) — see :mod:`repro.pram.executor`.
+
+Three modules:
+
+* :mod:`repro.shm.arena` — refcounted, fingerprint-keyed segment
+  lifecycle (:class:`ShmArena`), guaranteed cleanup, leak
+  introspection;
+* :mod:`repro.shm.codec` — generic pickle-based object splitter that
+  externalises large ndarrays into segment blocks
+  (:func:`publish_object` / :func:`fetch_object`);
+* :mod:`repro.shm.shard` — sharded flat2d batch queries over a
+  published tree.
+"""
+
+from repro.shm.arena import (
+    ShmArena,
+    ShmSegmentLost,
+    arena,
+    detach_all,
+    live_segments,
+    shm_available,
+    shutdown_arena,
+)
+from repro.shm.codec import (
+    ShmRef,
+    decode_object,
+    encode_object,
+    fetch_object,
+    publish_object,
+    release_object,
+)
+from repro.shm.shard import plan_shards, sharded_query_many
+
+__all__ = [
+    "ShmArena",
+    "ShmSegmentLost",
+    "ShmRef",
+    "arena",
+    "detach_all",
+    "live_segments",
+    "shm_available",
+    "shutdown_arena",
+    "encode_object",
+    "decode_object",
+    "publish_object",
+    "fetch_object",
+    "release_object",
+    "plan_shards",
+    "sharded_query_many",
+]

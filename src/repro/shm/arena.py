@@ -1,0 +1,386 @@
+"""Refcounted shared-memory segment arena.
+
+A :class:`ShmArena` owns a set of ``multiprocessing.shared_memory``
+segments, each holding the packed byte blocks of one published object
+(see :mod:`repro.shm.codec`) and keyed by a caller-supplied
+**fingerprint** — publishing the same fingerprint twice returns the
+existing segment instead of copying the data again, which is what makes
+repeated dispatches over the same graph free.
+
+Lifecycle is explicit and guaranteed:
+
+* every ``publish`` increments the segment's refcount, every
+  ``release`` decrements it; at zero the segment is unlinked;
+* :meth:`ShmArena.shutdown` (also the context-manager ``__exit__`` and
+  a module-level ``atexit`` hook for the default arena) unlinks
+  everything unconditionally — a crashed caller cannot leak segments
+  past interpreter exit;
+* :func:`live_segments` exposes the surviving names so tests can assert
+  the zero-leak contract.
+
+Attach (the worker side) lives here too.  Pool workers are forked from
+the parent and share its ``resource_tracker`` process, whose registry
+is a *set* — a worker's attach-time registration is a no-op against the
+creator's entry, so attaching transfers no ownership and needs no
+``unregister`` (calling it would strip the parent's crash-safety
+registration).  Attached handles are cached per process
+(:data:`_ATTACHED`), so a persistent pool worker maps each segment
+exactly once no matter how many shards it processes.
+
+Counters (parent side): ``shm.segments_published``, ``shm.bytes_published``,
+``shm.segments_reused``, ``shm.segments_unlinked``; worker attaches are
+reported back through the executor as ``shm.worker_attaches`` (a child
+process cannot reach the parent's counter registry directly).
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+from concurrent.futures import BrokenExecutor
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.obs.counters import counters
+
+__all__ = [
+    "ShmArena",
+    "ShmSegmentLost",
+    "arena",
+    "shutdown_arena",
+    "live_segments",
+    "shm_available",
+    "attach_segment",
+    "detach_all",
+]
+
+#: block payloads start at multiples of this, so float64/int64 views are
+#: always aligned regardless of the header's byte length
+_ALIGN = 64
+
+
+class ShmSegmentLost(BrokenExecutor):
+    """A published segment vanished (unlinked, or the publisher died)
+    between dispatch and attach.
+
+    Subclasses :class:`concurrent.futures.BrokenExecutor` on purpose:
+    the supervisor's health model already classifies broken executors as
+    substrate failures, so a lost segment enters backoff and degrades
+    ``shm → process`` without any special casing.
+    """
+
+
+def shm_available() -> bool:
+    """True when POSIX shared memory actually works on this platform
+    (probed once with a tiny create/unlink round trip)."""
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        try:
+            from multiprocessing import shared_memory
+
+            probe = shared_memory.SharedMemory(create=True, size=16)
+            probe.close()
+            probe.unlink()
+            _AVAILABLE = True
+        except Exception:  # noqa: BLE001 - any failure means "don't use shm"
+            _AVAILABLE = False
+    return _AVAILABLE
+
+
+_AVAILABLE: Optional[bool] = None
+
+
+class _Segment:
+    __slots__ = ("shm", "key", "refs", "nbytes")
+
+    def __init__(self, shm, key: str, nbytes: int) -> None:
+        self.shm = shm
+        self.key = key
+        self.refs = 1
+        self.nbytes = nbytes
+
+
+class ShmArena:
+    """Fingerprint-keyed, refcounted shared-memory segments.
+
+    Thread-safe; usable as a context manager (``with ShmArena() as a:``)
+    whose exit unlinks every segment the arena still owns.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._by_key: Dict[str, _Segment] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # publish / release
+    # ------------------------------------------------------------------
+    def publish(self, key: str, payload: bytes, blocks: List[memoryview]) -> Tuple[str, int]:
+        """Copy ``payload`` + ``blocks`` into one segment keyed by ``key``.
+
+        Returns ``(segment_name, total_bytes)``.  Re-publishing a live
+        key is free: the existing segment's refcount is bumped and its
+        name returned (``shm.segments_reused``).
+
+        Layout: ``[8B payload length][payload][pad][8B nblocks]`` then,
+        per block, ``[8B length][bytes][pad to 64]`` — the codec stores
+        dtype/shape metadata inside ``payload``, the arena only moves
+        bytes.
+        """
+        with self._lock:
+            if self._closed:
+                raise InvalidParameterError("arena is shut down")
+            seg = self._by_key.get(key)
+            if seg is not None:
+                seg.refs += 1
+                counters().add("shm.segments_reused")
+                return seg.shm.name, seg.nbytes
+
+        from multiprocessing import shared_memory
+
+        sizes = [len(payload)] + [len(b) for b in blocks]
+        total = 0
+        offsets = []
+        for s in sizes:
+            offsets.append(total)
+            total += _aligned(8 + s)
+        shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        buf = shm.buf
+        for off, chunk in zip(offsets, [payload] + list(blocks)):
+            buf[off : off + 8] = len(chunk).to_bytes(8, "little")
+            buf[off + 8 : off + 8 + len(chunk)] = bytes(chunk) if isinstance(chunk, memoryview) else chunk
+        with self._lock:
+            # lost the publish race: keep the winner, drop ours
+            seg = self._by_key.get(key)
+            if seg is not None:
+                seg.refs += 1
+                counters().add("shm.segments_reused")
+                name, nbytes = seg.shm.name, seg.nbytes
+            else:
+                self._by_key[key] = _Segment(shm, key, total)
+                reg = counters()
+                reg.add("shm.segments_published")
+                reg.add("shm.bytes_published", float(total))
+                return shm.name, total
+        shm.close()
+        shm.unlink()
+        return name, nbytes
+
+    def retain(self, key: str) -> Optional[Tuple[str, int]]:
+        """Bump the refcount of an existing segment without re-encoding.
+
+        Returns ``(segment_name, nbytes)`` when ``key`` is live, else
+        ``None`` — the caller should then encode and :meth:`publish`.
+        """
+        with self._lock:
+            seg = self._by_key.get(key)
+            if seg is None:
+                return None
+            seg.refs += 1
+            counters().add("shm.segments_reused")
+            return seg.shm.name, seg.nbytes
+
+    def release(self, key: str) -> None:
+        """Drop one reference; the last reference unlinks the segment."""
+        with self._lock:
+            seg = self._by_key.get(key)
+            if seg is None:
+                return
+            seg.refs -= 1
+            if seg.refs > 0:
+                return
+            del self._by_key[key]
+        _unlink(seg.shm)
+
+    def discard(self, key: str) -> None:
+        """Forcibly unlink ``key`` regardless of refcount (used by the
+        ``shm.segment_lost`` fault site and failure recovery — a retry
+        must republish rather than attach a dead name)."""
+        with self._lock:
+            seg = self._by_key.pop(key, None)
+        if seg is not None:
+            _unlink(seg.shm)
+
+    # ------------------------------------------------------------------
+    # introspection / teardown
+    # ------------------------------------------------------------------
+    def segment_name(self, key: str) -> Optional[str]:
+        with self._lock:
+            seg = self._by_key.get(key)
+            return None if seg is None else seg.shm.name
+
+    def live(self) -> Tuple[str, ...]:
+        """Names of every segment this arena still owns."""
+        with self._lock:
+            return tuple(seg.shm.name for seg in self._by_key.values())
+
+    @property
+    def live_bytes(self) -> int:
+        with self._lock:
+            return sum(seg.nbytes for seg in self._by_key.values())
+
+    def shutdown(self) -> None:
+        """Unlink every owned segment, refcounts notwithstanding."""
+        with self._lock:
+            segments = list(self._by_key.values())
+            self._by_key.clear()
+            self._closed = True
+        for seg in segments:
+            _unlink(seg.shm)
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ShmArena(segments={len(self._by_key)}, bytes={self.live_bytes})"
+
+
+def _aligned(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _quiet_close(shm) -> None:
+    """Close a SharedMemory handle without ever raising or leaving a
+    noisy ``__del__`` behind.
+
+    When a consumer still holds views into the map, ``close`` raises
+    BufferError — and would raise again from ``__del__`` at interpreter
+    exit, spamming stderr.  In that case we close the file descriptor
+    and neuter the handle: the mapping itself stays alive until the
+    views die (at worst, process exit), which is safe because the
+    backing segment is unlinked separately.
+    """
+    try:
+        shm.close()
+    except BufferError:
+        import os
+
+        try:
+            if shm._fd >= 0:  # noqa: SLF001
+                os.close(shm._fd)  # noqa: SLF001
+        except OSError:  # pragma: no cover
+            pass
+        shm._fd = -1  # noqa: SLF001
+        shm._mmap = None  # noqa: SLF001
+
+
+def _unlink(shm) -> None:
+    counters().add("shm.segments_unlinked")
+    _quiet_close(shm)
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass
+
+
+# ---------------------------------------------------------------------------
+# default arena (parent-process side)
+# ---------------------------------------------------------------------------
+_default_lock = threading.Lock()
+_default: Optional[ShmArena] = None
+
+
+def arena() -> ShmArena:
+    """The process-wide default arena, created lazily; guaranteed to be
+    emptied at interpreter exit by an ``atexit`` hook."""
+    global _default
+    with _default_lock:
+        if _default is None:
+            _default = ShmArena()
+        return _default
+
+
+def shutdown_arena() -> None:
+    """Unlink every segment of the default arena and forget it; the next
+    :func:`arena` call starts fresh.  Harness/engine teardown hook."""
+    global _default
+    with _default_lock:
+        a = _default
+        _default = None
+    if a is not None:
+        a.shutdown()
+
+
+def live_segments() -> Tuple[str, ...]:
+    """Names of segments the default arena still owns (leak tests)."""
+    with _default_lock:
+        return () if _default is None else _default.live()
+
+
+atexit.register(shutdown_arena)
+
+
+# ---------------------------------------------------------------------------
+# attach (worker-process side)
+# ---------------------------------------------------------------------------
+#: per-process attach cache: segment name -> (SharedMemory, payload, blocks)
+_ATTACHED: Dict[str, Tuple[object, bytes, List[memoryview]]] = {}
+
+#: callbacks run by :func:`detach_all` before closing maps — consumers
+#: (the codec's decode cache) register here so their views are dropped
+#: first and ``close`` doesn't hit live exported pointers
+_DETACH_HOOKS: List = []
+
+
+def attach_segment(name: str) -> Tuple[bytes, List[memoryview], bool]:
+    """Map segment ``name`` and split it back into payload + blocks.
+
+    Returns ``(payload, block_views, freshly_attached)``.  The views are
+    zero-copy windows into the mapped segment; the handle is cached so a
+    pool worker maps each name once and keeps it for its lifetime (the
+    map dies with the process).  Attaching takes no ownership — see the
+    module docstring for the resource-tracker rationale.
+
+    Raises :class:`ShmSegmentLost` when the name no longer exists.
+    """
+    cached = _ATTACHED.get(name)
+    if cached is not None:
+        _, payload, blocks = cached
+        return payload, blocks, False
+    from multiprocessing import shared_memory
+
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError as exc:
+        raise ShmSegmentLost(f"shared-memory segment {name!r} is gone") from exc
+    buf = shm.buf
+    plen = int.from_bytes(bytes(buf[0:8]), "little")
+    payload = bytes(buf[8 : 8 + plen])
+    blocks: List[memoryview] = []
+    off = _aligned(8 + plen)
+    while off + 8 <= len(buf):
+        blen = int.from_bytes(bytes(buf[off : off + 8]), "little")
+        blocks.append(buf[off + 8 : off + 8 + blen])
+        off = off + _aligned(8 + blen)
+    _ATTACHED[name] = (shm, payload, blocks)
+    return payload, blocks, True
+
+
+def detach_all() -> int:
+    """Close every cached attach in this process; returns the count.
+
+    For tests and long-lived in-process consumers — pool workers simply
+    let the cache die with the process.
+    """
+    for hook in _DETACH_HOOKS:
+        try:
+            hook()
+        except Exception:  # noqa: BLE001 - cleanup must keep going
+            pass
+    n = len(_ATTACHED)
+    entries = list(_ATTACHED.values())
+    _ATTACHED.clear()
+    for shm, _, blocks in entries:
+        del blocks
+        _quiet_close(shm)
+    if n:
+        counters().add("shm.detaches", float(n))
+    return n
+
+
+# LIFO atexit order: detach (registered last, runs first) releases this
+# process's views before shutdown_arena tries to close and unlink.
+atexit.register(detach_all)

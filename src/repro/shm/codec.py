@@ -1,0 +1,199 @@
+"""Zero-copy object codec over shared-memory segments.
+
+The problem the ``process`` backend has is structural: every dispatch
+pickles the whole payload — graph arrays, packed forests, flat2d tables
+— through a pipe, and the worker materialises a private copy.  This
+codec splits an object into two parts instead:
+
+* a small **payload** — an ordinary pickle of the object with every
+  large, C-contiguous, non-object ndarray replaced by a persistent-id
+  stub ``(block_index, dtype, shape)``;
+* the raw **blocks** — those arrays' bytes, copied exactly once into a
+  shared-memory segment by :class:`repro.shm.arena.ShmArena`.
+
+Workers attach the segment and rebuild the object with
+``np.frombuffer`` views over the mapped blocks: no copy, no per-dispatch
+pickling of array data, and one physical page set shared by every
+worker.  Reconstructed arrays are marked read-only — the published
+object is immutable by contract, and a stray write from one worker must
+not corrupt every other worker's view.
+
+Externalisation happens via ``pickle``'s ``persistent_id`` hook, so
+arrays are captured wherever they sit — inside ``Graph``,
+``GreedyPacking``, ``FlatRangeTree2D``, tuples, dataclasses — without
+per-type codec code.  Types whose ``__reduce__`` hides arrays inside
+opaque bytes won't benefit, but every container in this repo pickles
+arrays as arrays.
+
+Worker-side, :func:`fetch_object` memoises the decoded object per
+segment name: a persistent pool worker attaches + decodes each
+published context exactly once, then serves every subsequent shard from
+the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import pickle
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs.counters import counters
+from repro.shm.arena import _DETACH_HOOKS, ShmArena, arena, attach_segment
+
+__all__ = [
+    "ShmRef",
+    "encode_object",
+    "decode_object",
+    "publish_object",
+    "release_object",
+    "fetch_object",
+    "forget_object",
+]
+
+#: arrays smaller than this stay inline in the payload pickle — the
+#: stub + block bookkeeping costs more than it saves below ~a page
+_MIN_EXTERN_BYTES = 2048
+
+_STUB_TAG = "repro.shm.ndarray"
+
+
+@dataclass(frozen=True)
+class ShmRef:
+    """Ticket for a published object: everything a worker needs to
+    attach (``segment``) and everything the parent needs to release
+    (``key``).  Small and cheaply picklable by design."""
+
+    key: str
+    segment: str
+    nbytes: int
+    blocks: int
+
+
+class _ShmPickler(pickle.Pickler):
+    def __init__(self, file, blocks: List[memoryview]) -> None:
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._blocks = blocks
+
+    def persistent_id(self, obj: Any) -> Optional[Tuple[str, int, str, Tuple[int, ...]]]:
+        if (
+            type(obj) is np.ndarray
+            and obj.dtype != object
+            and obj.nbytes >= _MIN_EXTERN_BYTES
+        ):
+            if not obj.flags["C_CONTIGUOUS"]:
+                obj = np.ascontiguousarray(obj)
+            index = len(self._blocks)
+            self._blocks.append(obj.data.cast("B"))
+            return (_STUB_TAG, index, obj.dtype.str, obj.shape)
+        return None
+
+
+class _ShmUnpickler(pickle.Unpickler):
+    def __init__(self, file, blocks: List[memoryview]) -> None:
+        super().__init__(file)
+        self._blocks = blocks
+
+    def persistent_load(self, pid: Tuple[str, int, str, Tuple[int, ...]]) -> np.ndarray:
+        tag, index, dtype, shape = pid
+        if tag != _STUB_TAG:
+            raise pickle.UnpicklingError(f"unknown persistent id tag {tag!r}")
+        arr = np.frombuffer(self._blocks[index], dtype=np.dtype(dtype)).reshape(shape)
+        arr.flags.writeable = False
+        return arr
+
+
+def encode_object(obj: Any) -> Tuple[bytes, List[memoryview]]:
+    """Split ``obj`` into a small payload pickle + raw array blocks."""
+    blocks: List[memoryview] = []
+    buf = io.BytesIO()
+    _ShmPickler(buf, blocks).dump(obj)
+    return buf.getvalue(), blocks
+
+
+def decode_object(payload: bytes, blocks: List[memoryview]) -> Any:
+    """Rebuild an object from :func:`encode_object` output; arrays come
+    back as read-only views over ``blocks``."""
+    return _ShmUnpickler(io.BytesIO(payload), blocks).load()
+
+
+# ---------------------------------------------------------------------------
+# parent side
+# ---------------------------------------------------------------------------
+def publish_object(
+    key: Optional[str], obj: Any, *, into: Optional[ShmArena] = None
+) -> ShmRef:
+    """Publish ``obj`` under fingerprint ``key``; returns the attach
+    ticket.  Publishing a live key again skips encoding entirely and
+    just bumps the segment's refcount.
+
+    With ``key=None`` a content digest of the encoded bytes is used
+    instead — dedup still works, but the encode cost is paid before the
+    reuse check, so callers with a cheap stable fingerprint (the engine
+    artifact chain) should pass it.
+    """
+    a = into if into is not None else arena()
+    if key is not None:
+        existing = a.retain(key)
+        if existing is not None:
+            name, nbytes = existing
+            return ShmRef(key=key, segment=name, nbytes=nbytes, blocks=-1)
+        payload, blocks = encode_object(obj)
+    else:
+        payload, blocks = encode_object(obj)
+        digest = hashlib.sha256(payload)
+        for block in blocks:
+            digest.update(block)
+        key = "sha256:" + digest.hexdigest()[:32]
+        existing = a.retain(key)
+        if existing is not None:
+            name, nbytes = existing
+            return ShmRef(key=key, segment=name, nbytes=nbytes, blocks=-1)
+    name, nbytes = a.publish(key, payload, blocks)
+    return ShmRef(key=key, segment=name, nbytes=nbytes, blocks=len(blocks))
+
+
+def release_object(ref: ShmRef, *, into: Optional[ShmArena] = None) -> None:
+    """Drop one reference to ``ref``'s segment (unlinks at zero)."""
+    a = into if into is not None else arena()
+    a.release(ref.key)
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+#: per-process decode cache: segment name -> reconstructed object
+_DECODED: Dict[str, Any] = {}
+
+# decoded objects hold views into the mapped segments; detach_all must
+# drop them before closing the maps
+_DETACH_HOOKS.append(_DECODED.clear)
+
+
+def fetch_object(ref: ShmRef) -> Tuple[Any, bool]:
+    """Attach ``ref``'s segment and return ``(object, freshly_attached)``.
+
+    Decoding is memoised per segment name, so a pool worker pays the
+    attach + unpickle cost once per published context and zero-copy
+    thereafter.  Raises :class:`repro.shm.arena.ShmSegmentLost` when the
+    segment no longer exists.
+    """
+    cached = _DECODED.get(ref.segment)
+    if cached is not None:
+        return cached, False
+    payload, blocks, fresh = attach_segment(ref.segment)
+    obj = decode_object(payload, blocks)
+    _DECODED[ref.segment] = obj
+    if fresh:
+        counters().add("shm.attaches")
+    return obj, fresh
+
+
+def forget_object(segment: str) -> None:
+    """Drop the decode cache for one segment (tests / long-lived
+    in-process consumers; note the mmap stays cached in the arena's
+    attach table until :func:`repro.shm.arena.detach_all`)."""
+    _DECODED.pop(segment, None)

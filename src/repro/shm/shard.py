@@ -1,0 +1,107 @@
+"""Sharded flat2d batch queries over a published tree.
+
+:meth:`repro.kernels.flat2d.FlatRangeTree2D.query_many` is the hot
+batch driver of the 2-respecting search.  This module fans one large
+batch out over the active executor backend: the tree and the four
+query-bound arrays are broadcast **once** as a ``parallel_map``
+context (a zero-copy shared-memory segment on the shm backend, one
+initializer pickle on the process backend), and each task carries only
+a ``(lo, hi)`` shard range.  Workers answer their contiguous slice and
+return three small per-shard arrays, which concatenate back — shard
+boundaries cannot change any answer because every query is independent.
+
+Parity: ``sharded_query_many`` returns exactly what a single
+``query_many`` call over the whole batch returns — same totals, same
+per-query work/depth charge arrays (``query_many`` charges no ledger
+itself; callers emulate the reference charge structure from the
+returned arrays, which is why sharding composes without touching the
+accounting).  The only observable difference is stats/counter
+attribution: worker-side ``RangeQueryStats`` live and die in the
+worker processes, as with every other process-backend dispatch.
+
+The one *behavioural* caveat: ``query_many`` switches to a scalar loop
+below ``_SCALAR_BATCH_CUTOFF`` entries.  Shards below the cutoff would
+answer identically (the contract pins that) but waste the vectorized
+path, so the shard planner never cuts a batch into pieces smaller than
+the cutoff.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.pram.executor import parallel_map
+
+__all__ = ["sharded_query_many", "plan_shards"]
+
+#: keep shards on query_many's vectorized path (see module docstring)
+_MIN_SHARD = 256
+
+
+def plan_shards(total: int, shards: int) -> List[Tuple[int, int]]:
+    """Split ``range(total)`` into at most ``shards`` contiguous,
+    near-equal, non-empty ranges of at least ``_MIN_SHARD`` entries."""
+    if total <= 0:
+        return []
+    shards = max(1, min(shards, max(1, total // _MIN_SHARD)))
+    bounds = np.linspace(0, total, shards + 1, dtype=np.int64)
+    return [
+        (int(lo), int(hi)) for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo
+    ]
+
+
+def _shard_query(ctx, bounds: Tuple[int, int]):
+    tree, x1, x2, y1, y2 = ctx
+    lo, hi = bounds
+    return tree.query_many(x1[lo:hi], x2[lo:hi], y1[lo:hi], y2[lo:hi])
+
+
+def sharded_query_many(
+    tree,
+    x1: np.ndarray,
+    x2: np.ndarray,
+    y1: np.ndarray,
+    y2: np.ndarray,
+    *,
+    shards: Optional[int] = None,
+    max_workers: Optional[int] = None,
+    context_key: Optional[str] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``tree.query_many`` over the whole batch, answered in parallel
+    shards on the active executor backend.
+
+    Parameters
+    ----------
+    shards:
+        Target shard count; defaults to ``max_workers`` (or the CPU
+        count).  Clamped so no shard drops below the vectorized-path
+        cutoff; a batch too small to split runs in-process directly.
+    context_key:
+        Stable fingerprint for the ``(tree, queries)`` broadcast — pass
+        one when the same tree is queried repeatedly so the shm backend
+        reuses its published segment across calls.
+    """
+    import os
+
+    x1 = np.ascontiguousarray(x1, dtype=np.int64)
+    x2 = np.ascontiguousarray(x2, dtype=np.int64)
+    y1 = np.ascontiguousarray(y1, dtype=np.int64)
+    y2 = np.ascontiguousarray(y2, dtype=np.int64)
+    total = int(x1.shape[0])
+    workers = max_workers or os.cpu_count() or 1
+    ranges = plan_shards(total, shards or workers)
+    if len(ranges) <= 1:
+        return tree.query_many(x1, x2, y1, y2)
+    parts = parallel_map(
+        _shard_query,
+        ranges,
+        workers,
+        context=(tree, x1, x2, y1, y2),
+        context_key=context_key,
+    )
+    totals = np.concatenate([p[0] for p in parts])
+    works = np.concatenate([p[1] for p in parts])
+    depths = np.concatenate([p[2] for p in parts])
+    return totals, works, depths

@@ -245,10 +245,10 @@ class TestExecutorBackends:
 
         with force_executor("thread"):
             parallel_map(_square, [1, 2, 3], max_workers=3)
-            first = ex._shared_pools.get(("thread", 3))
+            first = ex._shared_pools.get(("thread", 3, ""))
             parallel_map(_square, [4, 5, 6], max_workers=3)
             assert first is not None
-            assert ex._shared_pools.get(("thread", 3)) is first
+            assert ex._shared_pools.get(("thread", 3, "")) is first
 
     def test_process_falls_back_for_lambdas(self):
         with force_executor("process"):

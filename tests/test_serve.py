@@ -728,3 +728,67 @@ class TestOverloadContract:
             # inflight accounting drained cleanly
             assert srv.service.tenants.get("t").inflight == 0
             assert srv.service.queue.qsize() == 0
+
+
+# ---------------------------------------------------------------------------
+# per-budget-class executor backend
+# ---------------------------------------------------------------------------
+class TestBackendSelection:
+    """Budget classes can pin the executor backend their queries run on
+    (batch → shm); an unavailable backend degrades to the ambient
+    selection instead of failing the request."""
+
+    def test_batch_class_pins_shm(self):
+        assert BUDGET_CLASSES["batch"].executor_backend == "shm"
+        assert BUDGET_CLASSES["interactive"].executor_backend is None
+        assert BUDGET_CLASSES["standard"].executor_backend is None
+
+    def test_batch_request_runs_on_shm(self, graph, edges, exact):
+        pytest.importorskip("numpy")
+        from repro.shm import shm_available
+
+        if not shm_available():
+            pytest.skip("no usable shared memory on this host")
+        with InProcServer(ServerConfig(queue_depth=8, workers=2)) as srv:
+            _register(srv, graph, edges, budget_class="batch")
+            batch = srv.request(
+                {"op": "min_cut_batch", "tenant": "t", "graph": "g",
+                 "seeds": [1, 2, 3]}
+            )
+            assert batch["type"] == "result"
+            direct = [
+                r.value
+                for r in CutEngine(graph, seed=SEED).min_cut_batch([1, 2, 3])
+            ]
+            assert batch["values"] == direct
+            counters = srv.request({"op": "metrics"})["counters"]
+            # the fan-out went through the shm backend: the batch context
+            # was published into a segment and workers attached it
+            assert counters.get("shm.segments_published", 0) >= 1
+            assert counters.get("serve.backend_fallbacks", 0) == 0
+        from repro.pram.executor import shutdown_shared_pools
+        from repro.shm.arena import live_segments
+
+        shutdown_shared_pools()
+        assert live_segments() == ()
+
+    def test_unavailable_backend_falls_back(self, graph, edges, exact,
+                                            monkeypatch):
+        monkeypatch.setattr("repro.shm.shm_available", lambda: False)
+        with InProcServer(ServerConfig(queue_depth=8, workers=2)) as srv:
+            _register(srv, graph, edges, budget_class="batch")
+            batch = srv.request(
+                {"op": "min_cut_batch", "tenant": "t", "graph": "g",
+                 "seeds": [1, 2]}
+            )
+            assert batch["type"] == "result"  # degraded, not failed
+            counters = srv.request({"op": "metrics"})["counters"]
+            assert counters.get("serve.backend_fallbacks", 0) >= 1
+
+    def test_standard_class_leaves_backend_alone(self, graph, edges):
+        with InProcServer(ServerConfig(queue_depth=8, workers=2)) as srv:
+            _register(srv, graph, edges, budget_class="standard")
+            resp = srv.request({"op": "min_cut", "tenant": "t", "graph": "g"})
+            assert resp["type"] == "result"
+            counters = srv.request({"op": "metrics"})["counters"]
+            assert counters.get("serve.backend_fallbacks", 0) == 0

@@ -159,7 +159,7 @@ class TestSupervisorModel:
         assert active_supervisor() is None
 
     def test_chain_constant(self):
-        assert DEGRADATION_CHAIN == ("process", "thread", "sync")
+        assert DEGRADATION_CHAIN == ("shm", "process", "thread", "sync")
 
 
 # ---------------------------------------------------------------------------
