@@ -43,6 +43,15 @@ configuration.  The batch pays preprocessing (validate / approximate /
 sparsify / pack / index) once, so its amortized per-query wall must
 stay under ``--max-batch-ratio`` (default 3.0) times the single cold
 query, and every batch query must report the cold query's cut value.
+
+``--updates [N]`` (default 12 when given) benchmarks the engine's
+incremental mutation surface: one engine absorbs N seeded random
+add/remove/reweight batches through ``CutEngine.update()`` (every
+answer verified exact), against a cold engine rebuilt on each mutated
+graph.  ``--min-update-speedup X`` gates the **deterministic ledger
+work** ratio (cold rebuild work / update work) at X, with rebase
+trigger events counted and recorded — wall clock rides along for
+information but is never gated, since CI containers are quota-capped.
 """
 
 from __future__ import annotations
@@ -374,6 +383,76 @@ def _time_engine_batch(config, batch: int = 8, reps: int = 3):
     }
 
 
+def _time_engine_updates(config, updates: int = 12):
+    """Amortized ``update()+query`` vs a cold rebuild per mutation.
+
+    One engine absorbs a seeded :func:`repro.engine.deltas.random_delta`
+    stream through :meth:`CutEngine.update` (each answer verified exact,
+    as the product path does); the baseline pays a cold
+    :class:`CutEngine` build on every mutated graph.  ``ratio_work`` —
+    cold ledger work / update ledger work — is the amortization the
+    delta path buys and is what ``--min-update-speedup`` gates: ledger
+    work units are deterministic, so the gate holds on quota-capped CI
+    hosts where wall clock is noise.  Rebase-trigger events are counted
+    and reported alongside.
+    """
+    from repro.engine import CutEngine
+    from repro.engine.deltas import random_delta
+    from repro.obs.counters import CounterRegistry, counting_scope
+
+    _, label, n, m, seed, _branching = config
+    g = random_connected_graph(n, m, rng=seed, max_weight=6)
+
+    reg = CounterRegistry()
+    upd_led = Ledger()
+    engine = CutEngine(g, seed=seed, ledger=upd_led)
+    engine.min_cut()
+    preprocess_work = upd_led.work
+    rng = np.random.default_rng(seed)
+    graphs, values = [], []
+    with counting_scope(reg):
+        t0 = time.perf_counter()
+        for _ in range(updates):
+            upd = engine.update(**random_delta(engine.graph, rng))
+            graphs.append(engine.graph)
+            values.append(upd.value)
+        update_wall = time.perf_counter() - t0
+    update_work = upd_led.work - preprocess_work
+
+    cold_led = Ledger()
+    t0 = time.perf_counter()
+    cold_values = [
+        CutEngine(gg, seed=seed, ledger=cold_led).min_cut().value for gg in graphs
+    ]
+    cold_wall = time.perf_counter() - t0
+
+    counts = reg.snapshot()
+    rebase_events = {
+        key.split("engine.rebase.", 1)[1]: v
+        for key, v in counts.items()
+        if key.startswith("engine.rebase.")
+    }
+    return {
+        "label": label,
+        "updates": updates,
+        "parity": cold_values == values,
+        "update_work": update_work,
+        "cold_rebuild_work": cold_led.work,
+        "ratio_work": (
+            round(cold_led.work / update_work, 4)
+            if update_work > 0 else float("inf")
+        ),
+        "update_wall_s": round(update_wall, 4),
+        "cold_rebuild_wall_s": round(cold_wall, 4),
+        "rebases": counts.get("engine.rebases", 0.0),
+        "rebase_events": rebase_events,
+        "noops": counts.get("engine.update_noops", 0.0),
+        "verify_failures": counts.get("engine.update_verify_failures", 0.0),
+        "final_epoch": engine.epoch,
+        "final_staleness": engine.staleness,
+    }
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--small", action="store_true", help="CI-sized sweeps")
@@ -396,6 +475,15 @@ def main() -> int:
     ap.add_argument("--max-batch-ratio", type=float, default=3.0, metavar="R",
                     help="with --batch: fail if the amortized per-query wall "
                          "exceeds R x a single cold query (default 3.0)")
+    ap.add_argument("--updates", type=int, nargs="?", const=12, default=0,
+                    metavar="N",
+                    help="benchmark N incremental engine.update() mutations "
+                         "(default 12) against a cold rebuild per mutated "
+                         "graph")
+    ap.add_argument("--min-update-speedup", type=float, default=None, metavar="X",
+                    help="with --updates: fail if cold-rebuild ledger work / "
+                         "update ledger work falls below X (deterministic "
+                         "work units, so enforced even on quota-capped hosts)")
     args = ap.parse_args()
 
     configs = _configs(args.small)
@@ -513,6 +601,22 @@ def main() -> int:
               f"batch/{engine_batch['batch']} {engine_batch['batch_wall_s']:.3f}s "
               f"(amortized {engine_batch['amortized_ratio']:.3f}x)")
 
+    engine_updates = None
+    if args.updates:
+        # same representative row again: the incremental story is about
+        # skipping heavy preprocessing, so measure it where that's heavy
+        engine_updates = _time_engine_updates(trace_config, updates=args.updates)
+        report["engine_updates"] = engine_updates
+        parity_ok &= engine_updates["parity"]
+        report["parity_ok"] = bool(parity_ok)
+        print(f"engine updates [{engine_updates['label']}]: "
+              f"{engine_updates['updates']} mutations, "
+              f"update work {engine_updates['update_work']:.0f} vs cold "
+              f"{engine_updates['cold_rebuild_work']:.0f} "
+              f"({engine_updates['ratio_work']:.2f}x), "
+              f"rebases {engine_updates['rebases']:.0f} "
+              f"{engine_updates['rebase_events']}")
+
     args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.output}")
 
@@ -528,6 +632,13 @@ def main() -> int:
             and engine_batch["amortized_ratio"] > args.max_batch_ratio):
         print(f"FAIL: engine batch amortized ratio "
               f"{engine_batch['amortized_ratio']}x > {args.max_batch_ratio}x",
+              file=sys.stderr)
+        return 1
+    if (engine_updates is not None
+            and args.min_update_speedup is not None
+            and engine_updates["ratio_work"] < args.min_update_speedup):
+        print(f"FAIL: engine update work ratio "
+              f"{engine_updates['ratio_work']}x < {args.min_update_speedup}x",
               file=sys.stderr)
         return 1
     if args.min_speedup is not None:

@@ -40,6 +40,8 @@ __all__ = [
     "approximate_minimum_cut",
     "two_respecting_min_cut",
     "CutEngine",
+    "UpdateResult",
+    "GraphDelta",
     "ArtifactCache",
     "CutResult",
     "ApproxResult",
@@ -59,6 +61,8 @@ _LAZY = {
     "approximate_minimum_cut": ("repro.approx.approximate", "approximate_minimum_cut"),
     "two_respecting_min_cut": ("repro.tworespect.algorithm", "two_respecting_min_cut"),
     "CutEngine": ("repro.engine.service", "CutEngine"),
+    "UpdateResult": ("repro.engine.deltas", "UpdateResult"),
+    "GraphDelta": ("repro.engine.deltas", "GraphDelta"),
     "ArtifactCache": ("repro.engine.cache", "ArtifactCache"),
     "CutResult": ("repro.results", "CutResult"),
     "ApproxResult": ("repro.results", "ApproxResult"),

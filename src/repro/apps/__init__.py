@@ -1,13 +1,29 @@
 """Application-level workflows built on the min-cut stack."""
 
-from repro.apps.clustering import ClusteringParams, induced_subgraph, min_cut_clusters
-from repro.apps.reliability import ReliabilityReport, reinforce, weakest_partition
+from repro.apps.clustering import (
+    ClusteringParams,
+    ClusteringStep,
+    evolving_clusters,
+    induced_subgraph,
+    min_cut_clusters,
+)
+from repro.apps.reliability import (
+    MonitorEvent,
+    ReliabilityReport,
+    monitor,
+    reinforce,
+    weakest_partition,
+)
 
 __all__ = [
     "ClusteringParams",
+    "ClusteringStep",
     "min_cut_clusters",
+    "evolving_clusters",
     "induced_subgraph",
     "ReliabilityReport",
+    "MonitorEvent",
     "weakest_partition",
     "reinforce",
+    "monitor",
 ]

@@ -11,23 +11,35 @@ Both are now backed by :class:`repro.engine.CutEngine`.
 one-shot — bit-identical to the historical direct
 :func:`repro.minimum_cut` calls (pinned in ``tests/test_apps.py``).
 ``reinforce(requery=True)`` additionally reuses the engine's packed
-trees across rounds via :meth:`~repro.engine.CutEngine.requery`: only
+trees across rounds via :meth:`~repro.engine.CutEngine.update`: only
 the cheap 2-respecting search re-runs per round until the climbing cut
 value exhausts the packing's coverage, at which point the engine
 rebases and re-packs.
+
+``monitor`` is the evolving-graph entry point: it feeds a stream of
+mutation batches (additions, removals, reweights) through one engine's
+:meth:`~repro.engine.CutEngine.update` surface and reports the weakest
+partition after every step, with the epoch/staleness bookkeeping a
+capacity planner needs to know when edge indices shifted underneath it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Iterable, List, Mapping, Optional
 
 import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.pram.ledger import Ledger, NULL_LEDGER
 
-__all__ = ["ReliabilityReport", "weakest_partition", "reinforce"]
+__all__ = [
+    "ReliabilityReport",
+    "MonitorEvent",
+    "weakest_partition",
+    "reinforce",
+    "monitor",
+]
 
 
 @dataclass(frozen=True)
@@ -96,7 +108,14 @@ def reinforce(
         engine = CutEngine(graph, rng=rng, ledger=ledger)
         w = np.array(graph.w, dtype=np.float64, copy=True)
         for round_no in range(rounds):
-            res = engine.min_cut() if round_no == 0 else engine.requery(w)
+            # weight-only mutations through the engine's one mutation
+            # surface (update); staleness never rebases here — only the
+            # coverage trigger, as the historical requery loop had
+            res = (
+                engine.min_cut()
+                if round_no == 0
+                else engine.update(reweight=w, max_staleness=None).result
+            )
             # cut_edges only reads topology + side, so indices stay
             # valid against the initial edge order across all rounds
             rep = _report(graph, res.value, res.side)
@@ -112,3 +131,81 @@ def reinforce(
         w[rep.crossing_edges] *= factor
         current = current.with_weights(w)
     return reports
+
+
+@dataclass(frozen=True)
+class MonitorEvent:
+    """The weakest partition after one step of an evolving network.
+
+    ``report.crossing_edges`` indexes into **that step's** graph
+    (``graph``); whenever ``epoch`` changed since the previous event,
+    edge indices from earlier steps are stale — removals shift the
+    survivor order and rebases renumber nothing but signal that the
+    engine rebuilt its artifacts.
+    """
+
+    step: int
+    graph: Graph
+    report: ReliabilityReport
+    epoch: int
+    staleness: int
+    rebased: bool
+    rebase_reason: Optional[str]
+    verified: Optional[bool]
+
+
+def monitor(
+    graph: Graph,
+    update_batches: Iterable[Mapping[str, object]],
+    *,
+    rng: Optional[np.random.Generator] = None,
+    ledger: Ledger = NULL_LEDGER,
+    rebase_threshold: Optional[float] = 3.0,
+    max_staleness: Optional[float] = 0.5,
+) -> List[MonitorEvent]:
+    """Track the weakest partition of an evolving network.
+
+    ``update_batches`` yields keyword dicts for
+    :meth:`repro.engine.CutEngine.update` (``add_edges`` /
+    ``remove_edges`` / ``reweight``); each batch is applied in order
+    and answered incrementally off the packed trees where coverage
+    permits.  Event 0 is the initial graph's partition; event ``i >= 1``
+    follows batch ``i - 1``.  Every post-update cut is verified exact
+    (``verified``); a disconnected step simply reports cut value 0 with
+    the detached component isolated.
+    """
+    from repro.engine.service import CutEngine
+
+    engine = CutEngine(graph, rng=rng, ledger=ledger)
+    res = engine.min_cut()
+    events = [
+        MonitorEvent(
+            step=0,
+            graph=engine.graph,
+            report=_report(engine.graph, res.value, res.side),
+            epoch=engine.epoch,
+            staleness=engine.staleness,
+            rebased=False,
+            rebase_reason=None,
+            verified=None,
+        )
+    ]
+    for step, batch in enumerate(update_batches, start=1):
+        upd = engine.update(
+            rebase_threshold=rebase_threshold,
+            max_staleness=max_staleness,
+            **dict(batch),
+        )
+        events.append(
+            MonitorEvent(
+                step=step,
+                graph=engine.graph,
+                report=_report(engine.graph, upd.value, upd.result.side),
+                epoch=upd.epoch,
+                staleness=upd.staleness,
+                rebased=upd.rebased,
+                rebase_reason=upd.rebase_reason,
+                verified=None if upd.verification is None else upd.verification.ok,
+            )
+        )
+    return events

@@ -11,7 +11,9 @@ Commands
 ``engine FILE``
     The staged :class:`repro.engine.CutEngine`: preprocess once, then
     answer ``--batch N`` independent queries (and optionally a second
-    warm query) with per-stage cache statistics.
+    warm query) with per-stage cache statistics; ``--updates N``
+    additionally streams N random edge mutations through
+    ``engine.update()`` and reports the amortized update work.
 ``serve``
     The cut-serving daemon (:mod:`repro.serve`): length-prefixed JSON
     over TCP, multi-tenant admission control, deadline shedding — see
@@ -182,6 +184,14 @@ def _cmd_engine(args: argparse.Namespace) -> int:
             batch = engine.min_cut_batch(range(args.seed, args.seed + args.batch))
         else:
             batch = []
+        last_update = None
+        if args.updates > 0:
+            from repro.engine.deltas import random_delta
+
+            pre_update_work = ledger.work
+            rng = np.random.default_rng(args.seed)
+            for _ in range(args.updates):
+                last_update = engine.update(**random_delta(engine.graph, rng))
     print(f"value {res.value}")
     small = res.side if res.side.sum() * 2 <= graph.n else ~res.side
     print(f"side {' '.join(str(int(v)) for v in np.flatnonzero(small))}")
@@ -193,6 +203,15 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         print(f"batch.values {' '.join(str(b.value) for b in batch)}")
         # warm batch work beyond the cold query is pure search fan-out
         print(f"batch.extra_work {ledger.work - cold_work}")
+    if last_update is not None:
+        print(f"updates {args.updates}")
+        print(f"updates.work {ledger.work - pre_update_work}")
+        print(f"updates.rebases {int(registry.get('engine.rebases'))}")
+        print(f"updates.epoch {engine.epoch}")
+        print(f"updates.staleness {engine.staleness}")
+        print(f"updates.value {last_update.value}")
+        verified = last_update.verification
+        print(f"updates.verified {int(verified.ok) if verified else 0}")
     print(f"cache.entries {len(engine.cache)}")
     print(f"cache.hits {engine.cache.stats['hits']}")
     print(f"cache.misses {engine.cache.stats['misses']}")
@@ -284,6 +303,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="after the cold query, answer N independent "
                             "warm queries (seeds seed..seed+N-1) through "
                             "the cached artifacts")
+    p_eng.add_argument("--updates", type=int, default=0, metavar="N",
+                       help="after the cold query, apply N random edge "
+                            "mutations (add/remove/reweight, seeded by "
+                            "--seed) through engine.update() and report "
+                            "the amortized work, rebase count, and final "
+                            "epoch/staleness")
     add_trace(p_eng)
     p_eng.set_defaults(func=_cmd_engine)
 

@@ -9,8 +9,12 @@ Layout:
 * :mod:`repro.engine.artifacts` — frozen, fingerprinted stage outputs;
 * :mod:`repro.engine.cache` — the size-bounded, hash-keyed
   :class:`ArtifactCache`;
+* :mod:`repro.engine.deltas` — :class:`GraphDelta`/:class:`DeltaLog`:
+  the validated edge-mutation batches ``CutEngine.update`` layers
+  over the base artifact chain, plus :class:`UpdateResult`;
 * :mod:`repro.engine.service` — :class:`CutEngine`: ``min_cut()``,
-  ``min_cut_batch(seeds)``, ``requery(weights)``.
+  ``min_cut_batch(seeds)``, ``update(add_edges=..., remove_edges=...,
+  reweight=...)`` (with ``requery(weights)`` as a deprecated shim).
 
 See ``docs/architecture.md`` for the stage graph and the
 cache-invalidation rules.
@@ -25,11 +29,17 @@ from repro.engine.artifacts import (
     graph_fingerprint,
 )
 from repro.engine.cache import ArtifactCache
+from repro.engine.deltas import DeltaLog, GraphDelta, UpdateResult, as_delta, random_delta
 from repro.engine.service import CutEngine
 from repro.engine.stages import run_pipeline
 
 __all__ = [
     "CutEngine",
+    "GraphDelta",
+    "DeltaLog",
+    "UpdateResult",
+    "as_delta",
+    "random_delta",
     "ArtifactCache",
     "ValidationArtifact",
     "ApproxArtifact",

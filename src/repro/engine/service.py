@@ -35,18 +35,29 @@ a private :class:`~repro.pram.ledger.Ledger` absorbed with the
 fork-join rule (:meth:`~repro.pram.ledger.Ledger.absorb_parallel`) —
 so the batch's depth reflects the logical parallelism while work sums.
 
-**Requery.** :meth:`requery` answers "the weights moved a little, what
-is the cut now?" without re-packing: the tree-packing argument keeps
-the cached candidate trees valid while the perturbed minimum cut stays
-within the packing's coverage (~3× the stored underestimate); past that
-threshold the engine rebases onto the perturbed graph and preprocesses
-it afresh.
+**Update.** :meth:`update` is the engine's one mutation surface: edge
+additions, removals, and reweights arrive as a validated
+:class:`~repro.engine.deltas.GraphDelta`, are layered over the *base*
+graph's artifact chain in a :class:`~repro.engine.deltas.DeltaLog`, and
+are answered by re-running only the per-query 2-respecting search over
+the cached packed trees — the tree-packing argument keeps the cached
+candidate trees valid while the mutated minimum cut stays within the
+packing's coverage (~3× the stored underestimate).  Three triggers
+rebase the engine onto the mutated graph instead (cold preprocessing,
+epoch + 1): an added edge too heavy for the packing to certifiably
+cover, a cumulative staleness ratio past ``max_staleness``, or a
+post-search value past the coverage edge.  Every non-noop update's
+answer is certified by :func:`repro.resilience.verify.verify_cut`, with
+a seed-escalated rebase retry on mismatch — exactness never depends on
+the delta heuristics.  :meth:`requery` survives as a deprecated shim
+over ``update(reweight=…)``; :meth:`rebase` is the explicit epoch bump.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, List, Literal, Mapping, Optional, Sequence, Union
+import warnings
+from typing import Dict, Iterable, List, Literal, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -70,12 +81,22 @@ from repro.engine.stages import (
     search_stage,
     validate_stage,
 )
-from repro.errors import InvalidParameterError
+from repro.engine.deltas import (
+    DeltaLog,
+    EdgeList,
+    GraphDelta,
+    Reweight,
+    UpdateResult,
+    as_delta,
+)
+from repro.errors import InvalidParameterError, UpdateVerificationError
 from repro.graphs.graph import Graph
 from repro.packing.karger import build_cut_skeleton, pack_skeleton, select_trees
 from repro.params import CutPipelineParams
 from repro.pram.executor import parallel_map
 from repro.pram.ledger import Ledger, NULL_LEDGER
+from repro.resilience.faults import SITE_DELTA_FORCE_REBASE, poll as poll_fault
+from repro.resilience.verify import verify_cut
 from repro.results import CutResult
 from repro.sparsify.hierarchy import HierarchyParams
 from repro.sparsify.skeleton import SkeletonParams
@@ -182,8 +203,12 @@ class CutEngine:
     # ------------------------------------------------------------------
     def _bind(self, graph: Graph) -> None:
         """(Re)point the engine at ``graph``: rebuild the fingerprint
-        chain and snapshot the rng position cold stages replay from."""
+        chain, snapshot the rng position cold stages replay from, bump
+        the epoch, and clear the delta log — ``graph`` becomes the new
+        *base* every artifact is built from."""
+        self._base_graph = graph
         self._graph = graph
+        self._epoch = getattr(self, "_epoch", -1) + 1
         self._state0 = self._rng.bit_generator.state
         gfp = graph_fingerprint(graph)
         self._fp_validate = gfp
@@ -204,17 +229,71 @@ class CutEngine:
         self._fp_result = combine_fingerprint(
             "result", self._fp_index, self.params.epsilon, self.params.decomposition
         )
+        # the mutation chain: deltas layered on this epoch extend
+        # _fp_current past _fp_result, so memoized post-update answers
+        # are keyed by the exact mutation history (and epoch) that
+        # produced them
+        self._delta_log = DeltaLog(
+            combine_fingerprint("epoch", self._fp_result, self._epoch),
+            graph.total_weight,
+        )
+        self._fp_current = self._fp_result
 
     @property
     def graph(self) -> Graph:
-        """The currently bound input graph."""
+        """The current (possibly delta-mutated) graph queries answer for."""
         return self._graph
 
-    def rebase(self, graph: Graph) -> "CutEngine":
-        """Re-point the engine at ``graph``; later queries preprocess it
+    @property
+    def base_graph(self) -> Graph:
+        """The graph the cached artifact chain was preprocessed from."""
+        return self._base_graph
+
+    @property
+    def epoch(self) -> int:
+        """Rebases over the engine's lifetime (0 for the initial bind).
+        A changed epoch tells a client every edge index it holds may
+        have shifted."""
+        return self._epoch
+
+    @property
+    def staleness(self) -> int:
+        """Deltas layered over the current epoch's artifacts."""
+        return len(self._delta_log)
+
+    @property
+    def staleness_ratio(self) -> float:
+        """Cumulative absolute weight displacement of the layered deltas
+        over the base graph's total weight."""
+        return self._delta_log.staleness_ratio()
+
+    @property
+    def delta_log(self) -> DeltaLog:
+        return self._delta_log
+
+    def fingerprint_chain(self) -> Dict[str, Dict[str, object]]:
+        """The per-artifact fingerprint chain with the epoch each entry
+        belongs to — what ``graph_info`` exposes over the wire."""
+        chain = {
+            "validate": self._fp_validate,
+            "approximate": self._fp_approx,
+            "forest": self._fp_forest,
+            "index": self._fp_index,
+            "result": self._fp_result,
+            "current": self._fp_current,
+        }
+        return {
+            stage: {"fingerprint": fp, "epoch": self._epoch}
+            for stage, fp in chain.items()
+        }
+
+    def rebase(self, graph: Optional[Graph] = None) -> "CutEngine":
+        """Re-point the engine at ``graph`` (default: the current,
+        possibly delta-mutated graph); later queries preprocess it
         afresh (old artifacts stay cached under their own fingerprints,
-        so rebasing back is warm)."""
-        self._bind(graph)
+        so rebasing back is warm).  Bumps :attr:`epoch` and resets
+        :attr:`staleness`."""
+        self._bind(self._graph if graph is None else graph)
         return self
 
     # ------------------------------------------------------------------
@@ -224,7 +303,9 @@ class CutEngine:
         art = self.cache.get("validate", self._fp_validate)
         if art is None:
             obs.counters().add("engine.stage_runs")
-            art = ValidationArtifact(self._fp_validate, validate_stage(self._graph))
+            art = ValidationArtifact(
+                self._fp_validate, validate_stage(self._base_graph)
+            )
             self.cache.put("validate", self._fp_validate, art)
         return art
 
@@ -236,7 +317,9 @@ class CutEngine:
                 art = ApproxArtifact(self._fp_approx, self._approx_value, self._state0)
             else:
                 self._rng.bit_generator.state = self._state0
-                value = approximate_stage(self._graph, self.params, self._rng, ledger)
+                value = approximate_stage(
+                    self._base_graph, self.params, self._rng, ledger
+                )
                 art = ApproxArtifact(
                     self._fp_approx, value, self._rng.bit_generator.state
                 )
@@ -252,7 +335,7 @@ class CutEngine:
                 self._rng.bit_generator.state = approx.rng_state
             with obs.phase("packing", ledger):
                 skel = build_cut_skeleton(
-                    self._graph,
+                    self._base_graph,
                     approx.lambda_underestimate,
                     skeleton_params=self.params.skeleton,
                     rng=self._rng,
@@ -328,6 +411,8 @@ class CutEngine:
 
     def _query(self, ledger: Ledger) -> CutResult:
         obs.counters().add("engine.queries")
+        if len(self._delta_log):
+            return self._delta_query(ledger)
         val = self._validated()
         if val.early is not None:
             return val.early
@@ -345,6 +430,43 @@ class CutEngine:
             best, dict(index.packing_stats), approx.lambda_underestimate, branching
         )
         self.cache.put("result", self._fp_result, res)
+        return res
+
+    def _epoch_stats(self) -> Dict[str, float]:
+        return {
+            "epoch": float(self._epoch),
+            "staleness": float(len(self._delta_log)),
+        }
+
+    def _delta_query(self, ledger: Ledger) -> CutResult:
+        """Answer for the current delta-mutated graph off the *base*
+        epoch's packed trees: fresh (uncached, charge-free) validation
+        of the mutated graph, then only the 2-respecting search runs.
+        Memoized under the delta-chain fingerprint."""
+        early = validate_stage(self._graph)
+        if early is not None:
+            res = dataclasses.replace(
+                early, stats={**dict(early.stats), **self._epoch_stats()}
+            )
+            self.cache.put("result", self._fp_current, res)
+            return res
+        approx = self._approximated(ledger)
+        index = self._indexed(ledger)
+        branching = branching_for_epsilon(self._graph.n, self.params.epsilon)
+        best = search_stage(
+            self._graph,
+            list(index.tree_parents),
+            branching=branching,
+            decomposition=self.params.decomposition,
+            ledger=ledger,
+        )
+        res = assemble_result(
+            best, dict(index.packing_stats), approx.lambda_underestimate, branching
+        )
+        res = dataclasses.replace(
+            res, stats={**dict(res.stats), **self._epoch_stats()}
+        )
+        self.cache.put("result", self._fp_current, res)
         return res
 
     def min_cut_batch(
@@ -382,9 +504,15 @@ class CutEngine:
         return self._batch_impl(seeds, self.ledger)
 
     def _batch_impl(self, seeds: List[SeedLike], ledger: Ledger) -> List[CutResult]:
-        val = self._validated()
-        if val.early is not None:
-            return [val.early for _ in seeds]
+        if len(self._delta_log):
+            # delta epoch: the mutated graph needs its own (cheap,
+            # uncached) validation — the cached artifact answers for
+            # the base graph only
+            early = validate_stage(self._graph)
+        else:
+            early = self._validated().early
+        if early is not None:
+            return [early for _ in seeds]
         approx = self._approximated(ledger)
         forest = self._forest(ledger)
         branching = branching_for_epsilon(self._graph.n, self.params.epsilon)
@@ -399,9 +527,11 @@ class CutEngine:
             branching,
             self.params.decomposition,
         )
+        # keyed by _fp_current as well: a delta mutation changes the
+        # broadcast graph, so the live publication must not be reused
         context_key = combine_fingerprint(
-            "batch-ctx", self._fp_forest, self._max_trees, branching,
-            self.params.decomposition,
+            "batch-ctx", self._fp_forest, self._fp_current, self._max_trees,
+            branching, self.params.decomposition,
         )
         with obs.phase("batch-search", ledger):
             outcomes = parallel_map(
@@ -426,90 +556,210 @@ class CutEngine:
             )
         return results
 
+    def update(
+        self,
+        *,
+        add_edges: Optional[EdgeList] = None,
+        remove_edges: Optional[Union[Sequence[int], np.ndarray]] = None,
+        reweight: Optional[Reweight] = None,
+        rebase_threshold: Optional[float] = 3.0,
+        max_staleness: Optional[float] = 0.5,
+        verify: bool = True,
+        max_verify_retries: int = 2,
+    ) -> UpdateResult:
+        """Mutate the bound graph and answer its new minimum cut.
+
+        This is the engine's **one mutation surface** — :meth:`requery`
+        delegates here and :meth:`rebase` is the explicit epoch bump it
+        falls back to.  The mutation batch is normalized into a
+        :class:`~repro.engine.deltas.GraphDelta` (see
+        :func:`~repro.engine.deltas.as_delta` for the accepted
+        spellings and validation), applied to the *current* graph, and
+        layered over the base epoch's artifact chain in the engine's
+        :class:`~repro.engine.deltas.DeltaLog`: only the per-query
+        2-respecting search re-runs, against the cached packed trees,
+        which stays exact w.h.p. while the mutated minimum cut remains
+        within the packing's coverage.
+
+        The engine **rebases** (cold preprocessing of the mutated
+        graph, :attr:`epoch` + 1, staleness reset) instead when any
+        trigger fires — each counted under ``engine.rebase.<reason>``:
+
+        ``uncovered_edge``
+            an added edge heavier than ``rebase_threshold`` × the
+            stored underestimate could itself change the cut structure
+            beyond what the packing certifiably covers;
+        ``staleness``
+            the log's cumulative absolute weight displacement exceeds
+            ``max_staleness`` × the base total weight;
+        ``coverage``
+            the post-search value exceeds ``rebase_threshold`` × the
+            stored underestimate (the classic requery coverage edge);
+        ``fault`` / ``base_early`` / ``verify``
+            an armed ``delta.force_rebase`` fault, a base graph that
+            never had artifacts (disconnected/tiny), or a failed
+            verification (below).
+
+        Unless ``verify=False``, the answer is certified by
+        :func:`repro.resilience.verify.verify_cut`; on a failed
+        certificate the engine escalates its seed, rebases, and retries
+        (``max_verify_retries`` times) before raising
+        :class:`~repro.errors.UpdateVerificationError` — exactness
+        never depends on the delta heuristics.
+
+        A no-op batch (no additions, no removals, a reweight restating
+        current weights) is answered from the result memo — a pure
+        cache hit that charges nothing, counted by
+        ``engine.update_noops``.  ``None`` for ``rebase_threshold`` or
+        ``max_staleness`` disables that trigger.
+        """
+        reg = obs.counters()
+        reg.add("engine.updates")
+        delta = as_delta(
+            self._graph,
+            add_edges=add_edges,
+            remove_edges=remove_edges,
+            reweight=reweight,
+        )
+        if delta.is_noop:
+            reg.add("engine.update_noops")
+            res = self.cache.get("result", self._fp_current)
+            if res is None:
+                res = self.min_cut()
+            res = dataclasses.replace(
+                res,
+                stats={**dict(res.stats), "update": 1.0, **self._epoch_stats()},
+            )
+            return UpdateResult(
+                result=res,
+                epoch=self._epoch,
+                staleness=self.staleness,
+                rebased=False,
+                rebase_reason=None,
+                noop=True,
+                applied=delta.counts(),
+                verification=res.verification,
+            )
+        ledger = self.ledger
+        base_early = self._validated().early
+        self._graph = delta.apply(self._graph)
+        self._fp_current = self._delta_log.append(delta)
+        reason: Optional[str] = None
+        if poll_fault(SITE_DELTA_FORCE_REBASE) is not None:
+            reason = "fault"
+        elif base_early is not None:
+            # the base epoch never built artifacts past validation
+            # (disconnected or tiny graph): nothing to patch, go cold
+            reason = "base_early"
+        elif (
+            max_staleness is not None
+            and self._delta_log.staleness_ratio() > max_staleness
+        ):
+            reason = "staleness"
+        elif rebase_threshold is not None and delta.max_added_weight > 0:
+            lam = self._approximated(ledger).lambda_underestimate
+            if delta.max_added_weight > rebase_threshold * lam:
+                reason = "uncovered_edge"
+        res: Optional[CutResult] = None
+        if reason is None:
+            res = self._delta_query(ledger)
+            if (
+                rebase_threshold is not None
+                and res.value
+                > rebase_threshold * self._approximated(ledger).lambda_underestimate
+            ):
+                # the packing no longer certifiably covers the minimum
+                # cut of the mutated graph
+                reason = "coverage"
+                res = None
+        rebased = reason is not None
+        if rebased:
+            reg.add("engine.rebases")
+            reg.add(f"engine.rebase.{reason}")
+            self.rebase()
+            res = self.min_cut()
+        report = None
+        if verify:
+            for attempt in range(max_verify_retries + 1):
+                with obs.phase("verify", ledger):
+                    report = verify_cut(self._graph, res, ledger=ledger)
+                if report.ok:
+                    break
+                reg.add("engine.update_verify_failures")
+                if attempt == max_verify_retries:
+                    raise UpdateVerificationError(
+                        f"post-update cut (value {res.value}) failed "
+                        f"verification after {max_verify_retries} "
+                        f"seed-escalated rebases: {report.detail}"
+                    )
+                # seed-escalated retry: derive a fresh stream, rebase
+                # cold, and answer again — a w.h.p. miss of the packed
+                # trees must not survive into the returned result
+                self._rng = np.random.default_rng(
+                    int(self._rng.integers(2**63)) + attempt
+                )
+                if not rebased:
+                    rebased, reason = True, "verify"
+                    reg.add("engine.rebases")
+                    reg.add("engine.rebase.verify")
+                self.rebase()
+                res = self.min_cut()
+        stats = {**dict(res.stats), "update": 1.0, **self._epoch_stats()}
+        if rebased:
+            stats["rebased"] = 1.0
+        res = dataclasses.replace(
+            res,
+            stats=stats,
+            verification=report if report is not None else res.verification,
+        )
+        self.cache.put("result", self._fp_current, res)
+        return UpdateResult(
+            result=res,
+            epoch=self._epoch,
+            staleness=self.staleness,
+            rebased=rebased,
+            rebase_reason=reason,
+            noop=False,
+            applied=delta.counts(),
+            verification=report,
+        )
+
     def requery(
         self,
         weights: Union[Mapping[int, float], Iterable[float], np.ndarray],
         *,
         rebase_threshold: Optional[float] = 3.0,
     ) -> CutResult:
-        """Minimum cut of the bound topology under perturbed weights.
+        """Minimum cut under perturbed weights — **deprecated** shim.
 
-        ``weights`` is either a full length-``m`` weight vector or a
-        sparse ``{edge index: new weight}`` mapping over the bound
-        graph's edge order (weights must stay positive — removing an
-        edge is a :meth:`rebase` onto a new topology, not an update).  The cached packed trees are *reused* — only
-        the per-query 2-respecting search runs — which stays exact
-        w.h.p. while the perturbed minimum cut remains within the
-        packing's coverage.  When the returned value exceeds
-        ``rebase_threshold`` × the stored underestimate (the coverage
-        edge; ``None`` disables the check), the engine rebases onto the
-        perturbed graph and answers with a fresh cold run instead.
-        Results carry ``stats["requery"] = 1.0`` (and ``"rebased"`` when
-        the threshold fired).
-
-        A perturbation whose deltas are all zero (an empty mapping, a
-        mapping restating current weights, or the bound weight vector
-        itself) is answered from the cached result memo — a pure cache
-        hit that charges nothing and never consults the rebase
-        threshold (``engine.requery_noops`` counts these).
+        .. deprecated::
+            ``requery(weights)`` is ``update(reweight=weights)`` with
+            the weight-only spelling; it will be removed next release
+            (the same one-release runway ``approximate_minimum_cut``
+            had).  It keeps its historical contract meanwhile: results
+            carry ``stats["requery"] = 1.0``, no-ops count
+            ``engine.requery_noops``, and only the coverage trigger
+            (not the staleness ratio) can rebase.
         """
+        warnings.warn(
+            "CutEngine.requery(weights) is deprecated and will be removed "
+            "in the next release; use CutEngine.update(reweight=...) "
+            "instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         reg = obs.counters()
         reg.add("engine.requeries")
-        if isinstance(weights, Mapping):
-            w = np.array(self._graph.w, dtype=np.float64, copy=True)
-            for idx, value in weights.items():
-                w[int(idx)] = value
-        else:
-            w = np.asarray(list(weights) if not isinstance(weights, np.ndarray) else weights)
-        if w.shape == self._graph.w.shape and np.array_equal(w, self._graph.w):
-            # all-zero delta: the bound graph's own answer.  Serve it as
-            # a pure cache hit — no perturbed search, and in particular
-            # no rebase-threshold accounting (a tight threshold must not
-            # rebase the engine onto an identical graph).
+        upd = self.update(
+            reweight=weights,
+            rebase_threshold=rebase_threshold,
+            max_staleness=None,
+        )
+        if upd.noop:
             reg.add("engine.requery_noops")
-            res = self.cache.get("result", self._fp_result)
-            if res is None:
-                res = self.min_cut()
-            return dataclasses.replace(
-                res, stats={**dict(res.stats), "requery": 1.0}
-            )
-        # drop_zero=False keeps the edge indexing stable (and makes a
-        # zero weight a hard GraphFormatError instead of a silent drop
-        # that would shift every later sparse update's indices)
-        perturbed = self._graph.with_weights(w, drop_zero=False)
-        early = validate_stage(perturbed)
-        if early is not None:
-            return dataclasses.replace(
-                early, stats={**dict(early.stats), "requery": 1.0}
-            )
-        ledger = self.ledger
-        approx = self._approximated(ledger)
-        index = self._indexed(ledger)
-        branching = branching_for_epsilon(perturbed.n, self.params.epsilon)
-        best = search_stage(
-            perturbed,
-            list(index.tree_parents),
-            branching=branching,
-            decomposition=self.params.decomposition,
-            ledger=ledger,
+        return dataclasses.replace(
+            upd.result, stats={**dict(upd.result.stats), "requery": 1.0}
         )
-        res = assemble_result(
-            best, dict(index.packing_stats), approx.lambda_underestimate, branching
-        )
-        if (
-            rebase_threshold is not None
-            and res.value > rebase_threshold * approx.lambda_underestimate
-        ):
-            # the packing no longer certifiably covers the minimum cut:
-            # re-point the engine at the perturbed graph and go cold
-            reg.add("engine.rebases")
-            self.rebase(perturbed)
-            fresh = self.min_cut()
-            return dataclasses.replace(
-                fresh,
-                stats={**dict(fresh.stats), "requery": 1.0, "rebased": 1.0},
-            )
-        return dataclasses.replace(res, stats={**dict(res.stats), "requery": 1.0})
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

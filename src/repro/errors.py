@@ -56,6 +56,13 @@ class SimulatedCrash(ReproError):
     to prove that a resumed run reproduces the uninterrupted result."""
 
 
+class UpdateVerificationError(ReproError):
+    """Raised by :meth:`repro.engine.CutEngine.update` when the
+    post-update cut fails :func:`repro.resilience.verify.verify_cut`
+    even after seed-escalated rebase retries — the engine refuses to
+    hand back an answer its own certificates reject."""
+
+
 class BranchErrors(ReproError):
     """Aggregate of every failure collected by a hardened
     :func:`repro.pram.executor.parallel_map` run.

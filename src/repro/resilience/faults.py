@@ -105,6 +105,7 @@ __all__ = [
     "SITE_SERVE_HANDLER_CRASH",
     "SITE_SERVE_SLOW_CLIENT",
     "SITE_SHM_SEGMENT_LOST",
+    "SITE_DELTA_FORCE_REBASE",
     "ALL_SITES",
     "SERVICE_SITES",
     "Fault",
@@ -129,6 +130,9 @@ SITE_SERVE_QUEUE_STALL = "serve.queue_stall"
 SITE_SERVE_HANDLER_CRASH = "serve.handler_crash"
 SITE_SERVE_SLOW_CLIENT = "serve.slow_client"
 SITE_SHM_SEGMENT_LOST = "shm.segment_lost"
+#: force the engine's next :meth:`CutEngine.update` onto the rebase path
+#: regardless of its triggers (exercises the rebase fallback mid-sequence)
+SITE_DELTA_FORCE_REBASE = "delta.force_rebase"
 
 #: The service-layer sites, polled only by the :mod:`repro.serve` daemon
 #: (never by the one-shot pipeline or the resilient driver).
@@ -151,6 +155,7 @@ ALL_SITES: Tuple[str, ...] = (
     SITE_CHECKPOINT_CORRUPT,
     SITE_CHECKPOINT_KILL,
     SITE_SHM_SEGMENT_LOST,
+    SITE_DELTA_FORCE_REBASE,
 ) + SERVICE_SITES
 
 
@@ -342,5 +347,10 @@ def canonical_plans(seed: int = 0) -> Dict[str, FaultPlan]:
         ),
         "serve_slow_client": FaultPlan(
             [Fault(SITE_SERVE_SLOW_CLIENT, seed=seed)], name="serve_slow_client"
+        ),
+        # fires inside CutEngine.update(); against the bare driver it
+        # never triggers and the plan runs clean, like the serve.* sites
+        "delta_force_rebase": FaultPlan(
+            [Fault(SITE_DELTA_FORCE_REBASE, seed=seed)], name="delta_force_rebase"
         ),
     }

@@ -14,8 +14,12 @@ Requests
 --------
 Every request is a JSON object with an ``op`` field and an optional
 ``id`` the server echoes verbatim (clients use it to match pipelined
-responses).  The op table, field-by-field, lives in
-``docs/service.md``.
+responses).  The op vocabulary is **versioned**: :data:`OP_VOCABULARY`
+maps every known op to the protocol version that introduced it, and
+:data:`PROTOCOL_VERSION` (echoed by ``ping`` and ``graph_info``) is
+the version this daemon speaks — version 2 added the mutation surface
+(``update``) and ``graph_info``.  The op table, field-by-field, lives
+in ``docs/service.md``.
 
 Responses
 ---------
@@ -53,6 +57,8 @@ from repro.errors import ReproError
 
 __all__ = [
     "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "OP_VOCABULARY",
     "ProtocolError",
     "ServiceError",
     "RetryAfter",
@@ -71,6 +77,30 @@ __all__ = [
 
 #: default cap on one frame's JSON body (requests and responses alike)
 MAX_FRAME_BYTES = 8 * 2**20
+
+#: the protocol version this daemon speaks; bumped whenever an op is
+#: added or a response field changes meaning.  v1: the PR 7 vocabulary
+#: (queries + control).  v2: the mutation surface — ``update``,
+#: ``graph_info``, per-graph ``epoch``/``staleness`` echoed on query
+#: responses, and write-access enforcement per budget class.
+PROTOCOL_VERSION = 2
+
+#: every op the daemon routes → the protocol version that introduced
+#: it.  ``requery`` remains routable in v2 as the deprecated weight-only
+#: spelling of ``update`` (one-release runway, like the engine shim).
+OP_VOCABULARY: Dict[str, int] = {
+    "ping": 1,
+    "metrics": 1,
+    "stats": 1,
+    "register_tenant": 1,
+    "register_graph": 1,
+    "shutdown": 1,
+    "min_cut": 1,
+    "min_cut_batch": 1,
+    "requery": 1,
+    "update": 2,
+    "graph_info": 2,
+}
 
 _HEADER = struct.Struct(">I")
 

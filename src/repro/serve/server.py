@@ -64,6 +64,8 @@ from repro.resilience.supervisor import Supervisor, supervised_scope
 from repro.serve.admission import Admitted, AdmissionQueue
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
+    OP_VOCABULARY,
+    PROTOCOL_VERSION,
     ProtocolError,
     deadline_response,
     error_response,
@@ -86,7 +88,14 @@ __all__ = [
 
 #: ops admitted through the bounded queue (everything else is answered
 #: inline by the acceptor — control traffic must survive saturation)
-QUERY_OPS = ("min_cut", "min_cut_batch", "requery", "_stall")
+QUERY_OPS = ("min_cut", "min_cut_batch", "requery", "update", "_stall")
+
+#: admitted ops that mutate the engine's bound graph: rejected with a
+#: typed ``mutation_forbidden`` error for budget classes registered
+#: without write access.  The deprecated ``requery`` op keeps its
+#: historical read-path admission for its one-release runway even
+#: though it now delegates to the mutation surface server-side.
+MUTATING_OPS = ("update",)
 
 #: cap on one ``min_cut_batch`` request's seed list
 MAX_BATCH = 64
@@ -227,9 +236,11 @@ class CutService:
         op = request["op"]
         try:
             if op == "ping":
-                return ok_response(req_id, pong=True)
+                return ok_response(req_id, pong=True, protocol=PROTOCOL_VERSION)
             if op in ("metrics", "stats"):
                 return self._metrics(req_id)
+            if op == "graph_info":
+                return self._graph_info(request)
             if op == "register_tenant":
                 return self._register_tenant(request)
             if op == "register_graph":
@@ -249,7 +260,12 @@ class CutService:
                 return await self._admit(request)
             self.registry.add("serve.bad_requests")
             return error_response(
-                req_id, code="unknown_op", message=f"unknown op {op!r}"
+                req_id,
+                code="unknown_op",
+                message=(
+                    f"unknown op {op!r} (protocol v{PROTOCOL_VERSION} ops: "
+                    f"{sorted(OP_VOCABULARY)})"
+                ),
             )
         except ProtocolError as exc:
             self.registry.add("serve.bad_requests")
@@ -339,6 +355,16 @@ class CutService:
                 req_id, retry_after_ms=1000, reason="shutting_down"
             )
         cls = tenant.budget_class
+        if request["op"] in MUTATING_OPS and not cls.allow_mutation:
+            self.registry.add("serve.rejected_readonly")
+            return error_response(
+                req_id,
+                code="mutation_forbidden",
+                message=(
+                    f"budget class {cls.name!r} has no write access; "
+                    f"op {request['op']!r} mutates the graph"
+                ),
+            )
         if tenant.inflight >= cls.max_inflight:
             self.registry.add("serve.rejected_inflight")
             return retry_after_response(
@@ -528,19 +554,36 @@ class CutService:
                 raise RuntimeError("injected handler crash (serve.handler_crash)")
             if op == "min_cut":
                 res = engine.min_cut()
-                return self._result_payload(request, res)
+                return self._result_payload(request, res, engine)
             if op == "requery":
-                weights = request.get("weights")
-                if isinstance(weights, dict):
-                    weights = {int(k): float(v) for k, v in weights.items()}
-                elif isinstance(weights, list):
-                    weights = [float(v) for v in weights]
-                else:
-                    raise ProtocolError(
-                        "requery needs 'weights': {edge_index: w} or a full list"
-                    )
-                res = engine.requery(weights)
-                return self._result_payload(request, res)
+                # deprecated weight-only spelling: routed through the
+                # engine's one mutation surface, with the historical
+                # requery response shape preserved for its runway
+                weights = self._parse_reweight(
+                    request.get("weights"),
+                    "requery needs 'weights': {edge_index: w} or a full list",
+                )
+                upd = engine.update(reweight=weights, max_staleness=None)
+                payload = self._result_payload(request, upd.result, engine)
+                payload["requery"] = 1.0
+                if upd.rebased:
+                    payload["rebased"] = 1.0
+                return payload
+            if op == "update":
+                upd = engine.update(**self._parse_update(request))
+                payload = self._result_payload(request, upd.result, engine)
+                payload.update(
+                    update=1.0,
+                    noop=upd.noop,
+                    rebased=upd.rebased,
+                    rebase_reason=upd.rebase_reason,
+                    applied=upd.applied,
+                    verified=(
+                        None if upd.verification is None
+                        else bool(upd.verification.ok)
+                    ),
+                )
+                return payload
             if op == "min_cut_batch":
                 seeds = request.get("seeds")
                 if not isinstance(seeds, list) or not seeds:
@@ -550,14 +593,58 @@ class CutService:
                         f"batch of {len(seeds)} exceeds the {MAX_BATCH}-seed cap"
                     )
                 results = engine.min_cut_batch([int(s) for s in seeds])
-                return {"values": [float(r.value) for r in results]}
+                return {
+                    "values": [float(r.value) for r in results],
+                    "epoch": engine.epoch,
+                }
             raise ProtocolError(f"unroutable query op {op!r}")  # pragma: no cover
 
     @staticmethod
-    def _result_payload(request: Dict[str, Any], res) -> Dict[str, Any]:
-        payload: Dict[str, Any] = {"value": float(res.value)}
+    def _parse_reweight(weights, message: str):
+        if isinstance(weights, dict):
+            return {int(k): float(v) for k, v in weights.items()}
+        if isinstance(weights, list):
+            return [float(v) for v in weights]
+        raise ProtocolError(message)
+
+    def _parse_update(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """The ``update`` op's wire fields, validated into
+        :meth:`CutEngine.update` keywords."""
+        add_edges = request.get("add_edges")
+        remove_edges = request.get("remove_edges")
+        reweight = request.get("reweight")
+        if add_edges is None and remove_edges is None and reweight is None:
+            raise ProtocolError(
+                "update needs at least one of 'add_edges' ([u, v, w] "
+                "triples), 'remove_edges' (edge indices), 'reweight' "
+                "({edge_index: w} or a full list)"
+            )
+        kwargs: Dict[str, Any] = {}
+        if add_edges is not None:
+            if not isinstance(add_edges, list):
+                raise ProtocolError("'add_edges' must be a list of [u, v, w]")
+            kwargs["add_edges"] = [tuple(e) for e in add_edges]
+        if remove_edges is not None:
+            if not isinstance(remove_edges, list):
+                raise ProtocolError("'remove_edges' must be a list of edge indices")
+            kwargs["remove_edges"] = [int(i) for i in remove_edges]
+        if reweight is not None:
+            kwargs["reweight"] = self._parse_reweight(
+                reweight, "'reweight' must be {edge_index: w} or a full list"
+            )
+        return kwargs
+
+    @staticmethod
+    def _result_payload(request: Dict[str, Any], res, engine) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "value": float(res.value),
+            # the per-graph epoch rides on every result so clients
+            # detect a concurrent mutation (or rebase) under their feet
+            "epoch": engine.epoch,
+            "staleness": engine.staleness,
+        }
         stats = dict(res.stats)
-        for key in ("num_trees", "requery", "rebased"):
+        for key in ("num_trees", "requery", "rebased", "update"):
             if key in stats:
                 payload[key] = float(stats[key])
         if request.get("return_side"):
@@ -565,6 +652,32 @@ class CutService:
             small = side if side.sum() * 2 <= side.shape[0] else ~side
             payload["side"] = [int(i) for i in small.nonzero()[0]]
         return payload
+
+    def _graph_info(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Inline (non-admitted) introspection of one registered graph:
+        epoch, staleness, fingerprint, write access, and the tenant's
+        cache stats — what a client polls to detect concurrent mutation
+        without paying for a query."""
+        tenant = self.tenants.get(self._required_str(request, "tenant"))
+        graph_name = self._required_str(request, "graph")
+        engine, _ = tenant.engine(graph_name)
+        cls = tenant.budget_class
+        chain = engine.fingerprint_chain()
+        return ok_response(
+            request.get("id"),
+            tenant=tenant.name,
+            graph=graph_name,
+            n=engine.graph.n,
+            m=engine.graph.m,
+            epoch=engine.epoch,
+            staleness=engine.staleness,
+            staleness_ratio=engine.staleness_ratio,
+            fingerprint=chain["current"]["fingerprint"],
+            budget_class=tenant.quota.budget_class,
+            writable=cls.allow_mutation,
+            cache=tenant.cache_stats(),
+            protocol=PROTOCOL_VERSION,
+        )
 
     # ------------------------------------------------------------------
     def _metrics(self, req_id: Any) -> Dict[str, Any]:

@@ -8,15 +8,20 @@ A *tenant* is a named registration owning
   not scheduled: a noisy tenant can evict only its own artifacts);
 * a dictionary of named graphs, each fronted by one
   :class:`~repro.engine.CutEngine` (re-registering a name rebinds it);
-* a *budget class* bounding its deadlines and concurrency:
+* a *budget class* bounding its deadlines, concurrency, and write
+  access:
 
-  ===========  ================  =============  ============
-  class        default deadline  max deadline   max inflight
-  ===========  ================  =============  ============
-  interactive  2 s               10 s           8
-  standard     10 s              60 s           16
-  batch        60 s              600 s          4
-  ===========  ================  =============  ============
+  ===========  ================  =============  ============  =========
+  class        default deadline  max deadline   max inflight  mutations
+  ===========  ================  =============  ============  =========
+  interactive  2 s               10 s           8             no
+  standard     10 s              60 s           16            yes
+  batch        60 s              600 s          4             yes
+  ===========  ================  =============  ============  =========
+
+  Classes without write access (``allow_mutation=False``) get a typed
+  ``mutation_forbidden`` error for the ``update`` op — interactive
+  traffic reads a graph other writers evolve, it never races them.
 
   A request's ``deadline_ms`` is clamped to the class maximum; a
   request without one gets the class default, so *every* admitted
@@ -74,6 +79,12 @@ class BudgetClass:
     max_deadline_s: float
     max_inflight: int
     executor_backend: Optional[str] = None
+    #: may tenants of this class run the mutation surface (the
+    #: ``update`` op)?  Interactive traffic is read-only: its short
+    #: deadlines make the rebase path (a full cold preprocess an update
+    #: may trigger) a shedding hazard, and concurrent short-deadline
+    #: writers would churn every reader's epoch.
+    allow_mutation: bool = True
 
 
 #: the built-in classes; ``ServerConfig.default_budget_class`` picks the
@@ -82,7 +93,7 @@ class BudgetClass:
 #: shm backend; interactive/standard keep the ambient backend (thread
 #: by default) where dispatch latency beats throughput.
 BUDGET_CLASSES: Dict[str, BudgetClass] = {
-    "interactive": BudgetClass("interactive", 2.0, 10.0, 8),
+    "interactive": BudgetClass("interactive", 2.0, 10.0, 8, allow_mutation=False),
     "standard": BudgetClass("standard", 10.0, 60.0, 16),
     "batch": BudgetClass("batch", 60.0, 600.0, 4, executor_backend="shm"),
 }

@@ -27,6 +27,8 @@ PUBLIC_API = [
     "approximate_minimum_cut",
     "two_respecting_min_cut",
     "CutEngine",
+    "UpdateResult",
+    "GraphDelta",
     "ArtifactCache",
     "CutResult",
     "ApproxResult",

@@ -267,14 +267,29 @@ class TestBatch:
         assert all(r.report is not None for r in results)
 
 
+def _requery(engine, weights, **kwargs):
+    # requery is a one-release deprecated shim over update(); its
+    # historical contract tests stay, exercised through the warning
+    with pytest.warns(DeprecationWarning, match="update"):
+        return engine.requery(weights, **kwargs)
+
+
 class TestRequery:
+    def test_deprecation_warning_fires_once_per_call(self, graph):
+        engine = CutEngine(graph, seed=7)
+        engine.min_cut()
+        with pytest.warns(DeprecationWarning) as rec:
+            engine.requery({})
+        assert len(rec) == 1
+        assert "update(reweight=...)" in str(rec[0].message)
+
     def test_scaled_weights_track_value(self, graph):
         from repro.baselines import stoer_wagner
 
         engine = CutEngine(graph, seed=7)
         engine.min_cut()
         w = graph.w * 1.25
-        res = engine.requery(w)
+        res = _requery(engine, w)
         assert dict(res.stats)["requery"] == 1.0
         truth = stoer_wagner(graph.with_weights(w, drop_zero=False))
         assert res.value == pytest.approx(truth.value)
@@ -282,7 +297,7 @@ class TestRequery:
     def test_sparse_update_spelling(self, graph):
         engine = CutEngine(graph, seed=7)
         base = engine.min_cut()
-        res = engine.requery({0: float(graph.w[0])})  # no-op update
+        res = _requery(engine, {0: float(graph.w[0])})  # no-op update
         assert res.value == pytest.approx(base.value)
 
     def test_requery_reuses_packed_trees(self, graph):
@@ -290,7 +305,7 @@ class TestRequery:
         engine = CutEngine(graph, seed=7, ledger=led)
         engine.min_cut()
         before = _phases(led)
-        engine.requery(graph.w * 1.01)
+        _requery(engine, graph.w * 1.01)
         after = _phases(led)
         for ph in ("approximate", "skeleton", "greedy-packing"):
             assert after[ph] == before[ph], ph
@@ -303,7 +318,7 @@ class TestRequery:
         engine.min_cut()
         w = graph.w * 100.0
         with counting_scope(reg):
-            res = engine.requery(w)
+            res = _requery(engine, w)
         assert reg.get("engine.rebases") == 1.0
         assert dict(res.stats)["rebased"] == 1.0
         truth = stoer_wagner(graph.with_weights(w, drop_zero=False))
@@ -319,7 +334,7 @@ class TestRequery:
         w = graph.w.copy()
         w[0] = 0.0
         with pytest.raises(GraphFormatError):
-            engine.requery(w)
+            _requery(engine, w)
 
 
 class TestRequeryNoop:
@@ -334,11 +349,11 @@ class TestRequeryNoop:
         before = _phases(led)
         work_before, depth_before = led.work, led.depth
         with counting_scope(reg):
-            res_empty = engine.requery({})  # empty sparse mapping
-            res_same = engine.requery(graph.w.copy())  # identical full vector
+            res_empty = _requery(engine, {})  # empty sparse mapping
+            res_same = _requery(engine, graph.w.copy())  # identical full vector
             # a threshold this tight would force a rebase on any result
             # that actually re-ran the threshold accounting
-            res_tight = engine.requery({}, rebase_threshold=1e-9)
+            res_tight = _requery(engine, {}, rebase_threshold=1e-9)
         for res in (res_empty, res_same, res_tight):
             assert res.value == base.value
             assert dict(res.stats)["requery"] == 1.0
@@ -352,7 +367,7 @@ class TestRequeryNoop:
     def test_noop_before_any_query_still_answers(self, graph):
         # no memoized result yet: the no-op path falls back to min_cut()
         engine = CutEngine(graph, seed=7)
-        res = engine.requery({})
+        res = _requery(engine, {})
         assert dict(res.stats)["requery"] == 1.0
         assert res.value == CutEngine(graph, seed=7).min_cut().value
 
