@@ -3,8 +3,8 @@
 
 Starts a :class:`~repro.serve.ThreadedTCPServer` in-process, registers a
 few tenants with named graphs, then drives sustained query traffic from
-concurrent client threads: mostly warm ``min_cut`` / ``requery`` hits,
-a slice of ``min_cut_batch``, and a slice of deliberately-short
+concurrent client threads: mostly warm ``min_cut`` hits and zero-delta
+``update`` no-ops, a slice of ``min_cut_batch``, and a slice of deliberately-short
 deadlines to exercise shedding.  Clients honor ``retry_after``
 backpressure (sleeping the server's hint), so the run demonstrates the
 full admission contract under load, not just the happy path.
@@ -137,11 +137,11 @@ def _client_worker(
                 req = {"op": "min_cut", "tenant": tenant, "graph": name}
             elif roll < 0.85:
                 req = {
-                    "op": "requery",
+                    "op": "update",
                     "tenant": tenant,
                     "graph": name,
                     # zero-delta perturbation: a pure cache hit server-side
-                    "weights": {},
+                    "reweight": {},
                 }
             elif roll < 0.95:
                 req = {

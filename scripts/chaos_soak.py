@@ -40,11 +40,28 @@ timeout is a hang, an ill-formed or missing response is a failure, and
 any ``min_cut`` *result* must equal the graph's independently-computed
 exact value.
 
+``--crash-recovery`` soaks the daemon's durable state
+(``docs/robustness.md``): trials alternate between (a) a real
+``python -m repro serve --state-dir`` subprocess that is SIGKILLed at a
+randomized point mid-update-stream and restarted on the same directory,
+and (b) an in-process daemon with one armed ``wal.torn_write`` /
+``wal.corrupt_record`` / ``snapshot.partial`` fault whose directory is
+then recovered cold.  Both kinds round-robin the fsync policies.  The
+gate is the ack-durability contract: the recovered engine must be
+**bit-identical** (epoch, staleness, chained fingerprint, and exact cut
+value) to a never-crashed twin that replayed exactly the acknowledged
+updates — the one request in flight *during* the kill may land on
+either side, and an injected mid-log corruption may instead surface as
+a typed ``WalCorruptionError`` (loud detection, never silent skip).  A
+trial also fails if the state directory leaks ``*.tmp`` files across
+the crash.
+
 Usage::
 
     python scripts/chaos_soak.py --runs 200 --seed 0            # all backends
     python scripts/chaos_soak.py --runs 20 --seed 0 --backend process
     python scripts/chaos_soak.py --service --trials 10 --seed 0 # daemon soak
+    python scripts/chaos_soak.py --crash-recovery --trials 50 --seed 0
 
 Exit status 0 iff every trial passed and no trial hung.
 """
@@ -55,33 +72,45 @@ import argparse
 import os
 import socket
 import struct
+import subprocess
 import sys
 import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 import numpy as np  # noqa: E402
 
 from repro.baselines.stoer_wagner import stoer_wagner  # noqa: E402
-from repro.errors import ReproError, SimulatedCrash  # noqa: E402
+from repro.durability import DurableState  # noqa: E402
+from repro.engine import CutEngine  # noqa: E402
+from repro.engine.deltas import as_delta, random_delta  # noqa: E402
+from repro.errors import (  # noqa: E402
+    RecoveryError,
+    ReproError,
+    SimulatedCrash,
+)
 from repro.graphs.generators import random_connected_graph  # noqa: E402
 from repro.pram.executor import force_executor, shutdown_shared_pools  # noqa: E402
 from repro.resilience.driver import resilient_minimum_cut  # noqa: E402
 from repro.resilience.faults import (  # noqa: E402
     ALL_SITES,
+    DURABILITY_SITES,
     SERVICE_SITES,
+    SITE_WAL_CORRUPT_RECORD,
     Fault,
     FaultPlan,
     inject,
 )
 from repro.serve import (  # noqa: E402
+    InProcServer,
     ProtocolError,
     ServerConfig,
     ServiceClient,
+    TenantRegistry,
     ThreadedTCPServer,
     well_formed,
 )
@@ -95,10 +124,13 @@ def _soak_backends():
 
 BACKENDS = _soak_backends()
 
-#: fault sites for driver-mode plans: the ``serve.*`` sites are only
-#: polled inside the daemon, so drawing them here would dilute the
+#: fault sites for driver-mode plans: the ``serve.*`` and
+#: ``wal.*``/``snapshot.*`` sites are only polled inside the daemon's
+#: service/durability layers, so drawing them here would dilute the
 #: driver soak's fault density with guaranteed no-ops
-DRIVER_SITES = tuple(s for s in ALL_SITES if s not in SERVICE_SITES)
+DRIVER_SITES = tuple(
+    s for s in ALL_SITES if s not in SERVICE_SITES and s not in DURABILITY_SITES
+)
 
 #: resumes allowed per trial before declaring it stuck (each injected
 #: kill costs one resume; plans carry at most 3 faults)
@@ -297,10 +329,7 @@ def _service_client_script(
         if roll < 0.45:
             req = {"op": "min_cut", "tenant": "soak", "graph": "g", "id": rid}
         elif roll < 0.60:
-            req = {
-                "op": "requery", "tenant": "soak", "graph": "g",
-                "weights": {}, "id": rid,
-            }
+            req = {"op": "graph_info", "tenant": "soak", "graph": "g", "id": rid}
         elif roll < 0.70:
             req = {
                 "op": "min_cut_batch", "tenant": "soak", "graph": "g",
@@ -431,6 +460,395 @@ def run_service_soak(trials: int, seed: int) -> SoakStats:
     return stats
 
 
+# ---------------------------------------------------------------------------
+# crash-recovery mode: SIGKILL + durability faults against --state-dir
+# ---------------------------------------------------------------------------
+
+#: engine seed shared by the daemon registration and the parity twin
+DURABLE_SEED = 11
+
+#: every trial index maps onto one policy, so any soak of >= 3 trials
+#: exercises the whole fsync matrix
+FSYNC_CYCLE = ("always", "batch", "never")
+
+_SRC_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "src")
+)
+
+
+def _wire_update(kwargs: Dict[str, object]) -> Dict[str, object]:
+    """``CutEngine.update`` keywords as JSON-safe wire fields."""
+    out: Dict[str, object] = {}
+    if "add_edges" in kwargs:
+        out["add_edges"] = [
+            [int(u), int(v), float(w)] for (u, v, w) in kwargs["add_edges"]
+        ]
+    if "remove_edges" in kwargs:
+        out["remove_edges"] = [int(i) for i in kwargs["remove_edges"]]
+    if "reweight" in kwargs:
+        out["reweight"] = {
+            str(int(k)): float(v) for k, v in kwargs["reweight"].items()
+        }
+    return out
+
+
+def _next_delta(shadow, rng) -> Optional[Dict[str, object]]:
+    """A non-empty random mutation batch against ``shadow`` (or None if
+    the draw keeps coming up empty — vanishingly rare)."""
+    for _ in range(16):
+        kw = random_delta(shadow, rng)
+        if kw:
+            return kw
+    return None
+
+
+def _twin_parity(graph, ops: List[Dict[str, object]]) -> Dict[str, object]:
+    """The durable ledger a never-crashed twin reaches after ``ops``:
+    epoch, staleness, chained fingerprint, and the exact cut value."""
+    eng = CutEngine(graph, seed=DURABLE_SEED)
+    for kw in ops:
+        eng.update(**kw)
+    fp = eng.fingerprint_chain()["current"]["fingerprint"]
+    return {
+        "epoch": int(eng.epoch),
+        "staleness": int(eng.staleness),
+        "fingerprint": fp,
+        "value": float(eng.min_cut().value),
+    }
+
+
+def _parity_mismatch(
+    recovered: Dict[str, object], graph, candidates: List[List[Dict[str, object]]]
+) -> Optional[str]:
+    """None if ``recovered`` bit-matches the twin of *some* acceptable
+    op ledger, else a description of the nearest miss."""
+    twins = [_twin_parity(graph, ops) for ops in candidates]
+    for twin in twins:
+        if twin == recovered:
+            return None
+    return f"recovered {recovered!r} matches none of {twins!r}"
+
+
+def _spawn_daemon(state_dir: str, fsync: str, snapshot_interval: int):
+    """Start ``python -m repro serve --state-dir`` on a free port.
+    Returns ``(proc, port)``; raises if the daemon dies before
+    announcing its port (e.g. recovery refused to boot)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-u", "-m", "repro", "serve",
+            "--host", "127.0.0.1", "--port", "0", "--workers", "2",
+            "--state-dir", state_dir, "--fsync", fsync,
+            "--snapshot-interval", str(snapshot_interval),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    banner = []
+    while True:
+        line = proc.stdout.readline()
+        if not line:
+            proc.wait(timeout=30)
+            raise RuntimeError(
+                f"daemon exited rc={proc.returncode} before listening: "
+                + " | ".join(x.strip() for x in banner[-5:])
+            )
+        banner.append(line)
+        if "listening on" in line:
+            return proc, int(line.rsplit(":", 1)[1])
+
+
+def _durable_request(port: int, request: Dict[str, object]) -> Dict[str, object]:
+    client = ServiceClient("127.0.0.1", port, timeout=SERVICE_RESPONSE_TIMEOUT)
+    try:
+        return client.request(dict(request))
+    finally:
+        client.close()
+
+
+def _register_durable(port: int, graph) -> Optional[str]:
+    """Register the soak tenant + graph; returns an error string or None."""
+    edges = [[int(u), int(v), float(w)] for u, v, w in graph.edges()]
+    for req in (
+        {"op": "register_tenant", "tenant": "soak", "budget_class": "standard"},
+        {"op": "register_graph", "tenant": "soak", "graph": "g",
+         "n": graph.n, "edges": edges, "seed": DURABLE_SEED, "warm": False},
+    ):
+        resp = _durable_request(port, req)
+        if resp.get("type") != "result":
+            return f"registration {req['op']} answered {resp!r}"
+    return None
+
+
+def _tmp_leaks(state_dir: str) -> List[str]:
+    return sorted(n for n in os.listdir(state_dir) if n.endswith(".tmp"))
+
+
+def run_kill_trial(trial_seed: int, fsync: str, stats: SoakStats) -> None:
+    """One SIGKILL round trip: daemon subprocess, acked update stream,
+    kill racing an in-flight update, restart on the same directory,
+    bit-parity of the recovered engine against the acked ledger."""
+    rng = np.random.default_rng(trial_seed)
+    n = int(rng.integers(12, 25))
+    m = int(rng.integers(2 * n, 3 * n))
+    graph = random_connected_graph(n, m, rng=int(rng.integers(2**31)), max_weight=8)
+    snapshot_interval = int(rng.choice((2, 4, 64)))
+    total = int(rng.integers(2, 8))
+
+    stats.trials += 1
+    label = (
+        f"trial={trial_seed} mode=kill fsync={fsync} "
+        f"snap={snapshot_interval} updates={total}"
+    )
+    procs = []
+    try:
+        with tempfile.TemporaryDirectory() as sdir:
+            proc, port = _spawn_daemon(sdir, fsync, snapshot_interval)
+            procs.append(proc)
+            err = _register_durable(port, graph)
+            if err is not None:
+                stats.failures.append(f"{label}: {err}")
+                return
+
+            shadow = graph
+            logged: List[Dict[str, object]] = []
+            for _ in range(total):
+                kw = _next_delta(shadow, rng)
+                if kw is None:
+                    break
+                resp = _durable_request(
+                    port,
+                    {"op": "update", "tenant": "soak", "graph": "g",
+                     **_wire_update(kw)},
+                )
+                if resp.get("type") != "result":
+                    stats.failures.append(f"{label}: update answered {resp!r}")
+                    return
+                if not resp.get("noop"):
+                    logged.append(kw)
+                    shadow = as_delta(shadow, **kw).apply(shadow)
+
+            # the randomized kill point: SIGKILL races one more update —
+            # its ack decides which side of the crash the op landed on
+            inflight = _next_delta(shadow, rng)
+            mid_kill = False
+            killer = threading.Timer(float(rng.random()) * 0.05, proc.kill)
+            killer.start()
+            if inflight is not None:
+                mid_kill = True
+                try:
+                    resp = _durable_request(
+                        port,
+                        {"op": "update", "tenant": "soak", "graph": "g",
+                         **_wire_update(inflight)},
+                    )
+                    if resp.get("type") == "result":
+                        # acked before the kill: durable, full stop
+                        if not resp.get("noop"):
+                            logged.append(inflight)
+                        mid_kill = False
+                except (ProtocolError, ConnectionError, OSError, socket.timeout):
+                    pass  # killed mid-request: outcome legitimately unknown
+            killer.cancel()
+            proc.kill()
+            proc.wait(timeout=30)
+
+            candidates = [list(logged)]
+            if mid_kill:
+                candidates.append(list(logged) + [inflight])
+
+            proc2, port2 = _spawn_daemon(sdir, fsync, snapshot_interval)
+            procs.append(proc2)
+            info = _durable_request(
+                port2, {"op": "graph_info", "tenant": "soak", "graph": "g"}
+            )
+            cut = _durable_request(
+                port2, {"op": "min_cut", "tenant": "soak", "graph": "g"}
+            )
+            if info.get("type") != "result" or cut.get("type") != "result":
+                stats.failures.append(
+                    f"{label}: recovered daemon answered {info!r} / {cut!r}"
+                )
+                return
+            recovered = {
+                "epoch": int(info["epoch"]),
+                "staleness": int(info["staleness"]),
+                "fingerprint": info["fingerprint"],
+                "value": float(cut["value"]),
+            }
+            miss = _parity_mismatch(recovered, graph, candidates)
+            if miss is not None:
+                stats.failures.append(f"{label}: PARITY {miss}")
+                return
+            leaks = _tmp_leaks(sdir)
+            if leaks:
+                stats.failures.append(f"{label}: leaked temp files {leaks}")
+                return
+            proc2.terminate()
+            proc2.wait(timeout=30)
+            stats.resumed += 1 if mid_kill else 0
+            stats.verified += 1
+    except subprocess.TimeoutExpired:
+        stats.hangs.append(f"{label}: daemon ignored its kill")
+    except socket.timeout:
+        stats.hangs.append(f"{label}: response timeout")
+    except BaseException as exc:  # noqa: BLE001 - any escape is a soak failure
+        stats.failures.append(f"{label}: untyped {type(exc).__name__}: {exc}")
+    finally:
+        for p in procs:
+            if p.poll() is None:
+                p.kill()
+                p.wait(timeout=30)
+
+
+def run_durability_fault_trial(
+    trial_seed: int, fsync: str, stats: SoakStats
+) -> None:
+    """One in-process daemon lifetime with a single armed ``wal.*`` /
+    ``snapshot.*`` fault, abandoned (simulated crash) and recovered cold.
+
+    Acceptable outcomes per the durability contract:
+
+    * ``wal.torn_write`` — the torn append crashes its request (typed);
+      recovery truncates the torn tail and must bit-match the acked
+      ledger (the crashed op was never acked);
+    * ``wal.corrupt_record`` — recovery either refuses loudly with
+      :class:`WalCorruptionError` (corruption mid-log) or, when the
+      corrupted record sits at the tail (or was pruned by rotation),
+      recovers to the acked ledger minus at most that one record;
+    * ``snapshot.partial`` — the bad snapshot must be quarantined by
+      verify-back or fallback; recovery must bit-match the full acked
+      ledger.
+    """
+    rng = np.random.default_rng(trial_seed)
+    n = int(rng.integers(12, 25))
+    m = int(rng.integers(2 * n, 3 * n))
+    graph = random_connected_graph(n, m, rng=int(rng.integers(2**31)), max_weight=8)
+    edges = [[int(u), int(v), float(w)] for u, v, w in graph.edges()]
+    total = int(rng.integers(3, 9))
+    site = str(rng.choice(DURABILITY_SITES))
+    # WAL appends 0 and 1 are the tenant/graph registrations; aim write
+    # faults at the update records (snapshot faults count snapshots)
+    at = (
+        int(rng.integers(2, 2 + total))
+        if site.startswith("wal.")
+        else int(rng.integers(0, 3))
+    )
+    plan = FaultPlan(
+        faults=(Fault(site=site, at=at, index=0,
+                      seed=int(rng.integers(0, 2**31)), scale=1.0),),
+        name=f"durability[{site}@{at}]",
+    )
+    snapshot_interval = int(rng.choice((2, 3, 64)))
+
+    stats.trials += 1
+    label = (
+        f"trial={trial_seed} mode=fault plan={plan.name} fsync={fsync} "
+        f"snap={snapshot_interval} updates={total}"
+    )
+    try:
+        with tempfile.TemporaryDirectory() as sdir:
+            config = ServerConfig(
+                port=0, workers=2, state_dir=sdir, fsync=fsync,
+                snapshot_interval=snapshot_interval,
+            )
+            logged: List[Dict[str, object]] = []
+            crashed = False
+            with InProcServer(config, faults=plan) as srv:
+                for req in (
+                    {"op": "register_tenant", "tenant": "soak",
+                     "budget_class": "standard"},
+                    {"op": "register_graph", "tenant": "soak", "graph": "g",
+                     "n": graph.n, "edges": edges, "seed": DURABLE_SEED,
+                     "warm": False},
+                ):
+                    if srv.request(req).get("type") != "result":
+                        stats.failures.append(f"{label}: registration failed")
+                        return
+                shadow = graph
+                for _ in range(total):
+                    kw = _next_delta(shadow, rng)
+                    if kw is None:
+                        break
+                    resp = srv.request(
+                        {"op": "update", "tenant": "soak", "graph": "g", **kw}
+                    )
+                    if resp.get("type") != "result":
+                        # the armed fault fired (e.g. a SimulatedCrash
+                        # out of a torn append) — typed, and the stream
+                        # stops here exactly as a crashing daemon would
+                        crashed = True
+                        break
+                    if not resp.get("noop"):
+                        logged.append(kw)
+                        shadow = as_delta(shadow, **kw).apply(shadow)
+                # simulated crash: drop the WAL on the floor — close()
+                # would flush a clean final snapshot and hide the fault
+                if srv.service.durable is not None:
+                    srv.service.durable.abandon()
+
+            registry = TenantRegistry()
+            durable = DurableState(sdir, fsync=fsync)
+            try:
+                durable.recover(registry)
+            except RecoveryError as exc:
+                durable.abandon()
+                # injected bit rot may refuse loudly: WalCorruptionError
+                # mid-log, or a chain discontinuity when the corrupted
+                # record was the last of a rotated-away generation.
+                # For every *other* site a refusal to boot is a failure.
+                if site == SITE_WAL_CORRUPT_RECORD:
+                    stats.typed_errors += 1  # loud detection: documented
+                    return
+                stats.failures.append(
+                    f"{label}: recovery refused: "
+                    f"{type(exc).__name__}: {exc}"
+                )
+                return
+
+            engine, _ = registry.get("soak").engine("g")
+            fp = engine.fingerprint_chain()["current"]["fingerprint"]
+            recovered = {
+                "epoch": int(engine.epoch),
+                "staleness": int(engine.staleness),
+                "fingerprint": fp,
+                "value": float(engine.min_cut().value),
+            }
+            durable.abandon()
+            candidates = [list(logged)]
+            if site == SITE_WAL_CORRUPT_RECORD and logged:
+                candidates.append(list(logged[:-1]))
+            miss = _parity_mismatch(recovered, graph, candidates)
+            if miss is not None:
+                stats.failures.append(f"{label}: PARITY {miss}")
+                return
+            leaks = _tmp_leaks(sdir)
+            if leaks:
+                stats.failures.append(f"{label}: leaked temp files {leaks}")
+                return
+            stats.resumed += 1 if crashed else 0
+            stats.verified += 1
+    except BaseException as exc:  # noqa: BLE001 - any escape is a soak failure
+        stats.failures.append(f"{label}: untyped {type(exc).__name__}: {exc}")
+
+
+def run_crash_recovery_soak(trials: int, seed: int) -> SoakStats:
+    """Alternate SIGKILL-subprocess and injected-fault trials, cycling
+    the fsync policy so every (kind, policy) cell gets coverage."""
+    stats = SoakStats()
+    for i in range(trials):
+        trial_seed = seed * 1_000_003 + i
+        fsync = FSYNC_CYCLE[i % len(FSYNC_CYCLE)]
+        if i % 2 == 0:
+            run_kill_trial(trial_seed, fsync, stats)
+        else:
+            run_durability_fault_trial(trial_seed, fsync, stats)
+    return stats
+
+
 def run_soak(
     runs: int, seed: int, backends=BACKENDS, time_cap: float = 60.0
 ) -> SoakStats:
@@ -453,22 +871,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     ap.add_argument("--service", action="store_true",
                     help="soak the serving daemon under serve.* faults "
                          "instead of the driver")
+    ap.add_argument("--crash-recovery", action="store_true",
+                    help="soak --state-dir durability: SIGKILL round "
+                         "trips and wal.*/snapshot.* faults, gated on "
+                         "bit-parity with a never-crashed twin")
     ap.add_argument("--trials", type=int, default=None,
-                    help="service-mode trial count (defaults to --runs)")
+                    help="service/crash-recovery trial count "
+                         "(defaults to --runs)")
     args = ap.parse_args(argv)
 
+    trials = args.trials if args.trials is not None else args.runs
     t0 = time.monotonic()
-    if args.service:
-        stats = run_service_soak(
-            args.trials if args.trials is not None else args.runs, args.seed
-        )
+    if args.crash_recovery:
+        stats = run_crash_recovery_soak(trials, args.seed)
+    elif args.service:
+        stats = run_service_soak(trials, args.seed)
     else:
         backends = BACKENDS if args.backend == "auto" else (args.backend,)
         stats = run_soak(args.runs, args.seed, backends, args.time_cap)
     wall = time.monotonic() - t0
 
     print(f"trials {stats.trials}")
-    if args.service:
+    if args.crash_recovery:
+        print(f"parity_clean {stats.verified}")
+        print(f"typed_detections {stats.typed_errors}")
+        print(f"mid_crash_trials {stats.resumed}")
+    elif args.service:
         print(f"clean_trials {stats.verified}")
         print(f"serve_faults_injected {stats.faults_injected}")
     else:

@@ -11,7 +11,7 @@ Public API highlights
 - :func:`repro.approximate_minimum_cut` — the Section 3 approximation.
 - :class:`repro.CutEngine` — the staged/cached spelling of the exact
   pipeline for repeated queries over one graph (``min_cut()``,
-  ``min_cut_batch(seeds)``, ``requery(weights)``), with artifacts in a
+  ``min_cut_batch(seeds)``, ``update(reweight=...)``), with artifacts in a
   :class:`repro.ArtifactCache` (:mod:`repro.engine`).
 - :class:`repro.CutResult` / :class:`repro.ApproxResult` — the result
   values, with :class:`repro.VerificationReport` provenance.

@@ -88,7 +88,7 @@ def reinforce(
     ``requery=False`` (the default) preprocesses each round's graph
     afresh — bit-identical to the historical loop.  ``requery=True``
     binds one :class:`repro.engine.CutEngine` and answers later rounds
-    through :meth:`~repro.engine.CutEngine.requery` over the same
+    through ``CutEngine.update(reweight=...)`` over the same
     packed trees (re-running only the per-query search), trading the
     per-round packing cost for the engine's coverage guarantee; both
     modes report valid cuts w.h.p. and the same monotone trajectory.

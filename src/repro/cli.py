@@ -233,6 +233,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_budget_class=args.budget_class,
         allow_shutdown=not args.no_shutdown_op,
         seed=args.seed,
+        state_dir=None if args.state_dir is None else str(args.state_dir),
+        fsync=args.fsync,
+        snapshot_interval=args.snapshot_interval,
+        snapshot_retention=args.snapshot_retention,
     )
     run_tcp(config)
     return 0
@@ -333,6 +337,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the remote 'shutdown' op")
     p_srv.add_argument("--seed", type=int, default=0,
                        help="supervisor jitter seed")
+    p_srv.add_argument("--state-dir", type=Path, default=None, metavar="DIR",
+                       help="durable state: write-ahead log + snapshots in "
+                            "DIR; on start, recovery restores registered "
+                            "tenants/graphs and every acked update "
+                            "(docs/robustness.md).  Omitted = in-memory "
+                            "only")
+    p_srv.add_argument("--fsync", choices=("always", "batch", "never"),
+                       default="always",
+                       help="WAL fsync policy: 'always' makes every ack "
+                            "machine-crash durable; 'batch' fsyncs every "
+                            "few appends; 'never' leaves it to the kernel "
+                            "(process-crash durable only)")
+    p_srv.add_argument("--snapshot-interval", type=int, default=64,
+                       metavar="N",
+                       help="WAL records between automatic snapshots")
+    p_srv.add_argument("--snapshot-retention", type=int, default=2,
+                       metavar="K",
+                       help="verified snapshot generations to keep")
     p_srv.set_defaults(func=_cmd_serve)
     return parser
 

@@ -1,0 +1,54 @@
+"""Durable state for the cut-serving daemon.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.durability.wal` — a checksummed, length-prefixed
+  write-ahead log with a chained fingerprint spine, torn-tail
+  truncation, and a configurable fsync policy;
+* :mod:`repro.durability.snapshot` — atomic, hash-verified snapshots
+  with the same envelope discipline as
+  :mod:`repro.resilience.checkpointing`;
+* :mod:`repro.durability.state` — :class:`DurableState`, which ties
+  them to the serve layer's :class:`~repro.serve.tenancy.TenantRegistry`:
+  log-before-ack appends, interval snapshots with rotation/retention,
+  and verified crash recovery through the real
+  :meth:`~repro.engine.CutEngine.update` path.
+
+See ``docs/robustness.md`` (durability section) for the state-dir
+layout and the ack-durability contract per fsync policy.
+"""
+
+from repro.durability.snapshot import (
+    SNAPSHOT_VERSION,
+    list_snapshots,
+    load_snapshot,
+    snapshot_path,
+    write_snapshot,
+)
+from repro.durability.state import GENESIS_CHAIN, DurableState
+from repro.durability.wal import (
+    FSYNC_POLICIES,
+    MAGIC,
+    WalRecord,
+    WriteAheadLog,
+    advance_chain,
+    encode_body,
+    scan,
+)
+
+__all__ = [
+    "DurableState",
+    "GENESIS_CHAIN",
+    "FSYNC_POLICIES",
+    "MAGIC",
+    "SNAPSHOT_VERSION",
+    "WalRecord",
+    "WriteAheadLog",
+    "advance_chain",
+    "encode_body",
+    "scan",
+    "list_snapshots",
+    "load_snapshot",
+    "snapshot_path",
+    "write_snapshot",
+]

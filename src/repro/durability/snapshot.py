@@ -1,0 +1,133 @@
+"""Atomic, hash-verified snapshots of the daemon's durable state.
+
+A snapshot file is a pickle of ``{"version", "sha256", "payload"}``
+where ``payload`` is the *pickled bytes* of the inner dict
+``{"seq", "chain", "payload"}`` and ``sha256`` is the hex digest of
+those bytes — the same outer-envelope/verify-on-read discipline as
+:mod:`repro.resilience.checkpointing`.  Writes go to a ``.tmp`` sibling
+which is loaded back and hash-verified *before* :func:`os.replace`
+promotes it, so a crash — or a verification failure — leaves either the
+old file or a proven-good new one, never a half-written hybrid; that
+discipline is what lets the caller prune older generations safely.
+
+``seq`` is the WAL sequence number the snapshot captures (every record
+with ``seq <= snapshot.seq`` is folded in) and ``chain`` is the WAL's
+chained fingerprint at that point — recovery refuses a snapshot whose
+chain does not match the log it is paired with.
+
+The ``snapshot.partial`` fault site truncates the inner payload bytes
+before the write, simulating a snapshot torn by a crash mid-dump: the
+envelope hash then fails verification and the caller keeps the previous
+generation.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import re
+from hashlib import sha256
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.errors import RecoveryError
+from repro.resilience.faults import SITE_SNAPSHOT_PARTIAL, FaultPlan
+from repro.durability.wal import _poll
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "snapshot_path",
+    "list_snapshots",
+    "write_snapshot",
+    "load_snapshot",
+]
+
+SNAPSHOT_VERSION = 1
+_SNAP_RE = re.compile(r"^snapshot-(\d{16})\.bin$")
+
+
+def snapshot_path(state_dir: str, seq: int) -> str:
+    return os.path.join(state_dir, f"snapshot-{int(seq):016d}.bin")
+
+
+def list_snapshots(state_dir: str) -> List[Tuple[int, str]]:
+    """``[(seq, path), ...]`` of snapshot files, newest (highest seq) last."""
+    found = []
+    for name in os.listdir(state_dir):
+        m = _SNAP_RE.match(name)
+        if m:
+            found.append((int(m.group(1)), os.path.join(state_dir, name)))
+    found.sort()
+    return found
+
+
+def write_snapshot(
+    state_dir: str,
+    *,
+    seq: int,
+    chain: str,
+    payload: Dict[str, object],
+    faults: Optional[FaultPlan] = None,
+) -> str:
+    """Atomically write a snapshot at WAL position ``(seq, chain)``.
+
+    The file is read back and hash-verified before this returns — a
+    raised :class:`~repro.errors.RecoveryError` means *no* usable new
+    snapshot exists and the caller must keep every older generation.
+    """
+    inner = pickle.dumps(
+        {"seq": int(seq), "chain": chain, "payload": payload},
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    if _poll(faults, SITE_SNAPSHOT_PARTIAL) is not None:
+        inner = inner[: max(1, len(inner) // 3)]
+    envelope = {
+        "version": SNAPSHOT_VERSION,
+        "sha256": sha256(inner).hexdigest(),
+        "payload": inner,
+    }
+    path = snapshot_path(state_dir, seq)
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        pickle.dump(envelope, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        fh.flush()
+        os.fsync(fh.fileno())
+    # verify-back *before* promoting: prove the bytes on disk
+    # reconstruct, so a bad write can neither clobber an existing good
+    # snapshot at this seq nor license pruning the state it supersedes
+    try:
+        load_snapshot(tmp)
+    except RecoveryError:
+        os.unlink(tmp)
+        raise
+    os.replace(tmp, path)
+    obs.counters().add("wal.snapshots")
+    return path
+
+
+def load_snapshot(path: str) -> Dict[str, object]:
+    """Load and verify one snapshot; returns ``{"seq", "chain", "payload"}``.
+
+    Raises :class:`~repro.errors.RecoveryError` on unreadable bytes, an
+    unknown version, or a content-hash mismatch.
+    """
+    try:
+        with open(path, "rb") as fh:
+            envelope = pickle.load(fh)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError) as exc:
+        raise RecoveryError(f"{path}: unreadable snapshot ({exc})") from exc
+    if not isinstance(envelope, dict) or envelope.get("version") != SNAPSHOT_VERSION:
+        raise RecoveryError(
+            f"{path}: unknown snapshot version "
+            f"{envelope.get('version') if isinstance(envelope, dict) else '?'!r}"
+        )
+    inner = envelope.get("payload", b"")
+    if sha256(inner).hexdigest() != envelope.get("sha256"):
+        raise RecoveryError(f"{path}: snapshot content hash mismatch")
+    try:
+        state = pickle.loads(inner)
+    except Exception as exc:  # hash passed but bytes don't reconstruct
+        raise RecoveryError(f"{path}: snapshot payload does not unpickle") from exc
+    if not isinstance(state, dict) or "seq" not in state or "chain" not in state:
+        raise RecoveryError(f"{path}: snapshot payload missing seq/chain")
+    return state

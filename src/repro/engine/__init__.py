@@ -14,7 +14,8 @@ Layout:
   over the base artifact chain, plus :class:`UpdateResult`;
 * :mod:`repro.engine.service` — :class:`CutEngine`: ``min_cut()``,
   ``min_cut_batch(seeds)``, ``update(add_edges=..., remove_edges=...,
-  reweight=...)`` (with ``requery(weights)`` as a deprecated shim).
+  reweight=...)``, and the ``snapshot_state``/``restore_state`` pair
+  :mod:`repro.durability` persists engines through.
 
 See ``docs/architecture.md`` for the stage graph and the
 cache-invalidation rules.

@@ -6,8 +6,8 @@ an evolving-graph workload makes — a handful of inserted edges, a few
 deletions, local reweights — leave the packed candidate trees useful:
 per Karger's tree-packing argument the cached trees keep covering the
 minimum cut while it stays within a constant factor of the stored
-underestimate, exactly the regime ``requery`` already exploited for
-weight-only perturbations.  This module supplies the vocabulary the
+underestimate, exactly the regime the historical weight-only requery
+path exploited.  This module supplies the vocabulary the
 engine's :meth:`~repro.engine.CutEngine.update` surface is built on:
 
 :class:`GraphDelta`
@@ -280,18 +280,48 @@ class DeltaLog:
     def __len__(self) -> int:
         return len(self._records)
 
-    def append(self, delta: GraphDelta) -> str:
-        """Chain ``delta`` onto the log; returns the new fingerprint."""
-        dfp = delta.fingerprint()
+    def _chain(self, dfp: str) -> str:
+        """Extend the chained fingerprint by one recorded delta hash."""
         h = hashlib.sha256()
         h.update(self.fingerprint.encode())
         h.update(b"\x00delta\x00")
         h.update(dfp.encode())
         self.fingerprint = h.hexdigest()
+        self._records.append(dfp)
+        return self.fingerprint
+
+    def append(self, delta: GraphDelta) -> str:
+        """Chain ``delta`` onto the log; returns the new fingerprint."""
         self.weight_delta += delta.weight_delta
         for key in self._counts:
             self._counts[key] += delta.counts()[key]
-        self._records.append(dfp)
+        return self._chain(delta.fingerprint())
+
+    def state_dict(self) -> Dict[str, object]:
+        """The log's durable state (see :meth:`restore`): aggregates plus
+        the per-delta fingerprints the chain head is recomputed from."""
+        return {
+            "base_fingerprint": self.base_fingerprint,
+            "base_total_weight": float(self.base_total_weight),
+            "fingerprint": self.fingerprint,
+            "weight_delta": float(self.weight_delta),
+            "counts": dict(self._counts),
+            "records": list(self._records),
+        }
+
+    def restore(self, state: Mapping[str, object]) -> str:
+        """Overlay a persisted :meth:`state_dict` onto this (fresh) log,
+        re-deriving the chained fingerprint from the recorded per-delta
+        hashes rather than trusting the stored head.  Returns the
+        recomputed head for the caller to verify against
+        ``state["fingerprint"]`` — the log itself stays agnostic about
+        what a mismatch means."""
+        self.weight_delta = float(state["weight_delta"])
+        self._counts = {k: float(v) for k, v in dict(state["counts"]).items()}
+        self.fingerprint = self.base_fingerprint
+        self._records = []
+        for dfp in list(state["records"]):
+            self._chain(str(dfp))
         return self.fingerprint
 
     def staleness_ratio(self) -> float:

@@ -49,15 +49,15 @@ cover, a cumulative staleness ratio past ``max_staleness``, or a
 post-search value past the coverage edge.  Every non-noop update's
 answer is certified by :func:`repro.resilience.verify.verify_cut`, with
 a seed-escalated rebase retry on mismatch — exactness never depends on
-the delta heuristics.  :meth:`requery` survives as a deprecated shim
-over ``update(reweight=…)``; :meth:`rebase` is the explicit epoch bump.
+the delta heuristics.  :meth:`rebase` is the explicit epoch bump, and
+:meth:`snapshot_state` / :meth:`restore_state` expose the engine's
+durable identity to :mod:`repro.durability`.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import warnings
-from typing import Dict, Iterable, List, Literal, Mapping, Optional, Sequence, Union
+from typing import Dict, List, Literal, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -89,7 +89,11 @@ from repro.engine.deltas import (
     UpdateResult,
     as_delta,
 )
-from repro.errors import InvalidParameterError, UpdateVerificationError
+from repro.errors import (
+    InvalidParameterError,
+    RecoveryError,
+    UpdateVerificationError,
+)
 from repro.graphs.graph import Graph
 from repro.packing.karger import build_cut_skeleton, pack_skeleton, select_trees
 from repro.params import CutPipelineParams
@@ -142,8 +146,8 @@ class CutEngine:
     Parameters
     ----------
     graph:
-        The bound input.  :meth:`requery` evaluates perturbed weights
-        against it; :meth:`rebase` re-points the engine.
+        The bound input.  :meth:`update` mutates the engine's view of
+        it; :meth:`rebase` re-points the engine.
     seed, rng:
         The engine's randomness stream (mutually exclusive).  Passing a
         shared ``rng`` consumes it exactly as the one-shot pipeline
@@ -324,6 +328,14 @@ class CutEngine:
                     self._fp_approx, value, self._rng.bit_generator.state
                 )
             self.cache.put("approximate", self._fp_approx, art)
+        if art.rng_state is not None:
+            # hit or rebuild alike, park the generator at the stage's
+            # recorded post-run position: the live position must be a
+            # pure function of the stages consumed, never of cache
+            # state, or a restored engine rebuilding on a cold cache
+            # would reach its next rebase at a different position than
+            # the engine whose WAL it is replaying
+            self._rng.bit_generator.state = art.rng_state
         return art
 
     def _forest(self, ledger: Ledger) -> PackedForest:
@@ -354,6 +366,9 @@ class CutEngine:
                 self._rng.bit_generator.state,
             )
             self.cache.put("forest", self._fp_forest, art)
+        if art.rng_state is not None:
+            # hit or rebuild alike — see _approximated
+            self._rng.bit_generator.state = art.rng_state
         return art
 
     def _indexed(self, ledger: Ledger) -> TreeIndex:
@@ -378,6 +393,9 @@ class CutEngine:
                 self._rng.bit_generator.state,
             )
             self.cache.put("index", self._fp_index, art)
+        if art.rng_state is not None:
+            # hit or rebuild alike — see _approximated
+            self._rng.bit_generator.state = art.rng_state
         return art
 
     def warm(self) -> "CutEngine":
@@ -569,9 +587,9 @@ class CutEngine:
     ) -> UpdateResult:
         """Mutate the bound graph and answer its new minimum cut.
 
-        This is the engine's **one mutation surface** — :meth:`requery`
-        delegates here and :meth:`rebase` is the explicit epoch bump it
-        falls back to.  The mutation batch is normalized into a
+        This is the engine's **one mutation surface** — :meth:`rebase`
+        is the explicit epoch bump it falls back to.  The mutation
+        batch is normalized into a
         :class:`~repro.engine.deltas.GraphDelta` (see
         :func:`~repro.engine.deltas.as_delta` for the accepted
         spellings and validation), applied to the *current* graph, and
@@ -594,7 +612,7 @@ class CutEngine:
             ``max_staleness`` × the base total weight;
         ``coverage``
             the post-search value exceeds ``rebase_threshold`` × the
-            stored underestimate (the classic requery coverage edge);
+            stored underestimate (the classic coverage edge);
         ``fault`` / ``base_early`` / ``verify``
             an armed ``delta.force_rebase`` fault, a base graph that
             never had artifacts (disconnected/tiny), or a failed
@@ -644,6 +662,16 @@ class CutEngine:
         base_early = self._validated().early
         self._graph = delta.apply(self._graph)
         self._fp_current = self._delta_log.append(delta)
+        # everything this update may consume randomness for — stage
+        # rebuilds, a triggered rebase, seed-escalated verify retries —
+        # runs off a generator pinned to the durable mutation history.
+        # The live generator's position is an accident of cache hits
+        # and read traffic (neither is in the WAL), so binding a new
+        # epoch at it would mint fingerprints a crash recovery's replay
+        # of this same update could never reproduce.
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence(int(self._fp_current, 16))
+        )
         reason: Optional[str] = None
         if poll_fault(SITE_DELTA_FORCE_REBASE) is not None:
             reason = "fault"
@@ -724,42 +752,89 @@ class CutEngine:
             verification=report,
         )
 
-    def requery(
-        self,
-        weights: Union[Mapping[int, float], Iterable[float], np.ndarray],
-        *,
-        rebase_threshold: Optional[float] = 3.0,
-    ) -> CutResult:
-        """Minimum cut under perturbed weights — **deprecated** shim.
+    # ------------------------------------------------------------------
+    # durable state (repro.durability)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        """The engine's durable identity, as one picklable dict.
 
-        .. deprecated::
-            ``requery(weights)`` is ``update(reweight=weights)`` with
-            the weight-only spelling; it will be removed next release
-            (the same one-release runway ``approximate_minimum_cut``
-            had).  It keeps its historical contract meanwhile: results
-            carry ``stats["requery"] = 1.0``, no-ops count
-            ``engine.requery_noops``, and only the coverage trigger
-            (not the staleness ratio) can rebase.
+        Captures everything :meth:`restore_state` needs to resurrect a
+        bit-identical engine in a fresh process: the base graph the
+        artifact chain was preprocessed from, the current
+        (delta-mutated) graph, the epoch, the rng position cold stages
+        replay from (``_state0``) *and* the live generator state, the
+        delta log's :meth:`~repro.engine.deltas.DeltaLog.state_dict`,
+        and the fingerprint chain heads the restore verifies against.
+        Cached artifacts are deliberately excluded — they are a pure
+        function of this state and rebuild on the first warm query.
         """
-        warnings.warn(
-            "CutEngine.requery(weights) is deprecated and will be removed "
-            "in the next release; use CutEngine.update(reweight=...) "
-            "instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        reg = obs.counters()
-        reg.add("engine.requeries")
-        upd = self.update(
-            reweight=weights,
-            rebase_threshold=rebase_threshold,
-            max_staleness=None,
-        )
-        if upd.noop:
-            reg.add("engine.requery_noops")
-        return dataclasses.replace(
-            upd.result, stats={**dict(upd.result.stats), "requery": 1.0}
-        )
+        return {
+            "version": 1,
+            "params_key": repr(self.params),
+            "epoch": self._epoch,
+            "state0": self._state0,
+            "rng_state": self._rng.bit_generator.state,
+            "approx_value": self._approx_value,
+            "base_graph": self._base_graph,
+            "graph": None if self._graph is self._base_graph else self._graph,
+            "delta_log": self._delta_log.state_dict(),
+            "fingerprints": {
+                "result": self._fp_result,
+                "current": self._fp_current,
+            },
+        }
+
+    def restore_state(self, state: Mapping[str, object]) -> "CutEngine":
+        """Restore a :meth:`snapshot_state` capture, verifying it.
+
+        The fingerprint chain is **recomputed** from the restored base
+        graph, rng position, and parameters — not trusted from the
+        snapshot — and the delta chain is re-derived from the recorded
+        per-delta hashes; any head that disagrees with the snapshot's
+        raises a typed :class:`~repro.errors.RecoveryError` instead of
+        booting an engine that answers for a graph nobody built.
+        """
+        if state.get("version") != 1:
+            raise RecoveryError(
+                f"engine snapshot has state version {state.get('version')!r}; "
+                "this build restores version 1"
+            )
+        if state.get("params_key") != repr(self.params):
+            raise RecoveryError(
+                "engine snapshot was taken under different pipeline "
+                "parameters; refusing to restore a chimera engine"
+            )
+        fps = dict(state["fingerprints"])
+        self._approx_value = state["approx_value"]
+        self._rng.bit_generator.state = state["state0"]
+        # _bind increments the epoch and recomputes the whole chain from
+        # the base graph + rng position; seed it one below the saved epoch
+        self._epoch = int(state["epoch"]) - 1
+        self._bind(state["base_graph"])
+        if self._fp_result != fps["result"]:
+            raise RecoveryError(
+                "restored engine's recomputed artifact chain does not match "
+                f"the snapshot (result fingerprint {self._fp_result[:12]}... "
+                f"!= {str(fps['result'])[:12]}...)"
+            )
+        log_state = dict(state["delta_log"])
+        recomputed = self._delta_log.restore(log_state)
+        if recomputed != log_state["fingerprint"]:
+            raise RecoveryError(
+                "restored delta log's recomputed chain head does not match "
+                "its own recorded head (snapshot corrupt or tampered)"
+            )
+        self._fp_current = recomputed if len(self._delta_log) else self._fp_result
+        if self._fp_current != fps["current"]:
+            raise RecoveryError(
+                "restored engine's delta-chain fingerprint does not match "
+                f"the snapshot ({self._fp_current[:12]}... != "
+                f"{str(fps['current'])[:12]}...)"
+            )
+        graph = state["graph"]
+        self._graph = self._base_graph if graph is None else graph
+        self._rng.bit_generator.state = state["rng_state"]
+        return self
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

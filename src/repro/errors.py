@@ -56,6 +56,24 @@ class SimulatedCrash(ReproError):
     to prove that a resumed run reproduces the uninterrupted result."""
 
 
+class RecoveryError(ReproError):
+    """Raised by :mod:`repro.durability` when persisted state cannot be
+    restored faithfully: a snapshot whose fingerprint chain does not
+    match the write-ahead log it is paired with, a replayed update whose
+    post-state (value, epoch, fingerprint) diverges from the logged
+    ledger, a sequence gap in the log, or an engine snapshot that fails
+    its recomputed-fingerprint check.  Recovery refuses to boot a
+    chimera rather than serve answers about a graph nobody built."""
+
+
+class WalCorruptionError(RecoveryError):
+    """Raised when a write-ahead log contains a corrupted record that is
+    *not* the final one (a CRC32 mismatch followed by further valid
+    records).  A torn final record is expected after a crash and is
+    truncated silently; corruption mid-log means bit rot or tampering
+    and is never skipped."""
+
+
 class UpdateVerificationError(ReproError):
     """Raised by :meth:`repro.engine.CutEngine.update` when the
     post-update cut fails :func:`repro.resilience.verify.verify_cut`

@@ -26,7 +26,7 @@ Namespaces (the full catalogue lives in ``docs/observability.md``):
 ``checkpoint.*``          crash-resume persistence (``saves``,
                           ``resumes``, ``stage_loads``, ``finalized``)
 ``engine.*``              staged-engine queries and artifact cache
-                          (``queries``, ``requeries``, ``requery_noops``,
+                          (``queries``, ``updates``, ``update_noops``,
                           ``rebases``, ``cache_hits``, ``cache_misses``)
 ``serve.*``               the cut-serving daemon's admission/shedding
                           ledger (``requests``, ``admitted``,

@@ -65,6 +65,25 @@ Sites instrumented in the pipeline
     The :mod:`repro.serve` connection writer delays flushing one
     response (``Fault.scale`` × 50 ms, capped), simulating a client
     draining slowly; the response must still arrive intact.
+``wal.torn_write``
+    :meth:`repro.durability.wal.WriteAheadLog.append` writes only a
+    prefix of the framed record, fsyncs the torn bytes, and raises
+    :class:`repro.errors.SimulatedCrash` — a process death mid-write.
+    Recovery must truncate the torn tail and continue.
+``wal.corrupt_record``
+    The append writes a frame whose body bytes are deterministically
+    flipped *after* the CRC32 was computed (bit rot on the way to
+    disk); the in-memory log advances as if the write were clean.  A
+    later open must refuse the log with a typed
+    :class:`repro.errors.WalCorruptionError` when valid records follow
+    the damage (never a silent skip), or truncate it as a torn tail
+    when it is the final record.
+``snapshot.partial``
+    :func:`repro.durability.snapshot.write_snapshot` persists a
+    truncated payload (a crash mid-snapshot that still won the
+    ``os.replace``); the write-time verify-back fails, the previous
+    snapshot/WAL generation is retained, and recovery falls back to the
+    newest snapshot that passes its content hash.
 ``shm.segment_lost``
     :func:`repro.pram.executor.parallel_map` (shm backend) genuinely
     unlinks the published shared-memory context segment at dispatch
@@ -106,8 +125,12 @@ __all__ = [
     "SITE_SERVE_SLOW_CLIENT",
     "SITE_SHM_SEGMENT_LOST",
     "SITE_DELTA_FORCE_REBASE",
+    "SITE_WAL_TORN_WRITE",
+    "SITE_WAL_CORRUPT_RECORD",
+    "SITE_SNAPSHOT_PARTIAL",
     "ALL_SITES",
     "SERVICE_SITES",
+    "DURABILITY_SITES",
     "Fault",
     "FaultPlan",
     "canonical_plans",
@@ -133,6 +156,9 @@ SITE_SHM_SEGMENT_LOST = "shm.segment_lost"
 #: force the engine's next :meth:`CutEngine.update` onto the rebase path
 #: regardless of its triggers (exercises the rebase fallback mid-sequence)
 SITE_DELTA_FORCE_REBASE = "delta.force_rebase"
+SITE_WAL_TORN_WRITE = "wal.torn_write"
+SITE_WAL_CORRUPT_RECORD = "wal.corrupt_record"
+SITE_SNAPSHOT_PARTIAL = "snapshot.partial"
 
 #: The service-layer sites, polled only by the :mod:`repro.serve` daemon
 #: (never by the one-shot pipeline or the resilient driver).
@@ -141,6 +167,14 @@ SERVICE_SITES: Tuple[str, ...] = (
     SITE_SERVE_QUEUE_STALL,
     SITE_SERVE_HANDLER_CRASH,
     SITE_SERVE_SLOW_CLIENT,
+)
+
+#: The durable-state sites, polled only by :mod:`repro.durability`
+#: (the WAL append path and the snapshot writer).
+DURABILITY_SITES: Tuple[str, ...] = (
+    SITE_WAL_TORN_WRITE,
+    SITE_WAL_CORRUPT_RECORD,
+    SITE_SNAPSHOT_PARTIAL,
 )
 
 #: The known-site registry.  Plan construction validates against it.
@@ -156,7 +190,7 @@ ALL_SITES: Tuple[str, ...] = (
     SITE_CHECKPOINT_KILL,
     SITE_SHM_SEGMENT_LOST,
     SITE_DELTA_FORCE_REBASE,
-) + SERVICE_SITES
+) + SERVICE_SITES + DURABILITY_SITES
 
 
 @dataclass(frozen=True)
@@ -352,5 +386,17 @@ def canonical_plans(seed: int = 0) -> Dict[str, FaultPlan]:
         # never triggers and the plan runs clean, like the serve.* sites
         "delta_force_rebase": FaultPlan(
             [Fault(SITE_DELTA_FORCE_REBASE, seed=seed)], name="delta_force_rebase"
+        ),
+        # the wal.* / snapshot.* sites live in the durability layer's
+        # write path; against a run with no --state-dir they never fire
+        # and the plan runs clean, like the serve.* sites
+        "wal_torn_write": FaultPlan(
+            [Fault(SITE_WAL_TORN_WRITE, seed=seed)], name="wal_torn_write"
+        ),
+        "wal_corrupt_record": FaultPlan(
+            [Fault(SITE_WAL_CORRUPT_RECORD, seed=seed)], name="wal_corrupt_record"
+        ),
+        "snapshot_partial": FaultPlan(
+            [Fault(SITE_SNAPSHOT_PARTIAL, seed=seed)], name="snapshot_partial"
         ),
     }

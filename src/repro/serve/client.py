@@ -13,16 +13,27 @@ expects.
 :class:`~repro.serve.protocol.DeadlineExceeded`,
 :class:`~repro.serve.protocol.ServiceError`) so library-style callers
 can handle backpressure with ``except RetryAfter``.
+
+:meth:`ServiceClient.call_with_retry` additionally survives a daemon
+restart: a connection torn mid-call (``ECONNRESET`` /
+``BrokenPipeError``, or refused while the daemon is coming back up) is
+retried over a fresh connection with bounded, jittered backoff, counted
+under ``client.reconnects``.  Note the at-least-once caveat: a request
+whose connection died *after* the server processed it may be re-sent,
+so only retry mutations that are idempotent or whose duplicate ack is
+acceptable (the chaos soak's crash trials account for exactly this).
 """
 
 from __future__ import annotations
 
 import itertools
+import random
 import socket
 import struct
 import time
 from typing import Any, Dict, Optional
 
+from repro import obs
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
     DeadlineExceeded,
@@ -68,6 +79,9 @@ class ServiceClient:
         self.max_frame = max_frame
         self._ids = itertools.count(1)
         self._sock: Optional[socket.socket] = None
+        #: reconnects performed by :meth:`call_with_retry` over this
+        #: client's lifetime (also counted under ``client.reconnects``)
+        self.reconnects = 0
 
     # -- lifecycle ----------------------------------------------------------
     def connect(self) -> "ServiceClient":
@@ -144,17 +158,58 @@ class ServiceClient:
             response=resp,
         )
 
+    #: connection failures :meth:`call_with_retry` reconnects through —
+    #: the shapes a daemon restart presents: reset mid-read, broken pipe
+    #: on send, refused while the listener is down, EOF mid-frame (the
+    #: ProtocolError :meth:`_recv_exact` raises is filtered by message)
+    _RECONNECTABLE = (
+        ConnectionResetError,
+        BrokenPipeError,
+        ConnectionRefusedError,
+        ConnectionAbortedError,
+    )
+
     def call_with_retry(
-        self, request: Dict[str, Any], *, attempts: int = 8
+        self,
+        request: Dict[str, Any],
+        *,
+        attempts: int = 8,
+        reconnects: int = 4,
+        backoff_s: float = 0.05,
+        max_backoff_s: float = 2.0,
     ) -> Dict[str, Any]:
-        """Honor ``retry_after`` backpressure up to ``attempts`` times,
-        sleeping the server's hint between tries."""
-        last: Optional[RetryAfter] = None
+        """Honor ``retry_after`` backpressure up to ``attempts`` times
+        (sleeping the server's hint between tries), and survive up to
+        ``reconnects`` torn connections — a restarting daemon — with
+        exponential, jittered backoff starting at ``backoff_s``.
+
+        Raises the final :class:`RetryAfter` once admission attempts
+        are exhausted, or the final socket error once reconnection
+        attempts are; see the module docstring for the at-least-once
+        caveat on re-sent requests.
+        """
+        last_admission: Optional[RetryAfter] = None
+        last_socket: Optional[Exception] = None
+        torn = 0
         for _ in range(attempts):
             try:
                 return self.call(request)
             except RetryAfter as exc:
-                last = exc
+                last_admission = exc
                 time.sleep(exc.retry_after_ms / 1000.0)
-        assert last is not None
-        raise last
+            except (self._RECONNECTABLE + (ProtocolError,)) as exc:
+                if isinstance(exc, ProtocolError) and "mid-frame" not in str(exc):
+                    raise  # a real framing violation, not a dead server
+                last_socket = exc
+                if torn >= reconnects:
+                    raise
+                torn += 1
+                self.reconnects += 1
+                obs.counters().add("client.reconnects")
+                self.close()
+                delay = min(backoff_s * 2 ** (torn - 1), max_backoff_s)
+                time.sleep(delay * (0.5 + 0.5 * random.random()))
+        if last_admission is not None:
+            raise last_admission
+        assert last_socket is not None  # attempts exhausted reconnecting
+        raise last_socket

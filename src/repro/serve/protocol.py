@@ -18,8 +18,10 @@ responses).  The op vocabulary is **versioned**: :data:`OP_VOCABULARY`
 maps every known op to the protocol version that introduced it, and
 :data:`PROTOCOL_VERSION` (echoed by ``ping`` and ``graph_info``) is
 the version this daemon speaks — version 2 added the mutation surface
-(``update``) and ``graph_info``.  The op table, field-by-field, lives
-in ``docs/service.md``.
+(``update``) and ``graph_info``; version 3 removed the deprecated
+``requery`` spelling and added durable state (``serve --state-dir``:
+``graph_info`` reports ``durable``, ``metrics`` reports ``durability``).
+The op table, field-by-field, lives in ``docs/service.md``.
 
 Responses
 ---------
@@ -82,12 +84,13 @@ MAX_FRAME_BYTES = 8 * 2**20
 #: added or a response field changes meaning.  v1: the PR 7 vocabulary
 #: (queries + control).  v2: the mutation surface — ``update``,
 #: ``graph_info``, per-graph ``epoch``/``staleness`` echoed on query
-#: responses, and write-access enforcement per budget class.
-PROTOCOL_VERSION = 2
+#: responses, and write-access enforcement per budget class.  v3: the
+#: deprecated ``requery`` op's runway expired (use ``update`` with
+#: ``reweight``), and durable-state introspection landed (``durable``
+#: on ``graph_info``, ``durability`` on ``metrics``).
+PROTOCOL_VERSION = 3
 
-#: every op the daemon routes → the protocol version that introduced
-#: it.  ``requery`` remains routable in v2 as the deprecated weight-only
-#: spelling of ``update`` (one-release runway, like the engine shim).
+#: every op the daemon routes → the protocol version that introduced it
 OP_VOCABULARY: Dict[str, int] = {
     "ping": 1,
     "metrics": 1,
@@ -97,7 +100,6 @@ OP_VOCABULARY: Dict[str, int] = {
     "shutdown": 1,
     "min_cut": 1,
     "min_cut_batch": 1,
-    "requery": 1,
     "update": 2,
     "graph_info": 2,
 }

@@ -88,13 +88,11 @@ __all__ = [
 
 #: ops admitted through the bounded queue (everything else is answered
 #: inline by the acceptor — control traffic must survive saturation)
-QUERY_OPS = ("min_cut", "min_cut_batch", "requery", "update", "_stall")
+QUERY_OPS = ("min_cut", "min_cut_batch", "update", "_stall")
 
 #: admitted ops that mutate the engine's bound graph: rejected with a
 #: typed ``mutation_forbidden`` error for budget classes registered
-#: without write access.  The deprecated ``requery`` op keeps its
-#: historical read-path admission for its one-release runway even
-#: though it now delegates to the mutation surface server-side.
+#: without write access.
 MUTATING_OPS = ("update",)
 
 #: cap on one ``min_cut_batch`` request's seed list
@@ -123,6 +121,16 @@ class ServerConfig:
     debug_ops: bool = False
     #: supervisor jitter seed (deterministic degradation schedules)
     seed: int = 0
+    #: directory for the WAL + snapshots (None = in-memory only, the
+    #: historical behavior); see :mod:`repro.durability`
+    state_dir: Optional[str] = None
+    #: WAL fsync policy: ``always`` | ``batch`` | ``never`` — governs
+    #: the ack-durability contract (``docs/service.md``)
+    fsync: str = "always"
+    #: WAL records between automatic snapshots
+    snapshot_interval: int = 64
+    #: verified snapshot generations kept after rotation
+    snapshot_retention: int = 2
 
 
 class CutService:
@@ -170,6 +178,25 @@ class CutService:
         self._workers: List[asyncio.Task] = []
         self._stopping = False
         self._shutdown_requested = asyncio.Event()
+        self.durable = None
+        if config.state_dir is not None:
+            # imported here, not at module top: repro.durability builds
+            # on repro.serve.tenancy, so a module-level import would
+            # make the two packages circular
+            from repro.durability.state import DurableState
+
+            self.durable = DurableState(
+                config.state_dir,
+                fsync=config.fsync,
+                snapshot_interval=config.snapshot_interval,
+                snapshot_retention=config.snapshot_retention,
+                faults=faults,
+            )
+            # recovery replays updates through the real engine path;
+            # run it under the service registry so recovery.* / wal.*
+            # counters land where the metrics op looks
+            with counting_scope(self.registry):
+                self.durable.recover(self.tenants)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -204,6 +231,10 @@ class CutService:
             except (asyncio.CancelledError, Exception):
                 pass
         self._workers.clear()
+        if self.durable is not None:
+            # final snapshot + clean WAL close; a crashed process skips
+            # this, which is exactly what recovery exists for
+            await asyncio.to_thread(self.durable.close)
 
     # ------------------------------------------------------------------
     # fault polling
@@ -295,7 +326,13 @@ class CutService:
             if kwargs
             else TenantQuota(budget_class=self.config.default_budget_class)
         )
+        created = name not in self.tenants
         tenant = self.tenants.register(name, quota)
+        if self.durable is not None and created:
+            # logged before the ok frame: a tenant the client saw
+            # acknowledged exists after a crash (re-registration of an
+            # existing name changes nothing, so it is not re-logged)
+            self.durable.log_tenant(name, tenant.quota)
         self.registry.add("serve.tenants_registered")
         return ok_response(
             request.get("id"),
@@ -317,15 +354,25 @@ class CutService:
         warm = bool(request.get("warm", False))
         registry = self.registry
 
+        durable = self.durable
+
         def build():
             graph = Graph.from_edges(n, [tuple(e) for e in edges])
-            with counting_scope(registry):
+            eps = None if epsilon is None else float(epsilon)
+            with counting_scope(registry), contextlib.ExitStack() as stack:
+                if durable is not None:
+                    # registration + WAL append are one atomic unit
+                    # under the durability lock, so a concurrent
+                    # snapshot never captures the engine without its
+                    # log record (or vice versa)
+                    stack.enter_context(durable.lock)
                 engine = tenant.register_graph(
-                    graph_name,
-                    graph,
-                    seed=seed,
-                    epsilon=None if epsilon is None else float(epsilon),
+                    graph_name, graph, seed=seed, epsilon=eps
                 )
+                if durable is not None:
+                    durable.log_graph(
+                        tenant.name, graph_name, graph, seed=seed, epsilon=eps
+                    )
                 if warm:
                     engine.warm()
             return graph
@@ -555,22 +602,30 @@ class CutService:
             if op == "min_cut":
                 res = engine.min_cut()
                 return self._result_payload(request, res, engine)
-            if op == "requery":
-                # deprecated weight-only spelling: routed through the
-                # engine's one mutation surface, with the historical
-                # requery response shape preserved for its runway
-                weights = self._parse_reweight(
-                    request.get("weights"),
-                    "requery needs 'weights': {edge_index: w} or a full list",
-                )
-                upd = engine.update(reweight=weights, max_staleness=None)
-                payload = self._result_payload(request, upd.result, engine)
-                payload["requery"] = 1.0
-                if upd.rebased:
-                    payload["rebased"] = 1.0
-                return payload
             if op == "update":
-                upd = engine.update(**self._parse_update(request))
+                kwargs = self._parse_update(request)
+                with contextlib.ExitStack() as stack:
+                    if self.durable is not None:
+                        # {apply + log} is atomic under the durability
+                        # lock; the record lands before the response
+                        # frame, so an acked mutation survives a crash
+                        # (ack-implies-durable under fsync=always)
+                        stack.enter_context(self.durable.lock)
+                    upd = engine.update(**kwargs)
+                    if self.durable is not None and not upd.noop:
+                        self.durable.log_update(
+                            request["tenant"],
+                            request["graph"],
+                            kwargs,
+                            {
+                                "epoch": upd.epoch,
+                                "staleness": upd.staleness,
+                                "value": upd.value,
+                                "fingerprint": engine.fingerprint_chain()[
+                                    "current"
+                                ]["fingerprint"],
+                            },
+                        )
                 payload = self._result_payload(request, upd.result, engine)
                 payload.update(
                     update=1.0,
@@ -644,7 +699,7 @@ class CutService:
             "staleness": engine.staleness,
         }
         stats = dict(res.stats)
-        for key in ("num_trees", "requery", "rebased", "update"):
+        for key in ("num_trees", "rebased", "update"):
             if key in stats:
                 payload[key] = float(stats[key])
         if request.get("return_side"):
@@ -675,6 +730,7 @@ class CutService:
             fingerprint=chain["current"]["fingerprint"],
             budget_class=tenant.quota.budget_class,
             writable=cls.allow_mutation,
+            durable=self.durable is not None,
             cache=tenant.cache_stats(),
             protocol=PROTOCOL_VERSION,
         )
@@ -694,6 +750,9 @@ class CutService:
                 }
                 for name, tenant in self.tenants.items()
             },
+            durability=(
+                None if self.durable is None else self.durable.stats()
+            ),
         )
 
     @staticmethod
@@ -719,6 +778,7 @@ class TCPServer:
     def __init__(self, service: CutService) -> None:
         self.service = service
         self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set = set()
         self.port: Optional[int] = None
 
     async def start(self) -> "TCPServer":
@@ -740,6 +800,11 @@ class TCPServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        # established connections don't die with the listener: close
+        # them too, so a stopped server looks to its clients exactly
+        # like an exited process (EOF mid-frame), not a silent hang
+        for writer in list(self._connections):
+            writer.close()
         await self.service.stop()
 
     async def _on_connection(
@@ -753,6 +818,7 @@ class TCPServer:
             service.registry.add("serve.accept_drops")
             writer.close()
             return
+        self._connections.add(writer)
         try:
             while True:
                 try:
@@ -780,6 +846,7 @@ class TCPServer:
             # finish normally so the loop doesn't log a phantom error
             pass
         finally:
+            self._connections.discard(writer)
             try:
                 writer.close()
                 await writer.wait_closed()

@@ -127,6 +127,10 @@ class Tenant:
     cache: ArtifactCache = field(init=False)
     engines: Dict[str, CutEngine] = field(default_factory=dict)
     locks: Dict[str, asyncio.Lock] = field(default_factory=dict)
+    #: registration-time (seed, epsilon) per graph name — the durability
+    #: layer persists these so a recovered engine is constructed with
+    #: the exact parameters the live one was
+    graph_params: Dict[str, Dict[str, object]] = field(default_factory=dict)
     #: queries admitted and not yet answered (drives the per-tenant
     #: inflight limit of the budget class)
     inflight: int = 0
@@ -157,6 +161,7 @@ class Tenant:
             )
         engine = CutEngine(graph, seed=seed, epsilon=epsilon, cache=self.cache)
         self.engines[graph_name] = engine
+        self.graph_params[graph_name] = {"seed": int(seed), "epsilon": epsilon}
         # a fresh lock per rebinding: an in-flight query on the old
         # engine finishes under the old lock, unserialised against the
         # new binding (they share only the thread-safe cache)
@@ -219,6 +224,9 @@ class TenantRegistry:
 
     def __len__(self) -> int:
         return len(self._tenants)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._tenants
 
     def items(self):
         return self._tenants.items()

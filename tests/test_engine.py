@@ -1,5 +1,5 @@
 """The staged CutEngine: parity with the one-shot pipeline, artifact
-caching, batch fan-out, and requery.
+caching, batch fan-out, and weight-only updates.
 
 The headline suite is the parity matrix: across executor backends ×
 kernel modes × tracing, a cold ``CutEngine.min_cut()`` must be
@@ -267,21 +267,19 @@ class TestBatch:
         assert all(r.report is not None for r in results)
 
 
-def _requery(engine, weights, **kwargs):
-    # requery is a one-release deprecated shim over update(); its
-    # historical contract tests stay, exercised through the warning
-    with pytest.warns(DeprecationWarning, match="update"):
-        return engine.requery(weights, **kwargs)
+def _reweight(engine, weights, **kwargs):
+    # the historical weight-only contract tests, spelled through the
+    # engine's one mutation surface (max_staleness=None matches the old
+    # weight-only semantics: only the coverage trigger can rebase)
+    kwargs.setdefault("max_staleness", None)
+    return engine.update(reweight=weights, **kwargs).result
 
 
-class TestRequery:
-    def test_deprecation_warning_fires_once_per_call(self, graph):
-        engine = CutEngine(graph, seed=7)
-        engine.min_cut()
-        with pytest.warns(DeprecationWarning) as rec:
-            engine.requery({})
-        assert len(rec) == 1
-        assert "update(reweight=...)" in str(rec[0].message)
+class TestReweight:
+    def test_requery_shim_is_gone(self, graph):
+        # the one-release deprecation runway expired with the durable
+        # state release; the spelling now fails loudly
+        assert not hasattr(CutEngine(graph, seed=7), "requery")
 
     def test_scaled_weights_track_value(self, graph):
         from repro.baselines import stoer_wagner
@@ -289,23 +287,23 @@ class TestRequery:
         engine = CutEngine(graph, seed=7)
         engine.min_cut()
         w = graph.w * 1.25
-        res = _requery(engine, w)
-        assert dict(res.stats)["requery"] == 1.0
+        res = _reweight(engine, w)
+        assert dict(res.stats)["update"] == 1.0
         truth = stoer_wagner(graph.with_weights(w, drop_zero=False))
         assert res.value == pytest.approx(truth.value)
 
     def test_sparse_update_spelling(self, graph):
         engine = CutEngine(graph, seed=7)
         base = engine.min_cut()
-        res = _requery(engine, {0: float(graph.w[0])})  # no-op update
+        res = _reweight(engine, {0: float(graph.w[0])})  # no-op update
         assert res.value == pytest.approx(base.value)
 
-    def test_requery_reuses_packed_trees(self, graph):
+    def test_reweight_reuses_packed_trees(self, graph):
         led = Ledger()
         engine = CutEngine(graph, seed=7, ledger=led)
         engine.min_cut()
         before = _phases(led)
-        _requery(engine, graph.w * 1.01)
+        _reweight(engine, graph.w * 1.01)
         after = _phases(led)
         for ph in ("approximate", "skeleton", "greedy-packing"):
             assert after[ph] == before[ph], ph
@@ -318,15 +316,15 @@ class TestRequery:
         engine.min_cut()
         w = graph.w * 100.0
         with counting_scope(reg):
-            res = _requery(engine, w)
+            res = _reweight(engine, w)
         assert reg.get("engine.rebases") == 1.0
         assert dict(res.stats)["rebased"] == 1.0
         truth = stoer_wagner(graph.with_weights(w, drop_zero=False))
         assert res.value == pytest.approx(truth.value)
 
     def test_zero_weight_rejected(self, graph):
-        # the Graph contract (positive weights) covers requery too; edge
-        # removal is a rebase onto a new topology, not a weight update
+        # the Graph contract (positive weights) covers reweighting too;
+        # edge removal is remove_edges, not a zero weight
         from repro.errors import GraphFormatError
 
         engine = CutEngine(graph, seed=7)
@@ -334,10 +332,10 @@ class TestRequery:
         w = graph.w.copy()
         w[0] = 0.0
         with pytest.raises(GraphFormatError):
-            _requery(engine, w)
+            _reweight(engine, w)
 
 
-class TestRequeryNoop:
+class TestReweightNoop:
     """An all-zero-delta perturbation is a pure cache hit: no search, no
     ledger charge, and no rebase-threshold accounting drift."""
 
@@ -349,16 +347,16 @@ class TestRequeryNoop:
         before = _phases(led)
         work_before, depth_before = led.work, led.depth
         with counting_scope(reg):
-            res_empty = _requery(engine, {})  # empty sparse mapping
-            res_same = _requery(engine, graph.w.copy())  # identical full vector
+            res_empty = _reweight(engine, {})  # empty sparse mapping
+            res_same = _reweight(engine, graph.w.copy())  # identical full vector
             # a threshold this tight would force a rebase on any result
             # that actually re-ran the threshold accounting
-            res_tight = _requery(engine, {}, rebase_threshold=1e-9)
+            res_tight = _reweight(engine, {}, rebase_threshold=1e-9)
         for res in (res_empty, res_same, res_tight):
             assert res.value == base.value
-            assert dict(res.stats)["requery"] == 1.0
+            assert dict(res.stats)["update"] == 1.0
             assert "rebased" not in dict(res.stats)
-        assert reg.get("engine.requery_noops") == 3.0
+        assert reg.get("engine.update_noops") == 3.0
         assert reg.get("engine.rebases") == 0.0
         # nothing was recomputed: the ledger did not move at all
         assert _phases(led) == before
@@ -367,8 +365,8 @@ class TestRequeryNoop:
     def test_noop_before_any_query_still_answers(self, graph):
         # no memoized result yet: the no-op path falls back to min_cut()
         engine = CutEngine(graph, seed=7)
-        res = _requery(engine, {})
-        assert dict(res.stats)["requery"] == 1.0
+        res = _reweight(engine, {})
+        assert dict(res.stats)["update"] == 1.0
         assert res.value == CutEngine(graph, seed=7).min_cut().value
 
 

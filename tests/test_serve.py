@@ -255,14 +255,14 @@ class TestInProcEndToEnd:
             again = srv.request({"op": "min_cut", "tenant": "t", "graph": "g"})
             assert again["value"] == exact
 
-    def test_requery_and_batch(self, graph, edges, exact):
+    def test_noop_update_and_batch(self, graph, edges, exact):
         with InProcServer(ServerConfig(queue_depth=8, workers=2)) as srv:
             _register(srv, graph, edges)
             srv.request({"op": "min_cut", "tenant": "t", "graph": "g"})
             rq = srv.request(
-                {"op": "requery", "tenant": "t", "graph": "g", "weights": {}}
+                {"op": "update", "tenant": "t", "graph": "g", "reweight": {}}
             )
-            assert rq["type"] == "result" and rq["requery"] == 1.0
+            assert rq["type"] == "result" and rq["noop"] is True
             assert rq["value"] == exact
             batch = srv.request(
                 {"op": "min_cut_batch", "tenant": "t", "graph": "g",
@@ -297,7 +297,10 @@ class TestInProcEndToEnd:
                 ({"op": "frobnicate"}, "unknown_op"),
                 ({"op": "_stall", "tenant": "t"}, "unknown_op"),  # debug op off
                 ({"op": "min_cut", "tenant": "t"}, "bad_request"),  # graph missing
-                ({"op": "requery", "tenant": "t", "graph": "g"}, "bad_request"),
+                # the deprecated requery op's runway expired in v3
+                ({"op": "requery", "tenant": "t", "graph": "g",
+                  "weights": {}}, "unknown_op"),
+                ({"op": "update", "tenant": "t", "graph": "g"}, "bad_request"),
                 ({"op": "min_cut_batch", "tenant": "t", "graph": "g",
                   "seeds": []}, "bad_request"),
                 ({"op": "min_cut_batch", "tenant": "t", "graph": "g",

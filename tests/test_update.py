@@ -322,20 +322,19 @@ class TestEpochSemantics:
         assert engine.base_graph.m == graph.m + 1
 
 
-class TestRequeryShim:
-    def test_requery_delegates_to_update(self, graph):
+class TestRequeryRemoved:
+    def test_requery_shim_expired(self, graph):
+        # the deprecated shim's one-release runway ended with the
+        # durable-state release: no attribute, no silent fallback
         engine = CutEngine(graph, seed=7)
+        assert not hasattr(engine, "requery")
+        # its weight-only semantics live on as the documented spelling
         engine.min_cut()
         reg = CounterRegistry()
-        with counting_scope(reg), pytest.warns(DeprecationWarning, match="update"):
-            res = engine.requery(graph.w * 1.25)
-        assert reg.get("engine.requeries") == 1.0
+        with counting_scope(reg):
+            res = engine.update(reweight=graph.w * 1.25, max_staleness=None)
         assert reg.get("engine.updates") == 1.0
-        assert dict(res.stats)["requery"] == 1.0
-        upd_truth = CutEngine(graph, seed=7)
-        upd_truth.min_cut()
-        assert res.value == upd_truth.update(reweight=graph.w * 1.25,
-                                             max_staleness=None).value
+        assert dict(res.result.stats)["update"] == 1.0
 
 
 # ---------------------------------------------------------------------------
@@ -391,7 +390,8 @@ class TestServeUpdate:
             assert (info["n"], info["m"]) == (graph.n, graph.m)
             assert (info["epoch"], info["staleness"]) == (0, 0)
             assert info["writable"] is True
-            assert info["protocol"] == 2
+            assert info["protocol"] == 3
+            assert info["durable"] is False  # no --state-dir configured
             fp0 = info["fingerprint"]
             srv.request({
                 "op": "update", "tenant": "t", "graph": "g",
@@ -432,10 +432,11 @@ class TestServeUpdate:
 
         with self._server() as srv:
             resp = srv.request({"op": "ping"})
-            assert resp["protocol"] == PROTOCOL_VERSION == 2
+            assert resp["protocol"] == PROTOCOL_VERSION == 3
         assert OP_VOCABULARY["update"] == 2
         assert OP_VOCABULARY["graph_info"] == 2
         assert OP_VOCABULARY["min_cut"] == 1
+        assert "requery" not in OP_VOCABULARY  # runway expired in v3
 
 
 class TestTopLevelExports:
