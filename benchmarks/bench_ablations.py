@@ -23,7 +23,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.baselines import gg18_two_respecting, stoer_wagner
+from repro.arena.solvers import stoer_wagner
+from repro.baselines import gg18_two_respecting
 from repro.graphs import planted_cut_graph, random_connected_graph
 from repro.metrics import format_table
 from repro.packing import pack_trees

@@ -19,7 +19,7 @@ import numpy as np
 import pytest
 
 from repro.approx import approximate_minimum_cut
-from repro.baselines import stoer_wagner
+from repro.arena.solvers import stoer_wagner
 from repro.graphs import random_connected_graph
 from repro.metrics import MeasuredPoint, fit_power_law, format_table
 from repro.pram import Ledger

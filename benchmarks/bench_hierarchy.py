@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 from repro.approx import locate_skeleton_layer
-from repro.baselines import stoer_wagner
+from repro.arena.solvers import stoer_wagner
 from repro.graphs import random_connected_graph
 from repro.metrics import format_table
 from repro.sparsify import (

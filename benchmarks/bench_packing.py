@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.baselines import stoer_wagner
+from repro.arena.solvers import stoer_wagner
 from repro.graphs import planted_cut_graph, random_connected_graph
 from repro.metrics import MeasuredPoint, format_table
 from repro.packing import pack_trees

@@ -49,7 +49,7 @@ sys.path.insert(0, str(ROOT / "src"))
 
 import numpy as np  # noqa: E402
 
-from repro.baselines.stoer_wagner import stoer_wagner  # noqa: E402
+from repro.arena.solvers.stoer_wagner import stoer_wagner  # noqa: E402
 from repro.graphs.generators import random_connected_graph  # noqa: E402
 from repro.serve import (  # noqa: E402
     ServerConfig,

@@ -84,7 +84,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 import numpy as np  # noqa: E402
 
-from repro.baselines.stoer_wagner import stoer_wagner  # noqa: E402
+from repro.arena.solvers.stoer_wagner import stoer_wagner  # noqa: E402
 from repro.durability import DurableState  # noqa: E402
 from repro.engine import CutEngine  # noqa: E402
 from repro.engine.deltas import as_delta, random_delta  # noqa: E402

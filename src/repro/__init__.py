@@ -22,6 +22,10 @@ Public API highlights
   (:mod:`repro.obs`).
 - :class:`repro.Graph` and the generators in :mod:`repro.graphs`.
 - :class:`repro.Ledger` — PRAM work/depth accounting.
+- :mod:`repro.arena` — every solver (the pipeline, the engine, the
+  classical baselines) behind one :class:`repro.Contender` surface;
+  :func:`repro.get_contender` / :func:`repro.contender_names` query
+  the registry, results come back as :class:`repro.ArenaResult`.
 
 All entry points take the graph positionally and everything else
 keyword-only.
@@ -52,6 +56,10 @@ __all__ = [
     "CutPipelineParams",
     "SkeletonParams",
     "HierarchyParams",
+    "ArenaResult",
+    "Contender",
+    "get_contender",
+    "contender_names",
 ]
 
 #: lazily-resolved re-exports: name -> (module, attribute)
@@ -73,6 +81,10 @@ _LAZY = {
     "CutPipelineParams": ("repro.params", "CutPipelineParams"),
     "SkeletonParams": ("repro.sparsify.skeleton", "SkeletonParams"),
     "HierarchyParams": ("repro.sparsify.hierarchy", "HierarchyParams"),
+    "ArenaResult": ("repro.arena.result", "ArenaResult"),
+    "Contender": ("repro.arena.result", "Contender"),
+    "get_contender": ("repro.arena.registry", "get_contender"),
+    "contender_names": ("repro.arena.registry", "contender_names"),
 }
 
 

@@ -48,7 +48,7 @@ def _default_solver(ledger: Ledger) -> Callable[[Graph], float]:
 
     def solve(g: Graph) -> float:
         if g.n <= 64:
-            from repro.baselines.stoer_wagner import stoer_wagner
+            from repro.arena.solvers.stoer_wagner import stoer_wagner
 
             return stoer_wagner(g).value
         import math

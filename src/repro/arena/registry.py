@@ -1,0 +1,86 @@
+"""The contender registry.
+
+One flat namespace of solver names -> :class:`~repro.arena.result.
+Contender` factories.  The built-in contenders register when
+:mod:`repro.arena.contenders` first loads (lazily, on the first
+registry query), so ``import repro.arena`` stays light; third-party
+code extends the arena with :func:`register`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Type
+
+from repro.arena.result import Contender
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "register",
+    "get_contender",
+    "contender_names",
+    "all_contenders",
+]
+
+_REGISTRY: Dict[str, Callable[[], Contender]] = {}
+_builtins_loaded = False
+
+
+def register(
+    factory: Optional[Callable[[], Contender]] = None,
+    *,
+    name: Optional[str] = None,
+) -> Callable:
+    """Register a contender factory (usable as a decorator on a
+    :class:`Contender` subclass or any zero-arg factory).
+
+    The registry name defaults to the class attribute ``name``.
+    Re-registering an existing name raises — shadowing a contender
+    silently would poison every future benchmark comparison.
+    """
+
+    def _do(fac: Callable[[], Contender]) -> Callable[[], Contender]:
+        reg_name = name
+        if reg_name is None:
+            reg_name = getattr(fac, "name", None) or getattr(fac, "__name__", None)
+        if not reg_name or not isinstance(reg_name, str):
+            raise InvalidParameterError("contender must have a string name")
+        if reg_name in _REGISTRY:
+            raise InvalidParameterError(
+                f"contender {reg_name!r} is already registered"
+            )
+        _REGISTRY[reg_name] = fac
+        return fac
+
+    if factory is not None:
+        return _do(factory)
+    return _do
+
+
+def _ensure_builtins() -> None:
+    global _builtins_loaded
+    if not _builtins_loaded:
+        _builtins_loaded = True
+        import repro.arena.contenders  # noqa: F401  (registers on import)
+
+
+def contender_names() -> List[str]:
+    """Registered contender names, sorted."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def get_contender(name: str) -> Contender:
+    """Instantiate the named contender."""
+    _ensure_builtins()
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown contender {name!r}; registered: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+    return factory()
+
+
+def all_contenders() -> List[Contender]:
+    """One instance of every registered contender, name-sorted."""
+    return [get_contender(name) for name in contender_names()]

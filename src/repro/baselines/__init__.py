@@ -1,9 +1,14 @@
-"""Baselines: sequential exact (Stoer–Wagner), randomized (Karger–Stein),
-the GG18-style parallel stand-in, and Table 1 cost models."""
+"""Baselines: the GG18-style parallel stand-in and Table 1 cost models.
+
+The classical solver baselines (Stoer–Wagner, Karger–Stein, Matula,
+2-out contraction) moved to :mod:`repro.arena.solvers` where the
+arena registry wraps them as contenders.  Importing them from here
+still works for one release, with a :class:`DeprecationWarning`.
+"""
+
+import warnings
 
 from repro.baselines.gg18 import gg18_depth_model, gg18_two_respecting, gg18_work_model
-from repro.baselines.karger_stein import karger_stein
-from repro.baselines.matula import matula_approx
 from repro.baselines.models import (
     crossover_density,
     depth_all,
@@ -12,8 +17,6 @@ from repro.baselines.models import (
     work_here,
     work_sequential_gmw,
 )
-from repro.baselines.stoer_wagner import stoer_wagner
-from repro.baselines.two_out import two_out_contraction_min_cut
 
 __all__ = [
     "stoer_wagner",
@@ -30,3 +33,25 @@ __all__ = [
     "depth_all",
     "crossover_density",
 ]
+
+#: names that now live in repro.arena.solvers (same public signatures)
+_MOVED = {
+    "stoer_wagner",
+    "karger_stein",
+    "matula_approx",
+    "two_out_contraction_min_cut",
+}
+
+
+def __getattr__(name):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.baselines.{name} moved to repro.arena.solvers.{name}; "
+            "the repro.baselines alias will be removed in the next release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import repro.arena.solvers as _solvers
+
+        return getattr(_solvers, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

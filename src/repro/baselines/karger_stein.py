@@ -1,103 +1,14 @@
-"""Karger–Stein recursive contraction — the classic randomized baseline.
+"""Deprecated alias: moved to :mod:`repro.arena.solvers.karger_stein`."""
 
-Success probability Omega(1/log n) per run; ``repetitions`` independent
-runs drive the failure probability down.  Used in tests as an
-independent implementation to cross-check values, and in the benchmark
-suite as a reference point for the randomized-baseline row.
-"""
+import warnings
 
-from __future__ import annotations
-
-import math
-from typing import Optional, Tuple
-
-import numpy as np
-
-from repro.errors import GraphFormatError
-from repro.graphs.graph import Graph
-from repro.primitives.dsu import DisjointSets
-from repro.results import CutResult
+from repro.arena.solvers.karger_stein import karger_stein
 
 __all__ = ["karger_stein"]
 
-
-def _contract_to(
-    u: np.ndarray,
-    v: np.ndarray,
-    w: np.ndarray,
-    labels: np.ndarray,
-    num_vertices: int,
-    target: int,
-    rng: np.random.Generator,
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
-    """Randomly contract (weight-proportional) down to ``target``
-    supervertices.  Arrays are over surviving superedges; ``labels`` maps
-    original vertices to supervertex ids."""
-    n = num_vertices
-    dsu = DisjointSets(labels.max() + 1 if labels.size else 1)
-    # work on the current quotient
-    while n > target and w.size:
-        pick = rng.choice(w.size, p=w / w.sum())
-        a, b = int(u[pick]), int(v[pick])
-        if dsu.union(a, b):
-            n -= 1
-        lab = dsu.labels()
-        u2, v2 = lab[u], lab[v]
-        keep = u2 != v2
-        u, v, w = u2[keep], v2[keep], w[keep]
-    lab = dsu.labels()
-    return u, v, w, lab[labels], n
-
-
-def _recursive(
-    u: np.ndarray,
-    v: np.ndarray,
-    w: np.ndarray,
-    labels: np.ndarray,
-    n: int,
-    rng: np.random.Generator,
-) -> Tuple[float, np.ndarray]:
-    """Returns (cut value, side mask over original vertices)."""
-    if n <= 6:
-        # finish by exhaustive contraction trials
-        best = (math.inf, labels == labels[0])
-        for _ in range(16):
-            uu, vv, ww, lab, k = _contract_to(u, v, w, labels, n, 2, rng)
-            val = float(ww.sum())
-            if val < best[0] and k == 2:
-                roots = np.unique(lab)
-                best = (val, lab == roots[0])
-        return best
-    target = max(int(math.ceil(1 + n / math.sqrt(2))), 2)
-    results = []
-    for _ in range(2):
-        uu, vv, ww, lab, k = _contract_to(u, v, w, labels, n, target, rng)
-        results.append(_recursive(uu, vv, ww, lab, k, rng))
-    return min(results, key=lambda r: r[0])
-
-
-def karger_stein(
-    graph: Graph,
-    repetitions: Optional[int] = None,
-    rng: Optional[np.random.Generator] = None,
-) -> CutResult:
-    """Randomized min cut; exact with probability >= 1 - 1/poly(n) for
-    ``repetitions ~ log^2 n`` (default)."""
-    if graph.n < 2:
-        raise GraphFormatError("min cut needs at least 2 vertices")
-    k, labels = graph.connected_components()
-    if k > 1:
-        return CutResult(value=0.0, side=labels == labels[0])
-    rng = rng if rng is not None else np.random.default_rng()
-    if repetitions is None:
-        lg = math.log2(max(graph.n, 2))
-        repetitions = max(int(math.ceil(lg * lg / 2)), 3)
-    g = graph.coalesced()
-    labels0 = np.arange(g.n, dtype=np.int64)
-    best_val, best_side = math.inf, None
-    for _ in range(repetitions):
-        val, side = _recursive(g.u, g.v, g.w.copy(), labels0, g.n, rng)
-        if val < best_val:
-            best_val, best_side = val, side
-    assert best_side is not None
-    return CutResult(value=float(best_val), side=best_side)
+warnings.warn(
+    "repro.baselines.karger_stein moved to repro.arena.solvers.karger_stein; "
+    "this alias will be removed in the next release",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -1,101 +1,14 @@
-"""Matula's deterministic (2+eps)-approximation of edge connectivity.
+"""Deprecated alias: moved to :mod:`repro.arena.solvers.matula`."""
 
-The paper's introduction cites this [Mat93] as the linear-time
-*sequential* approximation whose parallel counterpart was missing —
-the gap Section 3 fills.  We include it as the sequential baseline the
-Theorem 3.1 experiments compare against.
+import warnings
 
-The algorithm alternates two facts:
-
-* the minimum weighted degree delta is itself a cut, so lambda <= delta;
-* a sparse k-connectivity certificate with k = delta/(2+eps) contains
-  every cut of value < k, so edges carrying weight *beyond* the
-  certificate join endpoints that are >= k connected and can be
-  contracted without touching any cut of value < k — in particular the
-  minimum cut, unless lambda >= k = delta/(2+eps), in which case delta
-  is already a (2+eps)-approximation.
-
-Iterating until the graph collapses yields
-``lambda <= min_iterations(delta) <= (2+eps) lambda``.
-"""
-
-from __future__ import annotations
-
-import math
-from typing import Optional
-
-import numpy as np
-
-from repro.errors import GraphFormatError
-from repro.graphs.graph import Graph
-from repro.pram.ledger import Ledger, NULL_LEDGER
-from repro.results import CutResult
-from repro.sparsify.certificate import certificate_forests
+from repro.arena.solvers.matula import matula_approx
 
 __all__ = ["matula_approx"]
 
-
-def matula_approx(
-    graph: Graph,
-    epsilon: float = 0.5,
-    ledger: Ledger = NULL_LEDGER,
-) -> CutResult:
-    """(2+eps)-approximate minimum cut value with a degree-cut witness.
-
-    Returns a :class:`CutResult` whose value is the best (smallest)
-    supervertex degree-cut seen — always >= lambda, and <= (2+eps)lambda
-    — and whose side is that supervertex's preimage (a real cut of the
-    input attaining the value).
-    """
-    if graph.n < 2:
-        raise GraphFormatError("min cut needs at least 2 vertices")
-    if epsilon <= 0:
-        raise ValueError("epsilon must be positive")
-    k_comp, comp = graph.connected_components()
-    if k_comp > 1:
-        return CutResult(value=0.0, side=comp == comp[0])
-
-    current = graph.coalesced()
-    # orig_of[v] = mask of original vertices inside supervertex v
-    mapping = np.arange(graph.n, dtype=np.int64)  # original -> current id
-    best_value = math.inf
-    best_vertex_preimage: Optional[np.ndarray] = None
-
-    while current.n >= 2:
-        degrees = current.weighted_degrees
-        v_min = int(np.argmin(degrees))
-        delta = float(degrees[v_min])
-        ledger.charge(work=float(current.m + current.n), depth=1.0)
-        if delta < best_value:
-            best_value = delta
-            best_vertex_preimage = mapping == v_min
-        k = delta / (2.0 + epsilon)
-        k_int = max(int(math.ceil(k)), 1)
-        cert, _ = certificate_forests(current, k_int, ledger=ledger)
-        # weight beyond the certificate == endpoints are > k connected
-        cert_weight = {}
-        for a, b, w in cert.edges():
-            cert_weight[(min(a, b), max(a, b))] = w
-        labels = np.arange(current.n, dtype=np.int64)
-        merged_any = False
-        from repro.primitives.dsu import DisjointSets
-
-        dsu = DisjointSets(current.n)
-        for i in range(current.m):
-            a, b = int(current.u[i]), int(current.v[i])
-            key = (min(a, b), max(a, b))
-            extra = current.w[i] - cert_weight.get(key, 0.0)
-            if extra > 1e-12:
-                if dsu.union(a, b):
-                    merged_any = True
-        if not merged_any:
-            break
-        labels = dsu.labels()
-        current, dense = current.contract(labels)
-        # dense[v] is v's new compact id (labels already folded in)
-        mapping = dense[mapping]
-    assert best_vertex_preimage is not None
-    side = best_vertex_preimage
-    if side.all():  # pragma: no cover - defensive
-        side = ~side
-    return CutResult(value=float(best_value), side=side)
+warnings.warn(
+    "repro.baselines.matula moved to repro.arena.solvers.matula; "
+    "this alias will be removed in the next release",
+    DeprecationWarning,
+    stacklevel=2,
+)

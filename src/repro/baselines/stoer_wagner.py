@@ -1,81 +1,14 @@
-"""Stoer–Wagner deterministic global minimum cut — the sequential exact
-baseline used for correctness anchoring and for Table 1's sequential
-reference point.
+"""Deprecated alias: moved to :mod:`repro.arena.solvers.stoer_wagner`."""
 
-O(n^3) with dense numpy adjacency (O(n m + n^2 log n) conceptually; the
-dense variant is simplest and fast enough at benchmark scale).
-"""
+import warnings
 
-from __future__ import annotations
-
-from typing import List
-
-import numpy as np
-
-from repro.errors import GraphFormatError
-from repro.graphs.graph import Graph
-from repro.results import CutResult
+from repro.arena.solvers.stoer_wagner import stoer_wagner
 
 __all__ = ["stoer_wagner"]
 
-
-def stoer_wagner(graph: Graph) -> CutResult:
-    """Exact minimum cut by n-1 minimum-cut-phase contractions.
-
-    Handles disconnected inputs (value 0.0 with one component as the
-    side).  Raises for n < 2.
-    """
-    n = graph.n
-    if n < 2:
-        raise GraphFormatError("min cut needs at least 2 vertices")
-    k, labels = graph.connected_components()
-    if k > 1:
-        return CutResult(value=0.0, side=labels == labels[0])
-
-    # dense adjacency with parallel edges coalesced
-    adj = np.zeros((n, n), dtype=np.float64)
-    np.add.at(adj, (graph.u, graph.v), graph.w)
-    np.add.at(adj, (graph.v, graph.u), graph.w)
-
-    # groups[i]: original vertices merged into supernode i
-    groups: List[List[int]] = [[i] for i in range(n)]
-    active = list(range(n))
-    best_value = np.inf
-    best_group: List[int] = []
-
-    while len(active) > 1:
-        # minimum cut phase: maximum adjacency ordering
-        a_idx = np.array(active)
-        weights = np.zeros(n)
-        in_a = np.zeros(n, dtype=bool)
-        order: List[int] = []
-        first = active[0]
-        in_a[first] = True
-        order.append(first)
-        weights[a_idx] = adj[first, a_idx]
-        for _ in range(len(active) - 1):
-            masked = np.where(in_a[a_idx], -np.inf, weights[a_idx])
-            nxt = int(a_idx[int(np.argmax(masked))])
-            order.append(nxt)
-            in_a[nxt] = True
-            weights[a_idx] += adj[nxt, a_idx]
-        s, t = order[-2], order[-1]
-        cut_of_phase = float(
-            sum(adj[t, x] for x in active if x != t)
-        )
-        if cut_of_phase < best_value:
-            best_value = cut_of_phase
-            best_group = list(groups[t])
-        # merge t into s
-        adj[s, :] += adj[t, :]
-        adj[:, s] += adj[:, t]
-        adj[s, s] = 0.0
-        adj[t, :] = 0.0
-        adj[:, t] = 0.0
-        groups[s].extend(groups[t])
-        groups[t] = []
-        active.remove(t)
-
-    side = np.zeros(n, dtype=bool)
-    side[np.asarray(best_group, dtype=np.int64)] = True
-    return CutResult(value=float(best_value), side=side)
+warnings.warn(
+    "repro.baselines.stoer_wagner moved to repro.arena.solvers.stoer_wagner; "
+    "this alias will be removed in the next release",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -1,97 +1,14 @@
-"""Random 2-out contraction (Ghaffari–Nowicki–Thorup style) for simple
-unweighted graphs.
+"""Deprecated alias: moved to :mod:`repro.arena.solvers.two_out`."""
 
-The introduction cites [GNT20] for the best bounds on *simple* graphs
-via "random 2-out contractions": every vertex marks two incident edges
-uniformly at random; contracting all marked edges shrinks the graph to
-O(n/delta) vertices while, with constant probability, preserving every
-non-trivial minimum cut (singleton cuts are checked directly via
-degrees).  Repeating O(log n) times and finishing exactly on the
-contracted graph gives a fast unweighted baseline.
+import warnings
 
-This implementation is the natural Monte-Carlo variant: ``rounds``
-independent 2-out contractions, each finished by Stoer–Wagner on the
-(small) contracted graph, min'd with the best singleton (degree) cut.
-"""
-
-from __future__ import annotations
-
-import math
-from typing import Optional
-
-import numpy as np
-
-from repro.errors import GraphFormatError
-from repro.graphs.graph import Graph
-from repro.pram.ledger import Ledger, NULL_LEDGER
-from repro.primitives.dsu import DisjointSets
-from repro.results import CutResult
+from repro.arena.solvers.two_out import two_out_contraction_min_cut
 
 __all__ = ["two_out_contraction_min_cut"]
 
-
-def _one_round(
-    graph: Graph, rng: np.random.Generator, ledger: Ledger
-) -> CutResult:
-    n = graph.n
-    offsets, nbrs, eids = graph.incidence
-    dsu = DisjointSets(n)
-    for v in range(n):
-        lo, hi = int(offsets[v]), int(offsets[v + 1])
-        deg = hi - lo
-        if deg == 0:
-            continue
-        picks = rng.integers(lo, hi, size=min(2, deg))
-        for j in picks:
-            dsu.union(v, int(nbrs[j]))
-    labels = dsu.labels()
-    ledger.charge(work=float(2 * graph.m + n), depth=1.0)
-    quotient, dense = graph.contract(labels)
-    if quotient.n < 2:
-        # contraction collapsed everything: no non-trivial cut survived
-        # this round; report +inf so the singleton check dominates
-        return CutResult(value=math.inf, side=np.zeros(n, dtype=bool))
-    from repro.baselines.stoer_wagner import stoer_wagner
-
-    sub = stoer_wagner(quotient)
-    ledger.charge(work=float(quotient.n**3), depth=float(quotient.n))
-    side = sub.side[dense[labels]]
-    return CutResult(value=sub.value, side=side)
-
-
-def two_out_contraction_min_cut(
-    graph: Graph,
-    rounds: Optional[int] = None,
-    rng: Optional[np.random.Generator] = None,
-    ledger: Ledger = NULL_LEDGER,
-) -> CutResult:
-    """Minimum cut of a simple unweighted graph, w.h.p. exact.
-
-    ``rounds`` defaults to ``ceil(3 log2 n)`` independent contractions.
-    Weighted inputs are rejected (the 2-out argument is for unweighted
-    simple graphs; use :func:`repro.core.minimum_cut` instead).
-    """
-    if graph.n < 2:
-        raise GraphFormatError("min cut needs at least 2 vertices")
-    if not np.all(graph.w == 1.0):
-        raise GraphFormatError("2-out contraction expects an unweighted simple graph")
-    k, labels = graph.connected_components()
-    if k > 1:
-        return CutResult(value=0.0, side=labels == labels[0])
-    rng = rng if rng is not None else np.random.default_rng()
-    if rounds is None:
-        rounds = max(int(math.ceil(3 * math.log2(max(graph.n, 2)))), 3)
-
-    # singleton cuts: the minimum degree
-    degrees = graph.weighted_degrees
-    v_min = int(np.argmin(degrees))
-    best_side = np.zeros(graph.n, dtype=bool)
-    best_side[v_min] = True
-    best = CutResult(value=float(degrees[v_min]), side=best_side)
-    ledger.charge(work=float(graph.n), depth=1.0)
-
-    for _ in range(rounds):
-        cand = _one_round(graph, rng, ledger)
-        if cand.value < best.value and 0 < cand.side.sum() < graph.n:
-            best = cand
-    return best
+warnings.warn(
+    "repro.baselines.two_out moved to repro.arena.solvers.two_out; "
+    "this alias will be removed in the next release",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -14,6 +14,11 @@ Commands
     warm query) with per-stage cache statistics; ``--updates N``
     additionally streams N random edge mutations through
     ``engine.update()`` and reports the amortized update work.
+``arena FILE``
+    Run registered contenders (:mod:`repro.arena`) on one graph, print
+    per-contender value/wall/work lines, and cross-check the exact
+    answers (non-zero exit on disagreement).  ``--list`` enumerates
+    the registry.  See ``docs/arena.md``.
 ``serve``
     The cut-serving daemon (:mod:`repro.serve`): length-prefixed JSON
     over TCP, multi-tenant admission control, deadline shedding — see
@@ -37,7 +42,7 @@ import numpy as np
 from repro.errors import ReproError
 from repro.graphs.graph import Graph
 from repro.graphs.generators import random_connected_graph
-from repro.graphs.io import read_dimacs, read_edgelist
+from repro.graphs.io import read_dimacs, read_edgelist, read_graph_binary
 from repro.pram.trace import TraceLedger
 
 __all__ = ["main"]
@@ -49,9 +54,17 @@ EXIT_REPRO_ERROR = 2
 
 def _load(path: str, fmt: str) -> Graph:
     if fmt == "auto":
-        fmt = "dimacs" if Path(path).suffix in (".dimacs", ".max", ".col") else "edgelist"
+        suffix = Path(path).suffix
+        if suffix in (".dimacs", ".max", ".col"):
+            fmt = "dimacs"
+        elif suffix in (".rpg", ".bin"):
+            fmt = "binary"
+        else:
+            fmt = "edgelist"
     if fmt == "dimacs":
         return read_dimacs(path)
+    if fmt == "binary":
+        return read_graph_binary(path)
     return read_edgelist(path)
 
 
@@ -221,6 +234,47 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_arena(args: argparse.Namespace) -> int:
+    from repro.arena import contender_names, get_contender
+
+    if args.list:
+        for name in contender_names():
+            c = get_contender(name)
+            print(f"{name} {c.kind}")
+        return 0
+    if args.file is None:
+        print("error: a graph file is required unless --list", file=sys.stderr)
+        return EXIT_REPRO_ERROR
+    graph = _load(args.file, args.format)
+    names = args.contenders.split(",") if args.contenders else contender_names()
+    exact_values = {}
+    for name in names:
+        c = get_contender(name.strip())
+        if not c.supports(graph):
+            print(f"{c.name}.skipped unsupported")
+            continue
+        res = c.solve(graph, seed=args.seed, budget=args.budget)
+        print(f"{c.name}.value {res.value}")
+        print(f"{c.name}.kind {res.kind}")
+        print(f"{c.name}.wall_s {res.wall_s:.6f}")
+        print(f"{c.name}.work {res.work}")
+        print(f"{c.name}.depth {res.depth}")
+        if res.kind == "approx":
+            print(f"{c.name}.claimed_ratio {res.claimed_ratio}")
+            print(f"{c.name}.lower_bound {res.lower_bound}")
+        else:
+            exact_values[c.name] = res.value
+    if len(exact_values) > 1:
+        vals = sorted(set(exact_values.values()))
+        agree = int(len(vals) == 1)
+        print(f"exact.agree {agree}")
+        if not agree:
+            for name, v in sorted(exact_values.items()):
+                print(f"exact.disagreement.{name} {v}", file=sys.stderr)
+            return EXIT_REPRO_ERROR
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import ServerConfig
     from repro.serve.server import run_tcp
@@ -315,6 +369,25 @@ def build_parser() -> argparse.ArgumentParser:
                             "epoch/staleness")
     add_trace(p_eng)
     p_eng.set_defaults(func=_cmd_engine)
+
+    p_arena = sub.add_parser(
+        "arena",
+        help="run registered contenders on a graph and cross-check (docs/arena.md)",
+    )
+    p_arena.add_argument("file", nargs="?", default=None)
+    p_arena.add_argument("--format",
+                         choices=("auto", "edgelist", "dimacs", "binary"),
+                         default="auto")
+    p_arena.add_argument("--contenders", default=None, metavar="A,B,...",
+                         help="comma-separated registry names (default: all "
+                              "supported contenders)")
+    p_arena.add_argument("--seed", type=int, default=0)
+    p_arena.add_argument("--budget", type=float, default=None, metavar="SECONDS",
+                         help="best-effort wall-clock budget handed to each "
+                              "contender")
+    p_arena.add_argument("--list", action="store_true",
+                         help="list registered contenders and exit")
+    p_arena.set_defaults(func=_cmd_arena)
 
     p_srv = sub.add_parser(
         "serve",

@@ -6,8 +6,8 @@ an evolving-graph workload makes — a handful of inserted edges, a few
 deletions, local reweights — leave the packed candidate trees useful:
 per Karger's tree-packing argument the cached trees keep covering the
 minimum cut while it stays within a constant factor of the stored
-underestimate, exactly the regime the historical weight-only requery
-path exploited.  This module supplies the vocabulary the
+underestimate, exactly the regime weight-only reweights sit in.
+This module supplies the vocabulary the
 engine's :meth:`~repro.engine.CutEngine.update` surface is built on:
 
 :class:`GraphDelta`

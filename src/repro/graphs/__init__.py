@@ -19,7 +19,15 @@ from repro.graphs.generators_extra import (
     reliability_network,
 )
 from repro.graphs.graph import Graph
-from repro.graphs.io import read_dimacs, read_edgelist, write_dimacs, write_edgelist
+from repro.graphs.io import (
+    graph_binary_info,
+    read_dimacs,
+    read_edgelist,
+    read_graph_binary,
+    write_dimacs,
+    write_edgelist,
+    write_graph_binary,
+)
 from repro.graphs.multigraph import MultiGraph
 from repro.graphs.validate import (
     brute_force_min_cut,
@@ -50,6 +58,9 @@ __all__ = [
     "write_edgelist",
     "read_dimacs",
     "write_dimacs",
+    "read_graph_binary",
+    "write_graph_binary",
+    "graph_binary_info",
     "check_side_mask",
     "ensure_finite_weights",
     "validate_cut",

@@ -116,6 +116,13 @@ class Graph:
     def total_weight(self) -> float:
         return float(self.w.sum())
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the three edge columns (the raw-column size of
+        the binary format; mmap-backed graphs resident-set gate against
+        this)."""
+        return int(self.u.nbytes + self.v.nbytes + self.w.nbytes)
+
     @cached_property
     def _csr(self) -> csr_matrix:
         """Symmetric CSR adjacency (weights summed over parallel edges)."""

@@ -1,24 +1,50 @@
-"""Plain-text graph I/O.
+"""Graph I/O: plain-text formats and the binary column format.
 
-Two formats:
+Three formats:
 
 * *edgelist* — ``n m`` header line then ``u v w`` per edge; round-trips
-  :class:`repro.graphs.Graph` exactly.
+  :class:`repro.graphs.Graph` exactly.  Both directions are vectorized
+  (numpy column conversions, one bulk write / one bulk parse) — the
+  float column is emitted with shortest-repr semantics, so weights
+  round-trip bit-identically.
 * *DIMACS* — the classic ``p`` / ``e`` line format used by max-flow /
-  min-cut benchmark suites (1-based vertices on disk, 0-based in memory).
+  min-cut benchmark suites (1-based vertices on disk, 0-based in
+  memory).  Comment (``c``) lines may be interleaved with edges and
+  trailing blank lines are tolerated; duplicate ``p`` lines are a
+  :class:`~repro.errors.GraphFormatError`.
+* *binary* (``.rpg``) — a versioned, CRC-checked header followed by the
+  raw ``u`` / ``v`` / ``w`` columns (little-endian ``int64`` /
+  ``int64`` / ``float64``).  :func:`read_graph_binary` opens the
+  columns as **read-only** ``np.memmap`` views by default, so graphs
+  with tens of millions of edges load without materializing anything
+  beyond the pages actually touched.  See ``docs/arena.md`` for the
+  byte-level spec.
 """
 
 from __future__ import annotations
 
+import struct
+import zlib
 from pathlib import Path
-from typing import TextIO, Union
+from typing import Dict, TextIO, Union
 
 import numpy as np
 
 from repro.errors import GraphFormatError
 from repro.graphs.graph import Graph
 
-__all__ = ["write_edgelist", "read_edgelist", "write_dimacs", "read_dimacs"]
+__all__ = [
+    "write_edgelist",
+    "read_edgelist",
+    "write_dimacs",
+    "read_dimacs",
+    "write_graph_binary",
+    "read_graph_binary",
+    "graph_binary_info",
+    "BINARY_MAGIC",
+    "BINARY_VERSION",
+    "BINARY_HEADER_SIZE",
+]
 
 PathOrIO = Union[str, Path, TextIO]
 
@@ -29,40 +55,64 @@ def _open(target: PathOrIO, mode: str):
     return target, False
 
 
+# ----------------------------------------------------------------------
+# edgelist
+# ----------------------------------------------------------------------
 def write_edgelist(graph: Graph, target: PathOrIO) -> None:
-    """Write ``n m`` header then one ``u v w`` line per edge."""
+    """Write ``n m`` header then one ``u v w`` line per edge.
+
+    The columns are converted in bulk (``astype`` string kernels); the
+    weight column uses numpy's shortest-repr float formatting, which is
+    byte-identical to ``repr(float(w))`` and guarantees exact
+    read-back.
+    """
     fh, owned = _open(target, "w")
     try:
         fh.write(f"{graph.n} {graph.m}\n")
-        for u, v, w in graph.edges():
-            fh.write(f"{u} {v} {w!r}\n")
+        if graph.m:
+            su = graph.u.astype("U20")
+            sv = graph.v.astype("U20")
+            sw = graph.w.astype("U32")  # shortest repr, round-trip exact
+            sep = np.array(" ", dtype="U1")
+            lines = np.char.add(np.char.add(np.char.add(np.char.add(su, sep), sv), sep), sw)
+            fh.write("\n".join(lines.tolist()))
+            fh.write("\n")
     finally:
         if owned:
             fh.close()
 
 
 def read_edgelist(source: PathOrIO) -> Graph:
-    """Inverse of :func:`write_edgelist`."""
+    """Inverse of :func:`write_edgelist` (bulk-parsed)."""
     fh, owned = _open(source, "r")
     try:
         header = fh.readline().split()
         if len(header) != 2:
             raise GraphFormatError("edgelist header must be 'n m'")
-        n, m = int(header[0]), int(header[1])
-        u = np.empty(m, np.int64)
-        v = np.empty(m, np.int64)
-        w = np.empty(m, np.float64)
-        for i in range(m):
-            parts = fh.readline().split()
-            if len(parts) != 3:
-                raise GraphFormatError(f"bad edge line {i}")
-            u[i], v[i], w[i] = int(parts[0]), int(parts[1]), float(parts[2])
-        return Graph(n, u, v, w)
+        try:
+            n, m = int(header[0]), int(header[1])
+        except ValueError:
+            raise GraphFormatError("edgelist header must be 'n m'") from None
+        if m == 0:
+            return Graph(n, np.empty(0, np.int64), np.empty(0, np.int64))
+        dt = np.dtype([("u", "i8"), ("v", "i8"), ("w", "f8")])
+        try:
+            rows = np.atleast_1d(np.loadtxt(fh, dtype=dt, max_rows=m))
+        except ValueError as exc:
+            raise GraphFormatError(f"bad edge line: {exc}") from None
+        if rows.shape[0] != m:
+            raise GraphFormatError(
+                f"expected {m} edge lines, found {rows.shape[0]}"
+            )
+        return Graph(n, rows["u"], rows["v"], rows["w"])
     finally:
         if owned:
             fh.close()
 
 
+# ----------------------------------------------------------------------
+# DIMACS
+# ----------------------------------------------------------------------
 def write_dimacs(graph: Graph, target: PathOrIO, problem: str = "cut") -> None:
     """Write DIMACS: ``p <problem> n m`` then ``e u v w`` (1-based)."""
     fh, owned = _open(target, "w")
@@ -79,8 +129,13 @@ def write_dimacs(graph: Graph, target: PathOrIO, problem: str = "cut") -> None:
 
 
 def read_dimacs(source: PathOrIO) -> Graph:
-    """Read DIMACS ``p``/``e`` lines; comments (``c``) are skipped and a
-    missing weight column defaults to 1."""
+    """Read DIMACS ``p``/``e`` lines.
+
+    Comment (``c``) lines may appear anywhere — before, between, or
+    after edges — and blank lines (including trailing ones) are
+    skipped.  A second ``p`` line raises :class:`GraphFormatError`
+    rather than silently shadowing the first.
+    """
     fh, owned = _open(source, "r")
     try:
         n = None
@@ -91,6 +146,8 @@ def read_dimacs(source: PathOrIO) -> Graph:
                 continue
             parts = line.split()
             if parts[0] == "p":
+                if n is not None:
+                    raise GraphFormatError("duplicate DIMACS problem line")
                 if len(parts) < 4:
                     raise GraphFormatError("bad DIMACS problem line")
                 n = int(parts[2])
@@ -106,3 +163,128 @@ def read_dimacs(source: PathOrIO) -> Graph:
     finally:
         if owned:
             fh.close()
+
+
+# ----------------------------------------------------------------------
+# binary column format
+# ----------------------------------------------------------------------
+BINARY_MAGIC = b"RPROGRF1"
+BINARY_VERSION = 1
+BINARY_HEADER_SIZE = 64
+
+#: magic, version, flags, n, m, crc_u, crc_v, crc_w, header_crc
+_HEADER = struct.Struct("<8sIIQQIIII")
+
+
+def _column_specs(m: int):
+    """``(name, dtype, offset, nbytes)`` for the three columns."""
+    specs = []
+    off = BINARY_HEADER_SIZE
+    for name, dt in (("u", "<i8"), ("v", "<i8"), ("w", "<f8")):
+        nbytes = 8 * m
+        specs.append((name, np.dtype(dt), off, nbytes))
+        off += nbytes
+    return specs, off
+
+
+def write_graph_binary(graph: Graph, path: Union[str, Path]) -> None:
+    """Write ``graph`` in the versioned binary column format.
+
+    Layout: a 64-byte header (magic, version, flags, ``n``, ``m``, one
+    CRC32 per column, a CRC32 of the header itself), then the raw
+    ``u`` / ``v`` / ``w`` columns, little-endian, in that order.
+    """
+    cols = {
+        "u": np.ascontiguousarray(graph.u, dtype="<i8"),
+        "v": np.ascontiguousarray(graph.v, dtype="<i8"),
+        "w": np.ascontiguousarray(graph.w, dtype="<f8"),
+    }
+    crcs = {name: zlib.crc32(col.tobytes()) for name, col in cols.items()}
+    head = _HEADER.pack(
+        BINARY_MAGIC, BINARY_VERSION, 0, graph.n, graph.m,
+        crcs["u"], crcs["v"], crcs["w"], 0,
+    )
+    header_crc = zlib.crc32(head[: _HEADER.size - 4])
+    head = head[: _HEADER.size - 4] + struct.pack("<I", header_crc)
+    head += b"\x00" * (BINARY_HEADER_SIZE - len(head))
+    with open(path, "wb") as fh:
+        fh.write(head)
+        for name in ("u", "v", "w"):
+            fh.write(cols[name].tobytes())
+
+
+def _read_header(path: Union[str, Path]) -> Dict[str, int]:
+    try:
+        with open(path, "rb") as fh:
+            head = fh.read(BINARY_HEADER_SIZE)
+    except OSError as exc:
+        raise GraphFormatError(f"cannot read binary graph: {exc}") from None
+    if len(head) < BINARY_HEADER_SIZE:
+        raise GraphFormatError("binary graph file shorter than its header")
+    magic, version, flags, n, m, crc_u, crc_v, crc_w, header_crc = _HEADER.unpack(
+        head[: _HEADER.size]
+    )
+    if magic != BINARY_MAGIC:
+        raise GraphFormatError(f"not a repro binary graph (magic {magic!r})")
+    if zlib.crc32(head[: _HEADER.size - 4]) != header_crc:
+        raise GraphFormatError("binary graph header CRC mismatch")
+    if version != BINARY_VERSION:
+        raise GraphFormatError(f"unsupported binary graph version {version}")
+    return {"n": n, "m": m, "flags": flags,
+            "crc_u": crc_u, "crc_v": crc_v, "crc_w": crc_w}
+
+
+def graph_binary_info(path: Union[str, Path]) -> Dict[str, int]:
+    """Header metadata (``n``, ``m``, ``column_bytes``) without loading
+    any column data — corpus manifests use this."""
+    head = _read_header(path)
+    _, expected_size = _column_specs(head["m"])
+    return {
+        "n": head["n"],
+        "m": head["m"],
+        "version": BINARY_VERSION,
+        "column_bytes": expected_size - BINARY_HEADER_SIZE,
+        "file_bytes": expected_size,
+    }
+
+
+def read_graph_binary(
+    path: Union[str, Path],
+    *,
+    mmap: bool = True,
+    verify: bool = True,
+    validate: bool = True,
+) -> Graph:
+    """Read a graph written by :func:`write_graph_binary`.
+
+    With ``mmap=True`` (default) the columns are **read-only**
+    ``np.memmap`` views — no copy is made, mutation through the public
+    arrays raises, and resident memory stays bounded by the pages
+    actually touched.  ``verify=True`` checks each column's CRC32
+    against the header (a sequential read of the file);
+    ``validate=True`` additionally runs the usual :class:`Graph`
+    invariant checks (endpoint ranges, positive finite weights).
+    """
+    head = _read_header(path)
+    n, m = head["n"], head["m"]
+    specs, expected_size = _column_specs(m)
+    actual = Path(path).stat().st_size
+    if actual != expected_size:
+        raise GraphFormatError(
+            f"binary graph truncated: {actual} bytes, expected {expected_size}"
+        )
+    cols = {}
+    for name, dt, off, _ in specs:
+        if m == 0:
+            cols[name] = np.empty(0, dtype=dt)
+        elif mmap:
+            cols[name] = np.memmap(path, mode="r", dtype=dt, offset=off, shape=(m,))
+        else:
+            with open(path, "rb") as fh:
+                fh.seek(off)
+                cols[name] = np.fromfile(fh, dtype=dt, count=m)
+    if verify:
+        for name, _, _, _ in specs:
+            if zlib.crc32(cols[name]) != head[f"crc_{name}"]:
+                raise GraphFormatError(f"binary graph column '{name}' CRC mismatch")
+    return Graph(n, cols["u"], cols["v"], cols["w"], validate=validate)

@@ -14,7 +14,7 @@ Strategy (``exact`` → ``exact escalated`` → ``stoer_wagner``):
    an independent ``SeedSequence`` stream) and **escalated constants**
    (thorough tree scan, denser skeleton);
 3. once attempts or the overall budget are exhausted, fall back to the
-   deterministic O(n^3) :func:`repro.baselines.stoer_wagner.stoer_wagner`
+   deterministic O(n^3) :func:`repro.arena.solvers.stoer_wagner.stoer_wagner`
    baseline.
 
 The whole run executes under a
@@ -48,7 +48,7 @@ from typing import Callable, Literal, Optional, Union
 import numpy as np
 
 from repro import obs
-from repro.baselines.stoer_wagner import stoer_wagner
+from repro.arena.solvers.stoer_wagner import stoer_wagner
 from repro.errors import BudgetExceeded, InvalidParameterError
 from repro.graphs.graph import Graph
 from repro.graphs.validate import ensure_finite_weights

@@ -131,7 +131,7 @@ def verify_cut(
 
     # exact spot-check ------------------------------------------------------
     if 2 <= graph.n <= spot_check_max_n:
-        from repro.baselines.stoer_wagner import stoer_wagner
+        from repro.arena.solvers.stoer_wagner import stoer_wagner
 
         exact = stoer_wagner(graph).value
         upper = min(upper, float(exact))

@@ -19,7 +19,7 @@ maps every known op to the protocol version that introduced it, and
 :data:`PROTOCOL_VERSION` (echoed by ``ping`` and ``graph_info``) is
 the version this daemon speaks — version 2 added the mutation surface
 (``update``) and ``graph_info``; version 3 removed the deprecated
-``requery`` spelling and added durable state (``serve --state-dir``:
+weight-only mutation spelling and added durable state (``serve --state-dir``:
 ``graph_info`` reports ``durable``, ``metrics`` reports ``durability``).
 The op table, field-by-field, lives in ``docs/service.md``.
 
@@ -85,9 +85,9 @@ MAX_FRAME_BYTES = 8 * 2**20
 #: (queries + control).  v2: the mutation surface — ``update``,
 #: ``graph_info``, per-graph ``epoch``/``staleness`` echoed on query
 #: responses, and write-access enforcement per budget class.  v3: the
-#: deprecated ``requery`` op's runway expired (use ``update`` with
-#: ``reweight``), and durable-state introspection landed (``durable``
-#: on ``graph_info``, ``durability`` on ``metrics``).
+#: deprecated weight-only mutation op's runway expired (``update`` with
+#: ``reweight`` is the one spelling), and durable-state introspection
+#: landed (``durable`` on ``graph_info``, ``durability`` on ``metrics``).
 PROTOCOL_VERSION = 3
 
 #: every op the daemon routes → the protocol version that introduced it

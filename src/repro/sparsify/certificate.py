@@ -25,13 +25,19 @@ from repro.graphs.graph import Graph
 from repro.pram.ledger import Ledger, NULL_LEDGER
 from repro.primitives.connectivity import spanning_forest
 
-__all__ = ["connectivity_certificate", "certificate_forests"]
+__all__ = ["connectivity_certificate", "certificate_forests", "certificate_weights"]
 
 
-def certificate_forests(
+def certificate_weights(
     graph: Graph, k: int, ledger: Ledger = NULL_LEDGER
-) -> Tuple[Graph, int]:
-    """Run up to ``k`` NI rounds; return (certificate, rounds_used).
+) -> Tuple[np.ndarray, int]:
+    """Per-edge certificate weights after up to ``k`` NI rounds.
+
+    Returns ``(cert_w, rounds_used)`` with ``cert_w`` aligned to
+    ``graph.u/v/w`` — ``cert_w[i] <= graph.w[i]`` is the portion of
+    edge i inside the certificate.  Consumers that need the weight an
+    edge carries *beyond* the certificate (e.g. Matula's contraction
+    rule) subtract without any index matching.
 
     Stops early once the residual graph is empty (all weight consumed),
     which is what bounds the work on already-sparse inputs.
@@ -53,6 +59,14 @@ def certificate_forests(
         take = np.minimum(residual[picked], 1.0)
         cert_w[picked] += take
         residual[picked] -= take
+    return cert_w, rounds
+
+
+def certificate_forests(
+    graph: Graph, k: int, ledger: Ledger = NULL_LEDGER
+) -> Tuple[Graph, int]:
+    """Run up to ``k`` NI rounds; return (certificate, rounds_used)."""
+    cert_w, rounds = certificate_weights(graph, k, ledger=ledger)
     keep = cert_w > 0
     cert = Graph(
         graph.n, graph.u[keep], graph.v[keep], cert_w[keep], validate=False

@@ -8,7 +8,7 @@ break index arithmetic, Monge orientation, or the centroid search.
 import numpy as np
 import pytest
 
-from repro.baselines import stoer_wagner
+from repro.arena.solvers import stoer_wagner
 from repro.core import minimum_cut
 from repro.graphs import Graph, random_connected_graph
 from repro.primitives import postorder

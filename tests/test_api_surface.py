@@ -39,6 +39,10 @@ PUBLIC_API = [
     "CutPipelineParams",
     "SkeletonParams",
     "HierarchyParams",
+    "ArenaResult",
+    "Contender",
+    "get_contender",
+    "contender_names",
 ]
 
 ENTRY_POINTS = ["minimum_cut", "resilient_minimum_cut", "approximate_minimum_cut"]

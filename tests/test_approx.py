@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.approx import approximate_minimum_cut, locate_skeleton_layer
-from repro.baselines import stoer_wagner
+from repro.arena.solvers import stoer_wagner
 from repro.errors import GraphFormatError
 from repro.graphs import Graph, random_connected_graph
 from repro.pram import Ledger

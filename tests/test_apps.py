@@ -11,7 +11,7 @@ from repro.apps import (
     reinforce,
     weakest_partition,
 )
-from repro.baselines import stoer_wagner, two_out_contraction_min_cut
+from repro.arena.solvers import stoer_wagner, two_out_contraction_min_cut
 from repro.errors import GraphFormatError
 from repro.graphs import (
     Graph,

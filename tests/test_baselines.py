@@ -6,13 +6,12 @@ import networkx as nx
 import numpy as np
 import pytest
 
+from repro.arena.solvers import karger_stein, stoer_wagner
 from repro.baselines import (
     crossover_density,
     depth_all,
     gg18_two_respecting,
     gg18_work_model,
-    karger_stein,
-    stoer_wagner,
     work_ab21,
     work_gg18,
     work_here,

@@ -5,7 +5,7 @@ import pytest
 
 from repro.cli import build_parser, main
 from repro.graphs import random_connected_graph, write_dimacs, write_edgelist
-from repro.baselines import stoer_wagner
+from repro.arena.solvers import stoer_wagner
 
 
 @pytest.fixture

@@ -282,7 +282,7 @@ class TestReweight:
         assert not hasattr(CutEngine(graph, seed=7), "requery")
 
     def test_scaled_weights_track_value(self, graph):
-        from repro.baselines import stoer_wagner
+        from repro.arena.solvers import stoer_wagner
 
         engine = CutEngine(graph, seed=7)
         engine.min_cut()
@@ -309,7 +309,7 @@ class TestReweight:
             assert after[ph] == before[ph], ph
 
     def test_large_perturbation_rebases(self, graph):
-        from repro.baselines import stoer_wagner
+        from repro.arena.solvers import stoer_wagner
 
         reg = CounterRegistry()
         engine = CutEngine(graph, seed=7)

@@ -18,7 +18,7 @@ from repro.graphs import (
     random_spanning_tree_edges,
     reliability_network,
 )
-from repro.baselines import stoer_wagner
+from repro.arena.solvers import stoer_wagner
 
 
 class TestRandomConnected:

@@ -53,6 +53,38 @@ class TestConstruction:
         with pytest.raises(GraphFormatError):
             Graph(2, np.array([0]), np.array([1, 0]))
 
+    def test_non_contiguous_arrays_normalized(self):
+        u = np.arange(10, dtype=np.int64)[::2]  # strided view
+        v = np.arange(1, 11, dtype=np.int64)[::2]
+        w = np.linspace(1, 2, 10)[::2]
+        g = Graph(12, u, v, w)
+        for col in (g.u, g.v, g.w):
+            assert col.flags.c_contiguous
+        assert g.u.tolist() == [0, 2, 4, 6, 8]
+        assert g.w.tolist() == w.tolist()
+
+    def test_wrong_dtype_arrays_converted(self):
+        g = Graph(
+            3,
+            np.array([0, 1], dtype=np.int32),
+            np.array([1, 2], dtype=np.uint16),
+            np.array([1.5, 2.5], dtype=np.float32),
+        )
+        assert g.u.dtype == np.int64 and g.v.dtype == np.int64
+        assert g.w.dtype == np.float64
+        assert g.w.tolist() == [1.5, 2.5]
+
+    def test_contiguous_input_not_copied(self):
+        u = np.array([0, 1], dtype=np.int64)
+        v = np.array([1, 2], dtype=np.int64)
+        w = np.array([1.0, 2.0], dtype=np.float64)
+        g = Graph(3, u, v, w)
+        assert g.u is u and g.v is v and g.w is w
+
+    def test_nbytes(self):
+        g = small()
+        assert g.nbytes == 24 * g.m
+
     def test_parallel_edges_allowed(self):
         g = Graph.from_edges(2, [(0, 1, 1.0), (0, 1, 2.0)])
         assert g.m == 2

@@ -9,7 +9,7 @@ import pytest
 
 from repro import Graph, Ledger, minimum_cut
 from repro.approx import approximate_minimum_cut
-from repro.baselines import stoer_wagner
+from repro.arena.solvers import stoer_wagner
 from repro.graphs import (
     community_graph,
     random_connected_graph,

@@ -146,7 +146,7 @@ class TestContract:
 
 class TestMatula:
     def test_upper_bound_and_factor(self):
-        from repro.baselines import matula_approx, stoer_wagner
+        from repro.arena.solvers import matula_approx, stoer_wagner
 
         rng = np.random.default_rng(3)
         for t in range(10):
@@ -158,19 +158,19 @@ class TestMatula:
             assert g.cut_value(res.side) == pytest.approx(res.value)
 
     def test_disconnected(self):
-        from repro.baselines import matula_approx
+        from repro.arena.solvers import matula_approx
 
         g = Graph.from_edges(4, [(0, 1), (2, 3)])
         assert matula_approx(g).value == 0.0
 
     def test_bad_epsilon(self):
-        from repro.baselines import matula_approx
+        from repro.arena.solvers import matula_approx
 
         with pytest.raises(ValueError):
             matula_approx(make_graph(5, 12, 10), epsilon=0.0)
 
     def test_barbell_exact(self):
-        from repro.baselines import matula_approx
+        from repro.arena.solvers import matula_approx
         from repro.graphs import barbell_graph
 
         res = matula_approx(barbell_graph(6, 1.0))

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.baselines import stoer_wagner
+from repro.arena.solvers import stoer_wagner
 from repro.core import branching_for_epsilon, minimum_cut
 from repro.errors import GraphFormatError, InvalidParameterError
 from repro.graphs import (

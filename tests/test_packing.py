@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.baselines import stoer_wagner
+from repro.arena.solvers import stoer_wagner
 from repro.errors import NotConnectedError
 from repro.graphs import Graph, planted_cut_graph, random_connected_graph
 from repro.packing import greedy_tree_packing, pack_trees

@@ -210,7 +210,7 @@ class TestSparsifyProperties:
     @given(g=connected_graphs(max_n=12, max_weight=5), seed=st.integers(0, 1000))
     @settings(**SETTINGS)
     def test_skeleton_connected_and_capped(self, g, seed):
-        from repro.baselines import stoer_wagner
+        from repro.arena.solvers import stoer_wagner
         from repro.sparsify import build_skeleton
 
         lam = stoer_wagner(g).value

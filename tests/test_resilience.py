@@ -6,7 +6,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.baselines import stoer_wagner
+from repro.arena.solvers import stoer_wagner
 from repro.core import minimum_cut
 from repro.errors import (
     BranchErrors,

@@ -4,7 +4,7 @@
 import numpy as np
 import pytest
 
-from repro.baselines import stoer_wagner
+from repro.arena.solvers import stoer_wagner
 from repro.graphs import Graph, MultiGraph, planted_cut_graph, random_connected_graph
 from repro.pram import Ledger
 from repro.sparsify import (
